@@ -1,0 +1,158 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation (§V): Table I (design sizes), Table II (workload cycles),
+// Table III (engine execution times and ESSENT speedups), Table IV
+// (approach comparison), Figure 5 (activity distributions), Figure 6
+// (Cp sweep), and Figure 7 (overhead decomposition).
+//
+// Usage:
+//
+//	benchall                # everything at full scale
+//	benchall -quick         # reduced workloads
+//	benchall -only table3   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"essent/internal/exp"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced workload scale")
+		only  = flag.String("only", "",
+			"run one experiment: table1..4, fig5..7, ablation")
+		csvDir = flag.String("csv", "", "also write plot-ready CSV files to this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, emit func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(*csvDir, name))
+	}
+
+	scale := exp.FullScale()
+	if *quick {
+		scale = exp.QuickScale()
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	fmt.Printf("building evaluation designs (r16, r18, boom)...\n")
+	start := time.Now()
+	ds, err := exp.NewDesignSet(scale, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compiled in %.1fs\n\n", time.Since(start).Seconds())
+
+	if want("table1") {
+		rows := ds.TableI()
+		fmt.Println(exp.RenderTableI(rows))
+		writeCSV("table1.csv", func(f *os.File) error { return exp.WriteTableICSV(f, rows) })
+	}
+	if want("table2") {
+		rows, err := ds.TableII(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderTableII(rows))
+		writeCSV("table2.csv", func(f *os.File) error { return exp.WriteTableIICSV(f, rows) })
+	}
+	if want("table3") {
+		fmt.Println("running Table III (4 engines × 3 designs × 3 workloads)...")
+		rows, err := ds.TableIII(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderTableIII(rows))
+		var minS, maxS float64
+		for _, r := range rows {
+			if minS == 0 || r.Speedup < minS {
+				minS = r.Speedup
+			}
+			if r.Speedup > maxS {
+				maxS = r.Speedup
+			}
+		}
+		fmt.Printf("ESSENT vs Baseline speedup range: %.2fx – %.2fx\n\n", minS, maxS)
+		writeCSV("table3.csv", func(f *os.File) error { return exp.WriteTableIIICSV(f, rows) })
+	}
+	if want("table4") {
+		fmt.Println(exp.RenderTableIV(exp.TableIV()))
+	}
+	if want("fig5") {
+		fmt.Println("running Figure 5 (activity sampling)...")
+		series, err := ds.Fig5(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderFig5(series))
+		writeCSV("fig5.csv", func(f *os.File) error { return exp.WriteFig5CSV(f, series) })
+	}
+	if want("fig6") {
+		fmt.Printf("running Figure 6 (Cp sweep %v)...\n", exp.Fig6Cps)
+		rows, err := ds.Fig6(scale, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderFig6(rows, nil))
+		best := map[int]int{}
+		for _, r := range rows {
+			if r.Normalized < 1.10 {
+				best[r.Cp]++
+			}
+		}
+		var bestCp, bestN int
+		for cp, n := range best {
+			if n > bestN || (n == bestN && cp < bestCp) {
+				bestCp, bestN = cp, n
+			}
+		}
+		fmt.Printf("Cp=%d is within 10%% of best on %d of %d design×workload cells\n\n",
+			bestCp, bestN, len(rows)/len(exp.Fig6Cps))
+		writeCSV("fig6.csv", func(f *os.File) error { return exp.WriteFig6CSV(f, rows) })
+	}
+	if want("fig7") {
+		fmt.Println("running Figure 7 (overhead decomposition)...")
+		rows, err := ds.Fig7(scale, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderFig7(rows))
+		writeCSV("fig7.csv", func(f *os.File) error { return exp.WriteFig7CSV(f, rows) })
+	}
+	if want("ablation") {
+		fmt.Println("running ablation (optimization contributions)...")
+		rows, err := ds.Ablation(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderAblation(rows))
+	}
+	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation", *only) {
+		fatal(fmt.Errorf("unknown experiment %q", *only))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchall:", err)
+	os.Exit(1)
+}

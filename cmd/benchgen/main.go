@@ -1,0 +1,260 @@
+// Command benchgen benchmarks GENERATED simulators — the compiled-code
+// regime the paper actually evaluates. It emits Go simulators for an
+// evaluation SoC (a full-cycle baseline plus ESSENT at each Cp), builds
+// them with the Go toolchain, runs a workload in each, and reports
+// cycles/second — the compiled-mode Table III column pair and Fig. 6
+// sweep. In compiled code a partition check costs about as much as an
+// op, so the Cp basin sits where the paper puts it, unlike in the
+// interpreter (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchgen -soc r16 -workload dhrystone -cycles 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"essent/internal/codegen"
+	"essent/internal/designs"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/riscv"
+)
+
+func main() {
+	var (
+		socName  = flag.String("soc", "r16", "SoC: r16, r18, boom")
+		workload = flag.String("workload", "dhrystone", "workload: dhrystone, matmul, pchase")
+		cycles   = flag.Int("cycles", 40000, "cycles to time per variant")
+		cps      = flag.String("cps", "1,2,4,8,16,32,64", "Cp values to sweep")
+		keep     = flag.Bool("keep", false, "keep the generated module directory")
+		ablate   = flag.Bool("ablate", false, "add no-elision / no-mux-shadow ESSENT variants")
+	)
+	flag.Parse()
+
+	var cfg designs.Config
+	found := false
+	for _, c := range designs.Configs() {
+		if c.Name == *socName {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown soc %q", *socName))
+	}
+	circ, err := designs.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		fatal(err)
+	}
+	od, _, err := opt.Optimize(d)
+	if err != nil {
+		fatal(err)
+	}
+	ws, err := riscv.Workloads(riscv.DefaultWorkloadConfig())
+	if err != nil {
+		fatal(err)
+	}
+	var prog []uint32
+	for _, w := range ws {
+		if w.Name == *workload {
+			prog = w.Program
+		}
+	}
+	if prog == nil {
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	dir, err := os.MkdirTemp("", "benchgen")
+	if err != nil {
+		fatal(err)
+	}
+	if *keep {
+		fmt.Fprintf(os.Stderr, "generated module: %s\n", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+	repoRoot := moduleRoot()
+	write(filepath.Join(dir, "go.mod"), fmt.Sprintf(
+		"module benchgen\n\ngo 1.22\n\nrequire essent v0.0.0\n\nreplace essent => %s\n", repoRoot))
+
+	type variant struct {
+		name string
+		opts codegen.Options
+		d    *netlist.Design
+	}
+	variants := []variant{
+		// The paper's Baseline: all optimizations disabled.
+		{"baseline", codegen.Options{Mode: codegen.ModeFullCycle, NoMuxShadow: true}, d},
+		// The Verilator design point: optimized full-cycle (netlist
+		// passes + elision + mux shadowing) but no conditional partitions.
+		{"verilator", codegen.Options{Mode: codegen.ModeFullCycle, Elide: true}, od},
+	}
+	for _, cpStr := range strings.Split(*cps, ",") {
+		var cp int
+		if _, err := fmt.Sscan(strings.TrimSpace(cpStr), &cp); err != nil {
+			fatal(fmt.Errorf("bad cp %q", cpStr))
+		}
+		variants = append(variants, variant{
+			fmt.Sprintf("essent_cp%d", cp),
+			codegen.Options{Mode: codegen.ModeCCSS, Cp: cp}, od,
+		})
+	}
+	if *ablate {
+		variants = append(variants,
+			variant{"essent_noelide",
+				codegen.Options{Mode: codegen.ModeCCSS, Cp: 8, NoElide: true}, od},
+			variant{"essent_noshadow",
+				codegen.Options{Mode: codegen.ModeCCSS, Cp: 8, NoMuxShadow: true}, od},
+		)
+	}
+
+	fmt.Printf("generating %d simulators for %s (%d signals)...\n",
+		len(variants), cfg.Name, len(d.Signals))
+	for _, v := range variants {
+		opts := v.opts
+		opts.Package = v.name
+		src, err := codegen.Generate(v.d, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", v.name, err))
+		}
+		write(filepath.Join(dir, v.name, "sim.go"), string(src))
+	}
+
+	// One driver that runs whichever variant is named on the command line.
+	var drv strings.Builder
+	drv.WriteString("package main\n\nimport (\n\t\"fmt\"\n\t\"os\"\n\t\"time\"\n\n")
+	for _, v := range variants {
+		fmt.Fprintf(&drv, "\t%s \"benchgen/%s\"\n", v.name, v.name)
+	}
+	drv.WriteString(")\n\n")
+	drv.WriteString(`type simIface interface {
+	Poke(string, uint64) bool
+	PokeMem(string, int, uint64) bool
+	Peek(string) uint64
+	Step(int) error
+	Reset()
+	Cycles() uint64
+}
+
+func run(s simIface, prog []uint32, cycles int) (float64, uint64) {
+	load := func() {
+		s.Reset()
+		for i, w := range prog {
+			s.PokeMem("core$imem", i, uint64(w))
+		}
+		s.Poke("reset", 1)
+		s.Step(2)
+		s.Poke("reset", 0)
+	}
+	load()
+	// Warmup.
+	if err := s.Step(512); err != nil {
+		load()
+	}
+	start := time.Now()
+	done := 0
+	for done < cycles {
+		chunk := 2048
+		if cycles-done < chunk {
+			chunk = cycles - done
+		}
+		if err := s.Step(chunk); err != nil {
+			load()
+		}
+		done += chunk
+	}
+	el := time.Since(start)
+	return float64(cycles) / el.Seconds(), s.Peek("tohost")
+}
+
+func main() {
+	prog := progWords()
+	cycles := 0
+	fmt.Sscan(os.Args[2], &cycles)
+	var cps float64
+	var sig uint64
+	switch os.Args[1] {
+`)
+	for _, v := range variants {
+		fmt.Fprintf(&drv, "\tcase %q:\n\t\tcps, sig = run(%s.New(), prog, cycles)\n",
+			v.name, v.name)
+	}
+	drv.WriteString(`	default:
+		fmt.Fprintln(os.Stderr, "unknown variant", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("%.0f %d\n", cps, sig)
+}
+
+`)
+	fmt.Fprintf(&drv, "func progWords() []uint32 { return %#v }\n", prog)
+	write(filepath.Join(dir, "main.go"), drv.String())
+
+	// Build once.
+	fmt.Println("building with the Go toolchain...")
+	cmd := exec.Command("go", "build", "-o", "bench.bin", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fatal(fmt.Errorf("go build: %v\n%s", err, out))
+	}
+
+	fmt.Printf("\n%s × %s, %d cycles per variant, best of 3 (generated code):\n",
+		cfg.Name, *workload, *cycles)
+	fmt.Println("  variant        cycles/s   vs baseline")
+	var baseline float64
+	for _, v := range variants {
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			out, err := exec.Command(filepath.Join(dir, "bench.bin"),
+				v.name, fmt.Sprint(*cycles)).Output()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %v", v.name, err))
+			}
+			var cps float64
+			var sig uint64
+			if _, err := fmt.Sscan(string(out), &cps, &sig); err != nil {
+				fatal(err)
+			}
+			if cps > best {
+				best = cps
+			}
+		}
+		if v.name == "baseline" {
+			baseline = best
+		}
+		fmt.Printf("  %-13s %9.0f   %8.2fx\n", v.name, best, best/baseline)
+	}
+}
+
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+func write(path, content string) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command essent simulates a FIRRTL design (or one of the built-in
+// evaluation SoCs) with a selectable engine, optionally running a RISC-V
+// workload and dumping a VCD waveform.
+//
+// Usage:
+//
+//	essent -design file.fir -engine essent -cycles 10000
+//	essent -soc r16 -workload dhrystone -engine essent
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"essent"
+)
+
+func main() {
+	var (
+		designFile = flag.String("design", "", "FIRRTL design file")
+		socName    = flag.String("soc", "", "built-in SoC: r16, r18, or boom")
+		workload   = flag.String("workload", "", "RISC-V workload: dhrystone, matmul, pchase")
+		engineName = flag.String("engine", "essent", "engine: essent, baseline, fullcycle-opt, event")
+		cp         = flag.Int("cp", 8, "ESSENT partitioning threshold Cp")
+		cycles     = flag.Int("cycles", 100000, "maximum cycles to simulate")
+		verbose    = flag.Bool("v", false, "print design printf output")
+		stats      = flag.Bool("stats", true, "print work statistics")
+		vcdFile    = flag.String("vcd", "", "dump a VCD waveform of outputs and registers")
+	)
+	flag.Parse()
+
+	engine, err := essent.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src string
+	switch {
+	case *socName != "":
+		if src, err = essent.SoC(*socName); err != nil {
+			fatal(err)
+		}
+	case *designFile != "":
+		data, err := os.ReadFile(*designFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+		// Verilog input: translate to FIRRTL first.
+		if strings.HasSuffix(*designFile, ".v") || strings.HasSuffix(*designFile, ".sv") {
+			if src, err = essent.VerilogToFIRRTL(src, ""); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(errors.New("need -design <file> or -soc <name>"))
+	}
+
+	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp})
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		sim.SetOutput(os.Stdout)
+	}
+	fmt.Printf("design: %d signals", sim.NumSignals())
+	if n := sim.NumPartitions(); n > 0 {
+		fmt.Printf(", %d partitions (Cp=%d)", n, *cp)
+	}
+	fmt.Println()
+
+	if *workload != "" {
+		prog, desc, err := essent.Workload(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload: %s — %s (%d instructions)\n", *workload, desc, len(prog))
+		for i, w := range prog {
+			if err := sim.PokeMem(essent.SoCImem, i, uint64(w)); err != nil {
+				fatal(err)
+			}
+		}
+		must(sim.Poke("reset", 1))
+		must(sim.Step(2))
+		must(sim.Poke("reset", 0))
+	}
+
+	if *vcdFile != "" {
+		f, err := os.Create(*vcdFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		err = sim.DumpVCD(f, nil, *cycles)
+		var stopped *essent.StoppedError
+		switch {
+		case err == nil:
+			fmt.Printf("dumped %d cycles to %s\n", *cycles, *vcdFile)
+		case errors.As(err, &stopped):
+			fmt.Printf("stopped at cycle %d; VCD written to %s\n", stopped.Cycle, *vcdFile)
+		default:
+			fatal(err)
+		}
+		return
+	}
+
+	err = sim.Step(*cycles)
+	var stopped *essent.StoppedError
+	switch {
+	case err == nil:
+		fmt.Printf("ran %d cycles (no stop)\n", *cycles)
+	case errors.As(err, &stopped):
+		tohost, _ := sim.Peek("tohost")
+		fmt.Printf("stopped at cycle %d (code %d, tohost=%#x)\n",
+			stopped.Cycle, stopped.Code, tohost)
+	default:
+		fatal(err)
+	}
+
+	if *stats {
+		st := sim.Stats()
+		fmt.Printf("cycles:          %d\n", st.Cycles)
+		fmt.Printf("ops evaluated:   %d (%.1f/cycle)\n",
+			st.OpsEvaluated, perCycle(st.OpsEvaluated, st.Cycles))
+		if st.PartChecks > 0 {
+			fmt.Printf("partition checks: %d, evals: %d (%.1f%% active)\n",
+				st.PartChecks, st.PartEvals,
+				100*float64(st.PartEvals)/float64(st.PartChecks))
+			fmt.Printf("output compares: %d, wakes: %d\n", st.OutputCompares, st.Wakes)
+		}
+		if st.Events > 0 {
+			fmt.Printf("events queued:   %d\n", st.Events)
+		}
+	}
+}
+
+func perCycle(v, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(v) / float64(cycles)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "essent:", err)
+	os.Exit(1)
+}

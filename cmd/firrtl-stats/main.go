@@ -1,0 +1,81 @@
+// Command firrtl-stats parses and lowers a FIRRTL design, printing
+// Table-I-style size statistics and, optionally, acyclic-partitioning
+// statistics across a Cp sweep.
+//
+// Usage:
+//
+//	firrtl-stats design.fir
+//	firrtl-stats -soc r18 -partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"essent"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+)
+
+func main() {
+	var (
+		soc       = flag.String("soc", "", "analyze a built-in SoC (r16, r18, boom)")
+		partSweep = flag.Bool("partition", false, "sweep the partitioner over Cp values")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *soc != "":
+		s, err := essent.SoC(*soc)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fatal(fmt.Errorf("need a FIRRTL file argument or -soc <name>"))
+	}
+
+	circuit, err := firrtl.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := netlist.Compile(circuit)
+	if err != nil {
+		fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("circuit:      %s\n", circuit.Name)
+	fmt.Printf("firrtl lines: %d\n", strings.Count(firrtl.Print(circuit), "\n"))
+	fmt.Printf("nodes:        %d\n", st.Signals)
+	fmt.Printf("edges:        %d\n", st.Edges)
+	fmt.Printf("registers:    %d\n", st.Regs)
+	fmt.Printf("memories:     %d (%d bits)\n", st.Mems, st.MemBits)
+	fmt.Printf("inputs:       %d, outputs: %d\n", st.Inputs, st.Outputs)
+	fmt.Printf("max width:    %d (%d signals wider than 64)\n", st.MaxWidth, st.WideCount)
+
+	if *partSweep {
+		fmt.Println("\nCp   partitions  cut-edges  mean-size  max-size")
+		for _, cp := range []int{1, 2, 4, 8, 16, 32, 64} {
+			info, err := essent.PartitionDesign(src, cp)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-4d %10d %10d %10.1f %9d\n",
+				cp, info.FinalParts, info.CutEdges, info.MeanSize, info.MaxSize)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "firrtl-stats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// riscv_matmul runs the matmul workload (Table II) on the r16 evaluation
+// SoC — a single-cycle RV32IM core with a blocking data cache — comparing
+// the baseline full-cycle engine against ESSENT on identical cycles.
+//
+// Run with: go run ./examples/riscv_matmul
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"essent"
+)
+
+func main() {
+	socSrc, err := essent.SoC("r16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, desc, err := essent.Workload("matmul")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: matmul — %s (%d instructions)\n\n", desc, len(prog))
+
+	type outcome struct {
+		engine  essent.Engine
+		cycles  uint64
+		tohost  uint64
+		elapsed time.Duration
+		ops     uint64
+	}
+	var outs []outcome
+	for _, engine := range []essent.Engine{essent.EngineBaseline, essent.EngineESSENT} {
+		sim, err := essent.Compile(socSrc, essent.Options{Engine: engine})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Load the program, pulse reset.
+		for i, w := range prog {
+			must(sim.PokeMem(essent.SoCImem, i, uint64(w)))
+		}
+		must(sim.Poke("reset", 1))
+		must(sim.Step(2))
+		must(sim.Poke("reset", 0))
+
+		start := time.Now()
+		err = sim.Step(2_000_000)
+		elapsed := time.Since(start)
+		var stopped *essent.StoppedError
+		if !errors.As(err, &stopped) {
+			log.Fatalf("%v: workload did not finish: %v", engine, err)
+		}
+		tohost, _ := sim.Peek("tohost")
+		instret, _ := sim.Peek("instret")
+		st := sim.Stats()
+		outs = append(outs, outcome{engine, st.Cycles, tohost, elapsed, st.OpsEvaluated})
+		fmt.Printf("%-14s %8d cycles  %8d instret  signature %#x  %8.1f ms\n",
+			engine.String()+":", st.Cycles, instret, tohost,
+			float64(elapsed.Microseconds())/1000)
+	}
+
+	if outs[0].tohost != outs[1].tohost || outs[0].cycles != outs[1].cycles {
+		log.Fatal("engines disagree!")
+	}
+	fmt.Printf("\nidentical results; ESSENT evaluated %.1f%% of the baseline's ops "+
+		"and ran %.2fx faster\n",
+		100*float64(outs[1].ops)/float64(outs[0].ops),
+		float64(outs[0].elapsed)/float64(outs[1].elapsed))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package essent
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Additional facade coverage: error paths, wide values, memories, VCD,
+// engine parity through the public API.
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"not firrtl at all",
+		"circuit X :\n  module Y :\n    skip\n", // no top
+		"circuit T :\n  module T :\n    output o : UInt<2>\n    o <= UInt<4>(9)\n",
+	}
+	for i, src := range cases {
+		if _, err := Compile(src, Options{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := CompileVerilog("module garbage(", "", Options{}); err == nil {
+		t.Error("expected Verilog error")
+	}
+	if _, err := SoC("r99"); err == nil {
+		t.Error("expected unknown SoC error")
+	}
+	if _, _, err := Workload("frobnicate"); err == nil {
+		t.Error("expected unknown workload error")
+	}
+	if _, err := PartitionDesign("bogus", 8); err == nil {
+		t.Error("expected partition parse error")
+	}
+	if _, err := PartitionDOT("bogus", 8); err == nil {
+		t.Error("expected DOT parse error")
+	}
+	if _, err := GenerateGo("bogus", "p", GenCCSS, 8); err == nil {
+		t.Error("expected generate parse error")
+	}
+}
+
+func TestFacadeWideValues(t *testing.T) {
+	src := `
+circuit W :
+  module W :
+    input a : UInt<100>
+    output o : UInt<100>
+    o <= not(a)
+`
+	s, err := Compile(src, Options{Engine: EngineBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PokeWide("a", []uint64{0xFFFF, 0x3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	words, err := s.PeekWide("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != ^uint64(0xFFFF) || words[1] != (1<<36-1)&^uint64(3) {
+		t.Fatalf("wide not: %#x", words)
+	}
+	if err := s.PokeWide("nosuch", nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := s.PeekWide("nosuch"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeMemories(t *testing.T) {
+	src := `
+circuit M :
+  module M :
+    input clock : Clock
+    input addr : UInt<3>
+    output o : UInt<8>
+    mem m :
+      data-type => UInt<8>
+      depth => 8
+      read-latency => 0
+      write-latency => 1
+      reader => r
+    m.r.addr <= addr
+    m.r.en <= UInt<1>(1)
+    m.r.clk <= clock
+    o <= m.r.data
+`
+	s, err := Compile(src, Options{Engine: EngineESSENT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PokeMem("m", 5, 0x7A); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("addr", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Peek("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x7A {
+		t.Fatalf("o = %#x", got)
+	}
+	if v, err := s.PeekMem("m", 5); err != nil || v != 0x7A {
+		t.Fatalf("PeekMem = %v, %v", v, err)
+	}
+	if err := s.PokeMem("nosuch", 0, 0); err == nil {
+		t.Fatal("expected mem error")
+	}
+	if _, err := s.MemIndex("nosuch"); err == nil {
+		t.Fatal("expected mem error")
+	}
+}
+
+func TestFacadeDumpVCD(t *testing.T) {
+	s, err := Compile(counterSrc, Options{Engine: EngineESSENT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.DumpVCD(&buf, []string{"count", "r"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "$enddefinitions") || !strings.Contains(out, "#9") {
+		t.Fatalf("VCD missing content:\n%s", out)
+	}
+	if err := s.DumpVCD(&buf, []string{"nosuch"}, 1); err == nil {
+		t.Fatal("expected VCD signal error")
+	}
+}
+
+func TestFacadeParallelEngine(t *testing.T) {
+	s, err := Compile(counterSrc, Options{Engine: EngineESSENTParallel, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(25); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Peek("r")
+	if got != 25 {
+		t.Fatalf("parallel engine: r = %d", got)
+	}
+	if s.NumPartitions() == 0 {
+		t.Fatal("parallel engine should report partitions")
+	}
+}
+
+func TestFacadeResetAndStats(t *testing.T) {
+	s, err := Compile(counterSrc, Options{Engine: EngineESSENT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(7); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	got, _ := s.Peek("r")
+	if got != 0 {
+		t.Fatalf("reset: r = %d", got)
+	}
+	st := s.Stats()
+	if st.PartChecks == 0 || st.OpsEvaluated == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if s.NumSignals() == 0 {
+		t.Fatal("NumSignals")
+	}
+	// Non-CCSS engine reports zero partitions.
+	s2, _ := Compile(counterSrc, Options{Engine: EngineBaseline})
+	if s2.NumPartitions() != 0 {
+		t.Fatal("baseline should report 0 partitions")
+	}
+}
+
+func TestEngineStringAndNoOptimize(t *testing.T) {
+	for _, e := range []Engine{EngineEventDriven, EngineBaseline,
+		EngineFullCycleOpt, EngineESSENT, EngineESSENTParallel} {
+		if e.String() == "" || strings.HasPrefix(e.String(), "Engine(") {
+			t.Fatalf("missing String for %d", int(e))
+		}
+	}
+	if Engine(99).String() == "" {
+		t.Fatal("unknown engine String")
+	}
+	s, err := Compile(counterSrc, Options{Engine: EngineESSENT, NoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module essent
+
+go 1.22

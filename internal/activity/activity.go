@@ -1,0 +1,146 @@
+// Package activity measures signal activity factors: the per-cycle
+// fraction of design signals that change value (Fig. 5) and the effective
+// activity factor — the fraction of the design a conditional simulator
+// actually evaluates (Fig. 7).
+package activity
+
+import (
+	"fmt"
+	"strings"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+// Tracker samples every signal each cycle and accumulates an activity
+// histogram. It works with any engine via the Simulator interface.
+type Tracker struct {
+	s       sim.Simulator
+	signals []netlist.SignalID
+	prev    [][]uint64
+	cur     [][]uint64
+	seeded  bool
+
+	// Samples holds one activity factor per observed cycle.
+	Samples []float64
+}
+
+// NewTracker watches all combinational, register, and memory-read signals
+// of the simulator's design.
+func NewTracker(s sim.Simulator) *Tracker {
+	d := s.Design()
+	t := &Tracker{s: s}
+	for i := range d.Signals {
+		t.signals = append(t.signals, netlist.SignalID(i))
+		n := bits.Words(d.Signals[i].Width)
+		t.prev = append(t.prev, make([]uint64, n))
+		t.cur = append(t.cur, make([]uint64, n))
+	}
+	return t
+}
+
+// StepSample advances one cycle and records its activity factor.
+func (t *Tracker) StepSample() error {
+	if !t.seeded {
+		for i, id := range t.signals {
+			t.s.PeekWide(id, t.prev[i])
+		}
+		t.seeded = true
+	}
+	err := t.s.Step(1)
+	changed := 0
+	for i, id := range t.signals {
+		t.s.PeekWide(id, t.cur[i])
+		if !bits.Equal(t.cur[i], t.prev[i]) {
+			changed++
+			copy(t.prev[i], t.cur[i])
+		}
+	}
+	t.Samples = append(t.Samples, float64(changed)/float64(len(t.signals)))
+	return err
+}
+
+// Run samples n cycles (stopping early on simulator halt). It returns the
+// halt error, if any, after recording the final cycle.
+func (t *Tracker) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := t.StepSample(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mean returns the average activity factor.
+func (t *Tracker) Mean() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range t.Samples {
+		sum += v
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// Histogram buckets the samples into nBuckets equal ranges over [0, max].
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int
+	Total       int
+}
+
+// Histogram builds an activity histogram with the given bucket count over
+// [0, maxActivity].
+func (t *Tracker) Histogram(nBuckets int, maxActivity float64) Histogram {
+	h := Histogram{BucketWidth: maxActivity / float64(nBuckets), Counts: make([]int, nBuckets)}
+	for _, v := range t.Samples {
+		b := int(v / h.BucketWidth)
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// Render draws the histogram as a log-scaled ASCII chart (Fig. 5 style).
+func (h Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (N=%d cycles)\n", label, h.Total)
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo := float64(i) * h.BucketWidth
+		hi := lo + h.BucketWidth
+		// Log-ish bar length: proportional to log2(1+count).
+		bar := 0
+		for v := c; v > 0; v >>= 1 {
+			bar++
+		}
+		scale := 1
+		for v := maxCount; v > 0; v >>= 1 {
+			scale++
+		}
+		width := bar * 40 / scale
+		fmt.Fprintf(&b, "  %5.1f%%-%5.1f%% |%-40s| %d\n",
+			lo*100, hi*100, strings.Repeat("#", width), c)
+	}
+	return b.String()
+}
+
+// Effective computes the effective activity factor of a CCSS run: the
+// fraction of scheduled work actually evaluated (§V, Fig. 7). totalOps is
+// the full-cycle op count per cycle.
+func Effective(st *sim.Stats, totalOps int) float64 {
+	if st.Cycles == 0 || totalOps == 0 {
+		return 0
+	}
+	return float64(st.OpsEvaluated) / (float64(st.Cycles) * float64(totalOps))
+}

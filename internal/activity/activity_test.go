@@ -1,0 +1,109 @@
+package activity
+
+import (
+	"strings"
+	"testing"
+
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+func buildSim(t *testing.T, src string) sim.Simulator {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, sim.Options{Engine: sim.EngineFullCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrackerCountsActivity(t *testing.T) {
+	// A free-running 4-bit counter: low bits toggle often, high bits
+	// rarely; overall activity is well below 100% but above 0.
+	s := buildSim(t, `
+circuit C :
+  module C :
+    input clock : Clock
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    node b0 = bits(r, 0, 0)
+    node b1 = bits(r, 1, 1)
+    node b2 = bits(r, 2, 2)
+    node b3 = bits(r, 3, 3)
+    node all = and(and(b0, b1), and(b2, b3))
+    r <= tail(add(r, UInt<4>(1)), 1)
+    o <= mux(all, UInt<4>(0), r)
+`)
+	tr := NewTracker(s)
+	if err := tr.Run(64); err != nil {
+		t.Fatal(err)
+	}
+	mean := tr.Mean()
+	if mean <= 0 || mean >= 1 {
+		t.Fatalf("mean activity out of range: %f", mean)
+	}
+	if len(tr.Samples) != 64 {
+		t.Fatalf("expected 64 samples, got %d", len(tr.Samples))
+	}
+}
+
+func TestTrackerQuiescentDesign(t *testing.T) {
+	// No state, inputs never poked after the first cycle: activity must
+	// drop to zero.
+	s := buildSim(t, `
+circuit Q :
+  module Q :
+    input a : UInt<8>
+    output o : UInt<8>
+    o <= not(a)
+`)
+	tr := NewTracker(s)
+	if err := tr.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tr.Samples[1:] {
+		if v != 0 {
+			t.Fatalf("cycle %d: quiescent design shows activity %f", i+1, v)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	tr := &Tracker{Samples: []float64{0.01, 0.02, 0.02, 0.10, 0.50}}
+	h := tr.Histogram(10, 0.2)
+	if h.Total != 5 {
+		t.Fatalf("total %d", h.Total)
+	}
+	// 0.5 overflows into the last bucket.
+	if h.Counts[9] != 1 {
+		t.Fatalf("overflow bucket: %v", h.Counts)
+	}
+	// Buckets are [lo, hi): 0.01 → bucket 0; the two 0.02s land exactly
+	// on the boundary of bucket 1; 0.10 → bucket 5.
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[5] != 1 {
+		t.Fatalf("bucket placement wrong: %v", h.Counts)
+	}
+	out := h.Render("test")
+	if !strings.Contains(out, "N=5") {
+		t.Fatalf("render missing total: %s", out)
+	}
+}
+
+func TestEffective(t *testing.T) {
+	st := &sim.Stats{Cycles: 10, OpsEvaluated: 250}
+	if got := Effective(st, 100); got != 0.25 {
+		t.Fatalf("effective = %f, want 0.25", got)
+	}
+	if Effective(&sim.Stats{}, 100) != 0 {
+		t.Fatal("zero cycles should give 0")
+	}
+}

@@ -1,0 +1,89 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the arithmetic kernel: narrow helpers are the
+// simulation hot path; wide routines cover >64-bit signals.
+
+func BenchmarkNarrowOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := rng.Uint64(), rng.Uint64()|1
+	b.Run("Mask64", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += Mask64(x+uint64(i), 37)
+		}
+		sink = acc
+	})
+	b.Run("Sext64", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += Sext64(Mask64(x+uint64(i), 23), 23)
+		}
+		sink = acc
+	})
+	b.Run("AddMasked", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc = Mask64(acc+y, 48)
+		}
+		sink = acc
+	})
+}
+
+var sink uint64
+
+func benchWide(b *testing.B, width int, f func(dst, a, bb []uint64)) {
+	rng := rand.New(rand.NewSource(2))
+	n := Words(width)
+	a := make([]uint64, n)
+	bb := make([]uint64, n)
+	dst := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64()
+		bb[i] = rng.Uint64()
+	}
+	MaskInto(a, width)
+	MaskInto(bb, width)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, a, bb)
+	}
+}
+
+func BenchmarkWideAdd128(b *testing.B) {
+	benchWide(b, 128, func(dst, a, bb []uint64) {
+		AddInto(dst, a, bb)
+		MaskInto(dst, 128)
+	})
+}
+
+func BenchmarkWideMul256(b *testing.B) {
+	benchWide(b, 256, func(dst, a, bb []uint64) {
+		MulInto(dst, a, bb)
+		MaskInto(dst, 256)
+	})
+}
+
+func BenchmarkWideDiv128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := []uint64{rng.Uint64(), rng.Uint64()}
+	d := []uint64{rng.Uint64(), 3}
+	quo := make([]uint64, 2)
+	rem := make([]uint64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DivRemU(quo, rem, a, d)
+	}
+}
+
+func BenchmarkWideCmp192(b *testing.B) {
+	benchWide(b, 192, func(dst, a, bb []uint64) {
+		if Cmp(a, bb, false) > 0 {
+			dst[0]++
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package bits
+
+import "math/bits"
+
+// AddInto computes dst = a + b over len(dst) limbs. a and b must already be
+// extended (zero- or sign-) to len(dst) limbs. The result is not masked.
+func AddInto(dst, a, b []uint64) {
+	var carry uint64
+	for i := range dst {
+		s, c1 := bits.Add64(a[i], b[i], carry)
+		dst[i] = s
+		carry = c1
+	}
+}
+
+// SubInto computes dst = a - b over len(dst) limbs (same conventions as
+// AddInto).
+func SubInto(dst, a, b []uint64) {
+	var borrow uint64
+	for i := range dst {
+		d, b1 := bits.Sub64(a[i], b[i], borrow)
+		dst[i] = d
+		borrow = b1
+	}
+}
+
+// NegInto computes dst = -a (two's complement) over len(dst) limbs.
+func NegInto(dst, a []uint64) {
+	var carry uint64 = 1
+	for i := range dst {
+		s, c1 := bits.Add64(^a[i], 0, carry)
+		dst[i] = s
+		carry = c1
+	}
+}
+
+// MulInto computes dst = a * b (schoolbook), truncated to len(dst) limbs.
+// dst must not alias a or b.
+func MulInto(dst, a, b []uint64) {
+	Zero(dst)
+	for i, ai := range a {
+		if ai == 0 || i >= len(dst) {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < len(dst); j++ {
+			var bj uint64
+			if j < len(b) {
+				bj = b[j]
+			} else if carry == 0 {
+				break
+			}
+			hi, lo := bits.Mul64(ai, bj)
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, dst[i+j], 0)
+			lo, c2 = bits.Add64(lo, carry, 0)
+			dst[i+j] = lo
+			carry = hi + c1 + c2
+		}
+	}
+}
+
+// cmpU compares a and b as unsigned values over equal limb counts,
+// returning -1, 0, or +1.
+func cmpU(a, b []uint64) int {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Cmp compares two extended limb slices of equal length. For signed
+// comparison both must be fully sign-extended across all limbs.
+func Cmp(a, b []uint64, signed bool) int {
+	if signed {
+		sa := a[len(a)-1] >> 63
+		sb := b[len(b)-1] >> 63
+		if sa != sb {
+			if sa == 1 {
+				return -1
+			}
+			return 1
+		}
+	}
+	return cmpU(a, b)
+}
+
+// shiftLeftInto computes dst = a << n, truncated to len(dst) limbs.
+// dst must not alias a.
+func shiftLeftInto(dst, a []uint64, n int) {
+	Zero(dst)
+	limb, off := n/64, uint(n)%64
+	for i := len(dst) - 1; i >= limb; i-- {
+		src := i - limb
+		var v uint64
+		if src < len(a) {
+			v = a[src] << off
+		}
+		if off != 0 && src >= 1 && src-1 < len(a) {
+			v |= a[src-1] >> (64 - off)
+		}
+		dst[i] = v
+	}
+}
+
+// shiftRightInto computes dst = a >> n logically (a's high limbs beyond
+// len(a) read as zero). dst must not alias a.
+func shiftRightInto(dst, a []uint64, n int) {
+	Zero(dst)
+	limb, off := n/64, uint(n)%64
+	for i := range dst {
+		src := i + limb
+		if src >= len(a) {
+			break
+		}
+		v := a[src] >> off
+		if off != 0 && src+1 < len(a) {
+			v |= a[src+1] << (64 - off)
+		}
+		dst[i] = v
+	}
+}
+
+// ShlInto computes dst = a << n masked to dstW bits. dst must not alias a.
+func ShlInto(dst, a []uint64, n, dstW int) {
+	shiftLeftInto(dst, a, n)
+	MaskInto(dst, dstW)
+}
+
+// ShrInto computes dst = a >> n (arithmetic if signed, over srcW bits),
+// masked to dstW bits. dst must not alias a.
+func ShrInto(dst, a []uint64, n int, srcW int, signed bool, dstW int) {
+	if n >= srcW {
+		// Fully shifted out: 0 for unsigned, sign fill for signed.
+		if signed && SignBit(a, srcW) == 1 {
+			for i := range dst {
+				dst[i] = ^uint64(0)
+			}
+		} else {
+			Zero(dst)
+		}
+		MaskInto(dst, dstW)
+		return
+	}
+	shiftRightInto(dst, a, n)
+	if signed && SignBit(a, srcW) == 1 {
+		// Fill bits [srcW-n, ∞) with ones.
+		for i := srcW - n; i < dstW; i++ {
+			SetBit(dst, i, 1)
+		}
+	}
+	MaskInto(dst, dstW)
+}
+
+// ExtractInto writes bits [lo, hi] of a into dst, masked to hi-lo+1 bits.
+// dst must not alias a.
+func ExtractInto(dst, a []uint64, hi, lo int) {
+	shiftRightInto(dst, a, lo)
+	MaskInto(dst, hi-lo+1)
+}
+
+// CatInto concatenates a (high part, aw bits) and b (low part, bw bits)
+// into dst. dst must not alias a or b.
+func CatInto(dst, a, b []uint64, aw, bw int) {
+	shiftLeftInto(dst, a, bw)
+	for i := 0; i < Words(bw) && i < len(dst); i++ {
+		dst[i] |= b[i]
+	}
+	MaskInto(dst, aw+bw)
+}
+
+// AndInto, OrInto, XorInto compute bitwise operations limb-wise over
+// len(dst) limbs; inputs must be extended to len(dst).
+func AndInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// OrInto computes dst = a | b limb-wise.
+func OrInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// XorInto computes dst = a ^ b limb-wise.
+func XorInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// NotInto computes dst = ^a masked to width. Inputs at width bits.
+func NotInto(dst, a []uint64, width int) {
+	for i := range dst {
+		var ai uint64
+		if i < len(a) {
+			ai = a[i]
+		}
+		dst[i] = ^ai
+	}
+	MaskInto(dst, width)
+}
+
+// AndR returns 1 if all width bits of a are 1.
+func AndR(a []uint64, width int) uint64 {
+	if width == 0 {
+		return 1
+	}
+	full := width / 64
+	for i := 0; i < full; i++ {
+		if a[i] != ^uint64(0) {
+			return 0
+		}
+	}
+	rem := width % 64
+	if rem != 0 {
+		mask := uint64(1)<<uint(rem) - 1
+		if a[full]&mask != mask {
+			return 0
+		}
+	}
+	return 1
+}
+
+// OrR returns 1 if any bit of a is 1.
+func OrR(a []uint64) uint64 {
+	if IsZero(a) {
+		return 0
+	}
+	return 1
+}
+
+// XorR returns the parity of a.
+func XorR(a []uint64) uint64 {
+	var acc uint64
+	for _, w := range a {
+		acc ^= w
+	}
+	return uint64(bits.OnesCount64(acc)) & 1
+}
+
+// DivRemU computes unsigned quotient and remainder of a / b, where a and b
+// are numerator/denominator limb slices. Division by zero yields quo=0,
+// rem=a (a well-defined dialect choice; the netlist also flags it).
+// quo and rem must not alias a or b.
+func DivRemU(quo, rem, a, b []uint64) {
+	Zero(quo)
+	Zero(rem)
+	if IsZero(b) {
+		Copy(rem, a)
+		return
+	}
+	// Find highest set bit of a.
+	top := -1
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != 0 {
+			top = i*64 + 63 - bits.LeadingZeros64(a[i])
+			break
+		}
+	}
+	if top < 0 {
+		return
+	}
+	// Fast path: single-limb operands.
+	if top < 64 && len(b) >= 1 && isSingleLimb(b) && len(quo) >= 1 {
+		q := a[0] / b[0]
+		r := a[0] % b[0]
+		Zero(quo)
+		Zero(rem)
+		quo[0] = q
+		rem[0] = r
+		return
+	}
+	// Shift-subtract long division over working buffers wide enough to
+	// hold 2*b (the pre-subtraction remainder can reach twice the divisor).
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	n++
+	r := make([]uint64, n)
+	tmp := make([]uint64, n)
+	bx := make([]uint64, n)
+	ExtendInto(bx, b, len(b)*64, false)
+	for i := top; i >= 0; i-- {
+		// r = r<<1 | bit(a,i)
+		shiftLeftInto(tmp, r, 1)
+		tmp[0] |= Bit(a, i)
+		copy(r, tmp)
+		if cmpU(r, bx) >= 0 {
+			SubInto(r, r, bx)
+			if i/64 < len(quo) {
+				SetBit(quo, i, 1)
+			}
+		}
+	}
+	Copy(rem, r[:min(len(r), len(rem))])
+}
+
+func isSingleLimb(b []uint64) bool {
+	for _, w := range b[1:] {
+		if w != 0 {
+			return false
+		}
+	}
+	return b[0] != 0
+}
+
+// DivRemS computes signed quotient (truncated toward zero) and remainder
+// (sign of dividend) for width-aw dividend a and width-bw divisor b.
+// Outputs are masked to their destination widths by the caller.
+func DivRemS(quo, rem, a, b []uint64, aw, bw int) {
+	an := SignBit(a, aw) == 1
+	bn := SignBit(b, bw) == 1
+	wa := Words(aw)
+	wb := Words(bw)
+	am := make([]uint64, wa)
+	bm := make([]uint64, wb)
+	if an {
+		ax := make([]uint64, wa)
+		ExtendInto(ax, a, aw, true)
+		NegInto(am, ax)
+		MaskInto(am, aw)
+		// Edge case: most-negative value negates to itself; magnitude
+		// needs aw bits as unsigned, which MaskInto(aw) preserves.
+	} else {
+		Copy(am, a)
+	}
+	if bn {
+		bx := make([]uint64, wb)
+		ExtendInto(bx, b, bw, true)
+		NegInto(bm, bx)
+		MaskInto(bm, bw)
+	} else {
+		Copy(bm, b)
+	}
+	q := make([]uint64, len(quo))
+	r := make([]uint64, len(rem))
+	DivRemU(q, r, am, bm)
+	if an != bn && !IsZero(bm) {
+		NegInto(quo, q)
+	} else {
+		copy(quo, q)
+	}
+	if an {
+		NegInto(rem, r)
+	} else {
+		copy(rem, r)
+	}
+}

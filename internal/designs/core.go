@@ -1,0 +1,255 @@
+// Package designs generates the evaluation hardware: a single-cycle
+// RV32IM core with a blocking direct-mapped data cache (stalls model the
+// memory hierarchy, so workload IPC and activity vary like the paper's),
+// low-activity uncore peripherals, and datapath clusters that scale the
+// design to the r16 / r18 / boom size points of Table I.
+package designs
+
+import (
+	"essent/internal/dsl"
+	"essent/internal/firrtl"
+	"essent/internal/riscv"
+)
+
+// RISC-V opcode values used in decode.
+const (
+	opLUI    = 0x37
+	opAUIPC  = 0x17
+	opJAL    = 0x6F
+	opJALR   = 0x67
+	opBRANCH = 0x63
+	opLOAD   = 0x03
+	opSTORE  = 0x23
+	opOPIMM  = 0x13
+	opOP     = 0x33
+	opSYSTEM = 0x73
+)
+
+// buildCore emits the "Core" module: a single-cycle RV32IM datapath with
+// an external stall input from the memory system. The instruction
+// scratchpad and the register file live inside the core.
+func buildCore(imemWords int) *firrtl.Module {
+	m := dsl.NewModule("Core")
+	m.Input("reset", 1)
+	stall := m.Input("stall", 1)
+	memRdata := m.Input("mem_rdata", 32)
+
+	memAddr := m.Output("mem_addr", 32)
+	memRen := m.Output("mem_ren", 1)
+	memWen := m.Output("mem_wen", 1)
+	memWdata := m.Output("mem_wdata", 32)
+	doneOut := m.Output("done", 1)
+	tohostOut := m.Output("tohost", 32)
+	instretOut := m.Output("instret", 32)
+	pcOut := m.Output("pc_out", 32)
+
+	zero32 := m.Lit(0, 32)
+	one := m.Lit(1, 1)
+
+	pc := m.RegInit("pc", 32, 0)
+	done := m.RegInit("done_r", 1, 0)
+	tohost := m.RegInit("tohost_r", 32, 0)
+	instret := m.RegInit("instret_r", 32, 0)
+
+	// Fetch.
+	imem := m.Mem("imem", 32, imemWords)
+	inst := m.Named("inst", imem.Read("r", pc.Shr(2)))
+
+	// Decode.
+	opcode := m.Named("opcode", inst.Bits(6, 0))
+	rd := m.Named("rd", inst.Bits(11, 7))
+	funct3 := m.Named("funct3", inst.Bits(14, 12))
+	rs1 := m.Named("rs1", inst.Bits(19, 15))
+	rs2 := m.Named("rs2", inst.Bits(24, 20))
+	funct7 := m.Named("funct7", inst.Bits(31, 25))
+
+	is := func(op uint64) dsl.Signal { return opcode.Eq(m.Lit(op, 7)) }
+	isLui := m.Named("isLui", is(opLUI))
+	isAuipc := m.Named("isAuipc", is(opAUIPC))
+	isJal := m.Named("isJal", is(opJAL))
+	isJalr := m.Named("isJalr", is(opJALR))
+	isBranch := m.Named("isBranch", is(opBRANCH))
+	isLoad := m.Named("isLoad", is(opLOAD))
+	isStore := m.Named("isStore", is(opSTORE))
+	isOpImm := m.Named("isOpImm", is(opOPIMM))
+	isOp := m.Named("isOp", is(opOP))
+	isSystem := m.Named("isSystem", is(opSYSTEM))
+
+	// Immediates.
+	immI := m.Named("immI", inst.Bits(31, 20).Sext(32))
+	immS := m.Named("immS", inst.Bits(31, 25).Cat(inst.Bits(11, 7)).Sext(32))
+	immB := m.Named("immB",
+		inst.Bit(31).Cat(inst.Bit(7)).Cat(inst.Bits(30, 25)).Cat(inst.Bits(11, 8)).
+			Cat(m.Lit(0, 1)).Sext(32))
+	immU := m.Named("immU", inst.Bits(31, 12).Cat(m.Lit(0, 12)))
+	immJ := m.Named("immJ",
+		inst.Bit(31).Cat(inst.Bits(19, 12)).Cat(inst.Bit(20)).Cat(inst.Bits(30, 21)).
+			Cat(m.Lit(0, 1)).Sext(32))
+
+	// Register file (x0 hardwired to zero at the read muxes).
+	rf := m.Mem("regfile", 32, 32)
+	rs1raw := rf.Read("r1", rs1)
+	rs2raw := rf.Read("r2", rs2)
+	rs1v := m.Named("rs1v", rs1.OrR().Mux(rs1raw, zero32))
+	rs2v := m.Named("rs2v", rs2.OrR().Mux(rs2raw, zero32))
+
+	// ALU.
+	useImm := isOpImm
+	aluB := m.Named("aluB", useImm.Mux(immI, rs2v))
+	sh := m.Named("shamt", aluB.Bits(4, 0))
+	isSub := m.Named("isSub", isOp.And(funct7.Eq(m.Lit(0x20, 7))))
+	sraSel := m.Named("sraSel", inst.Bit(30))
+	addsub := m.Named("addsub",
+		isSub.Mux(rs1v.SubW(aluB, 32), rs1v.AddW(aluB, 32)))
+	sll := rs1v.Dshl(sh, 32)
+	slt := rs1v.LtS(aluB).Pad(32)
+	sltu := rs1v.Lt(aluB).Pad(32)
+	xor := rs1v.Xor(aluB)
+	srl := rs1v.Dshr(sh)
+	sra := rs1v.DshrS(sh)
+	or := rs1v.Or(aluB)
+	and := rs1v.And(aluB)
+
+	aluOut := m.Named("aluOut", muxTree3(m, funct3,
+		addsub, sll, slt, sltu, xor, sraSel.Mux(sra, srl), or, and))
+
+	// M extension: widen to 64 bits and pick halves.
+	a64s := rs1v.Sext(64)
+	b64s := rs2v.Sext(64)
+	a64u := rs1v
+	b64u := rs2v
+	prodSS := m.Named("prodSS", a64s.Mul(b64s).Bits(63, 0))
+	prodSU := m.Named("prodSU", a64s.Mul(b64u).Bits(63, 0))
+	prodUU := m.Named("prodUU", a64u.Mul(b64u).Bits(63, 0))
+	mulLo := prodUU.Bits(31, 0)
+	mulhSS := prodSS.Bits(63, 32)
+	mulhSU := prodSU.Bits(63, 32)
+	mulhUU := prodUU.Bits(63, 32)
+
+	// Division with RISC-V edge semantics.
+	divisorZero := rs2v.Eq(zero32)
+	minInt := m.Lit(0x8000_0000, 32)
+	negOne32 := m.Lit(0xFFFF_FFFF, 32)
+	overflow := rs1v.Eq(minInt).And(rs2v.Eq(negOne32))
+	sDiv := rs1v.DivS(rs2v)
+	sRem := rs1v.RemS(rs2v)
+	uDiv := rs1v.Div(rs2v)
+	uRem := rs1v.Rem(rs2v)
+	divOut := m.Named("divOut",
+		divisorZero.Mux(negOne32, overflow.Mux(minInt, sDiv)))
+	divuOut := m.Named("divuOut", divisorZero.Mux(negOne32, uDiv))
+	remOut := m.Named("remOut",
+		divisorZero.Mux(rs1v, overflow.Mux(zero32, sRem)))
+	remuOut := m.Named("remuOut", divisorZero.Mux(rs1v, uRem))
+
+	mdOut := m.Named("mdOut", muxTree3(m, funct3,
+		mulLo, mulhSS, mulhSU, mulhUU, divOut, divuOut, remOut, remuOut))
+	isMulDiv := m.Named("isMulDiv", isOp.And(funct7.Eq(m.Lit(1, 7))))
+
+	// Memory request.
+	memOff := m.Named("memOff", isStore.Mux(immS, immI))
+	addr := m.Named("addrFull", rs1v.AddW(memOff, 32))
+	isTohost := m.Named("isTohost", addr.Eq(m.Lit(riscv.TohostAddr, 32)))
+	byteOff := m.Named("byteOff", addr.Bits(1, 0))
+	shBits := m.Named("shBits", byteOff.Cat(m.Lit(0, 3))) // ×8
+
+	m.Connect(memAddr, addr)
+	m.Connect(memRen, isLoad.Or(isStore).And(isTohost.Not()).And(done.Not()))
+	// Load value extraction.
+	shifted := m.Named("ldShifted", memRdata.Dshr(shBits))
+	lb := shifted.Bits(7, 0).Sext(32)
+	lbu := shifted.Bits(7, 0).Pad(32)
+	lh := shifted.Bits(15, 0).Sext(32)
+	lhu := shifted.Bits(15, 0).Pad(32)
+	loadVal := m.Named("loadVal", muxTree3(m, funct3,
+		lb, lh, memRdata, zero32, lbu, lhu, zero32, zero32))
+
+	// Store merge (read-modify-write on the full word).
+	byteMask := m.Named("byteMask", muxTree2low(m, funct3,
+		m.Lit(0xFF, 32), m.Lit(0xFFFF, 32), negOne32))
+	maskSh := m.Named("maskSh", byteMask.Dshl(shBits, 32))
+	dataSh := m.Named("dataSh", rs2v.And(byteMask).Dshl(shBits, 32))
+	merged := m.Named("stMerged", memRdata.And(maskSh.Not()).Or(dataSh))
+	m.Connect(memWdata, merged)
+	doStore := m.Named("doStore",
+		isStore.And(isTohost.Not()).And(stall.Not()).And(done.Not()))
+	m.Connect(memWen, doStore)
+
+	// tohost / halt. ecall/ebreak also halt (tohost keeps its prior
+	// value; workloads report through tohost stores).
+	tohostHit := m.Named("tohostHit", isStore.And(isTohost).And(done.Not()))
+	m.When(tohostHit, func() {
+		m.Connect(tohost, rs2v)
+		m.Connect(done, one)
+	})
+	m.When(isSystem, func() {
+		m.Connect(done, one)
+	})
+	m.Connect(doneOut, done)
+	m.Connect(tohostOut, tohost)
+	m.Stop(done, 0)
+
+	// Branches.
+	brEq := rs1v.Eq(rs2v)
+	brLt := rs1v.LtS(rs2v)
+	brLtu := rs1v.Lt(rs2v)
+	taken := m.Named("brTaken", isBranch.And(muxTree3(m, funct3,
+		brEq, brEq.Not(), m.Lit(0, 1), m.Lit(0, 1),
+		brLt, brLt.Not(), brLtu, brLtu.Not())))
+
+	// Next PC.
+	pc4 := m.Named("pc4", pc.AddW(m.Lit(4, 32), 32))
+	brTarget := pc.AddW(immB, 32)
+	jalTarget := pc.AddW(immJ, 32)
+	jalrTarget := rs1v.AddW(immI, 32).And(m.Lit(0xFFFF_FFFE, 32))
+	nextPC := m.Named("nextPC",
+		taken.Mux(brTarget,
+			isJal.Mux(jalTarget,
+				isJalr.Mux(jalrTarget, pc4))))
+	hold := m.Named("hold", stall.Or(done).Or(isSystem))
+	m.When(hold.Not(), func() {
+		m.Connect(pc, nextPC)
+	})
+
+	// Writeback.
+	wbData := m.Named("wbData",
+		isLui.Mux(immU,
+			isAuipc.Mux(pc.AddW(immU, 32),
+				isJal.Or(isJalr).Mux(pc4,
+					isLoad.Mux(loadVal,
+						isMulDiv.Mux(mdOut, aluOut))))))
+	wbEn := m.Named("wbEn",
+		isLui.Or(isAuipc).Or(isJal).Or(isJalr).Or(isLoad).Or(isOpImm).Or(isOp).
+			And(rd.OrR()).And(stall.Not()).And(done.Not()))
+	rf.Write("w", rd, wbData, wbEn)
+
+	// Retired-instruction counter.
+	m.When(hold.Not(), func() {
+		m.Connect(instret, instret.AddW(m.Lit(1, 32), 32))
+	})
+	m.Connect(instretOut, instret)
+	m.Connect(pcOut, pc)
+
+	return m.Build()
+}
+
+// muxTree3 selects among 8 values by a 3-bit selector.
+func muxTree3(m *dsl.Module, sel dsl.Signal, v ...dsl.Signal) dsl.Signal {
+	b0 := sel.Bit(0)
+	b1 := sel.Bit(1)
+	b2 := sel.Bit(2)
+	m01 := b0.Mux(v[1], v[0])
+	m23 := b0.Mux(v[3], v[2])
+	m45 := b0.Mux(v[5], v[4])
+	m67 := b0.Mux(v[7], v[6])
+	lo := b1.Mux(m23, m01)
+	hi := b1.Mux(m67, m45)
+	return b2.Mux(hi, lo)
+}
+
+// muxTree2low selects by the low 2 bits of sel among byte/half/word.
+func muxTree2low(m *dsl.Module, sel dsl.Signal, b, h, w dsl.Signal) dsl.Signal {
+	b0 := sel.Bit(0)
+	b1 := sel.Bit(1)
+	return b1.Mux(w, b0.Mux(h, b))
+}

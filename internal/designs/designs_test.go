@@ -1,0 +1,276 @@
+package designs
+
+import (
+	"testing"
+
+	"essent/internal/netlist"
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// tinyConfig keeps unit tests fast.
+func tinyConfig() Config {
+	return Config{
+		Name: "tiny", ImemWords: 1024, DmemWords: 4096,
+		CacheLines: 16, MissPenalty: 3,
+		Peripherals: 2, Clusters: 1, ClusterLanes: 4, ClusterStages: 3,
+	}
+}
+
+func buildSim(t *testing.T, cfg Config, engine sim.Options) *Runner {
+	t.Helper()
+	circ, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func asmProgram(t *testing.T, src string) []uint32 {
+	t.Helper()
+	p, err := riscv.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSoCBuildsAndCompiles(t *testing.T) {
+	for _, cfg := range []Config{tinyConfig(), R16()} {
+		circ, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := netlist.Compile(circ)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		st := d.Stats()
+		if st.Signals < 500 {
+			t.Errorf("%s: suspiciously small (%d signals)", cfg.Name, st.Signals)
+		}
+		t.Logf("%s: %d signals, %d edges, %d regs, %d mems",
+			cfg.Name, st.Signals, st.Edges, st.Regs, st.Mems)
+	}
+}
+
+func TestSoCRunsBasicProgram(t *testing.T) {
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineFullCycle})
+	prog := asmProgram(t, `
+    li t0, 11
+    li t1, 31
+    mul a0, t0, t1     # 341
+    li t2, 0x40000000
+    sw a0, 0(t2)
+`)
+	if err := r.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tohost != 341 {
+		t.Fatalf("tohost = %d, want 341", res.Tohost)
+	}
+	if res.Instret < 5 || res.Instret > 10 {
+		t.Fatalf("instret = %d", res.Instret)
+	}
+}
+
+func TestSoCLoadsAndStores(t *testing.T) {
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineFullCycle})
+	prog := asmProgram(t, `
+    li s1, 0x80000000
+    li t0, 0xABCD
+    sw t0, 16(s1)
+    lw t1, 16(s1)
+    sb t1, 21(s1)      # byte store
+    lbu t2, 21(s1)
+    sh t1, 26(s1)
+    lhu t3, 26(s1)
+    add a0, t1, t2
+    add a0, a0, t3
+    li t4, 0x40000000
+    sw a0, 0(t4)
+`)
+	if err := r.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(0xABCD + 0xCD + 0xABCD)
+	if res.Tohost != want {
+		t.Fatalf("tohost = %#x, want %#x", res.Tohost, want)
+	}
+}
+
+func TestSoCStallsOnCacheMiss(t *testing.T) {
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineFullCycle})
+	// Two loads to the same address: the first misses, the second hits.
+	prog := asmProgram(t, `
+    li s1, 0x80000000
+    lw t0, 0(s1)
+    lw t1, 0(s1)
+    li t4, 0x40000000
+    sw zero, 0(t4)
+`)
+	if err := r.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 instructions (li=2 each? li small = 1 addi; 5 instrs) plus one
+	// miss penalty (3+1) and the tohost stop cycle. Mostly: cycles must
+	// exceed instret (stalls happened) but not by much.
+	if res.Cycles <= uint64(res.Instret) {
+		t.Fatalf("expected stalls: cycles=%d instret=%d", res.Cycles, res.Instret)
+	}
+	if res.Cycles > uint64(res.Instret)+20 {
+		t.Fatalf("too many stall cycles: cycles=%d instret=%d", res.Cycles, res.Instret)
+	}
+}
+
+// TestSoCWorkloadsMatchEmulator is the golden-model integration test: all
+// three Table II workloads run to completion on the RTL and match the ISA
+// emulator's final state.
+func TestSoCWorkloadsMatchEmulator(t *testing.T) {
+	cfg := riscv.WorkloadConfig{MatmulN: 5, PchaseNodes: 64, PchaseHops: 300, DhrystoneIters: 6}
+	ws, err := riscv.Workloads(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineFullCycle})
+	for _, w := range ws {
+		if err := r.Load(w.Program); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(2_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := CheckAgainstEmulator(r, w, res); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		t.Logf("%s: %d cycles, %d instret, CPI*100=%d, signature %#x",
+			w.Name, res.Cycles, res.Instret,
+			res.Cycles*100/uint64(res.Instret), res.Tohost)
+	}
+}
+
+// TestSoCEnginesAgreeOnWorkload runs one workload on all four engines and
+// demands identical cycle counts, signatures, and final data memory.
+func TestSoCEnginesAgreeOnWorkload(t *testing.T) {
+	w, err := riscv.Workloads(riscv.WorkloadConfig{
+		MatmulN: 4, PchaseNodes: 32, PchaseHops: 100, DhrystoneIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhry := w[0]
+	type outcome struct {
+		res  Result
+		mem  map[int]uint64
+		name string
+	}
+	var outs []outcome
+	for _, opts := range []sim.Options{
+		{Engine: sim.EngineFullCycle},
+		{Engine: sim.EngineFullCycleOpt},
+		{Engine: sim.EngineEventDriven},
+		{Engine: sim.EngineCCSS, Cp: 8},
+	} {
+		r := buildSim(t, tinyConfig(), opts)
+		if err := r.Load(dhry.Program); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(500_000)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Engine, err)
+		}
+		mem := map[int]uint64{}
+		for i := 0; i < 256; i++ {
+			if v := r.DmemWord(i); v != 0 {
+				mem[i] = v
+			}
+		}
+		outs = append(outs, outcome{res, mem, opts.Engine.String()})
+	}
+	ref := outs[0]
+	for _, o := range outs[1:] {
+		if o.res != ref.res {
+			t.Errorf("%s result %+v differs from %s %+v", o.name, o.res, ref.name, ref.res)
+		}
+		for k, v := range ref.mem {
+			if o.mem[k] != v {
+				t.Errorf("%s dmem[%d] = %#x, want %#x", o.name, k, o.mem[k], v)
+			}
+		}
+	}
+}
+
+func TestSoCCCSSSkipsUncoreWork(t *testing.T) {
+	// While the core spins in a tight loop, the big uncore clusters are
+	// mostly idle: CCSS must do far less work than full-cycle.
+	prog := asmProgram(t, `
+    li t0, 300
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li t4, 0x40000000
+    sw zero, 0(t4)
+`)
+	// r16: the idle uncore dominates the node count, so skipping shows.
+	full := buildSim(t, R16(), sim.Options{Engine: sim.EngineFullCycle})
+	ccss := buildSim(t, R16(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	for _, r := range []*Runner{full, ccss} {
+		if err := r.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fOps := full.Sim.Stats().OpsEvaluated
+	cOps := ccss.Sim.Stats().OpsEvaluated
+	if cOps*2 > fOps {
+		t.Fatalf("CCSS did not skip uncore work: ccss=%d full=%d", cOps, fOps)
+	}
+	t.Logf("ops: full-cycle %d, ccss %d (%.1f%%)", fOps, cOps, 100*float64(cOps)/float64(fOps))
+}
+
+func TestConfigsTableIOrdering(t *testing.T) {
+	// Table I: design sizes must be strictly increasing r16 < r18 < boom.
+	var sizes []int
+	for _, cfg := range Configs() {
+		circ, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := netlist.Compile(circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		sizes = append(sizes, st.Signals)
+		t.Logf("%s: %d nodes, %d edges", cfg.Name, st.Signals, st.Edges)
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("size ordering violated: %v", sizes)
+	}
+}

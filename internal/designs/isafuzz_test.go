@@ -1,0 +1,112 @@
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// randomProgram builds a well-formed random RV32IM program: registers are
+// seeded, then a straight-line body of random ALU/memory operations with
+// occasional bounded forward branches runs, and the xor of all registers
+// is reported through tohost.
+func randomProgram(rng *rand.Rand, bodyLen int) string {
+	var b strings.Builder
+	// Seed registers x5..x15 with random values; x20 = dmem base.
+	for r := 5; r <= 15; r++ {
+		fmt.Fprintf(&b, "    li x%d, %d\n", r, int32(rng.Uint32()))
+	}
+	b.WriteString("    li x20, 0x80000000\n")
+	reg := func() int { return 5 + rng.Intn(11) }
+	aluOps := []string{"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
+		"or", "and", "mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu"}
+	immOps := []string{"addi", "slti", "sltiu", "xori", "ori", "andi"}
+	label := 0
+	for i := 0; i < bodyLen; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			fmt.Fprintf(&b, "    %s x%d, x%d, x%d\n",
+				aluOps[rng.Intn(len(aluOps))], reg(), reg(), reg())
+		case 4, 5:
+			fmt.Fprintf(&b, "    %s x%d, x%d, %d\n",
+				immOps[rng.Intn(len(immOps))], reg(), reg(), rng.Intn(4096)-2048)
+		case 6:
+			fmt.Fprintf(&b, "    %s x%d, x%d, %d\n",
+				[]string{"slli", "srli", "srai"}[rng.Intn(3)], reg(), reg(), rng.Intn(32))
+		case 7:
+			// Store then load through a masked address.
+			off := rng.Intn(64) * 4
+			fmt.Fprintf(&b, "    sw x%d, %d(x20)\n", reg(), off)
+			fmt.Fprintf(&b, "    %s x%d, %d(x20)\n",
+				[]string{"lw", "lb", "lbu", "lh", "lhu"}[rng.Intn(5)], reg(),
+				off+map[bool]int{true: rng.Intn(4), false: 0}[rng.Intn(2) == 0])
+		case 8:
+			// Byte/half store.
+			off := rng.Intn(256)
+			fmt.Fprintf(&b, "    %s x%d, %d(x20)\n",
+				[]string{"sb", "sh"}[rng.Intn(2)], reg(), off&^1)
+		case 9:
+			// Bounded forward branch over one instruction.
+			label++
+			cmp := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}[rng.Intn(6)]
+			fmt.Fprintf(&b, "    %s x%d, x%d, skip%d\n", cmp, reg(), reg(), label)
+			fmt.Fprintf(&b, "    addi x%d, x%d, %d\n", reg(), reg(), rng.Intn(256))
+			fmt.Fprintf(&b, "skip%d:\n", label)
+		}
+	}
+	// Signature: xor of x5..x15.
+	b.WriteString("    mv a0, x5\n")
+	for r := 6; r <= 15; r++ {
+		fmt.Fprintf(&b, "    xor a0, a0, x%d\n", r)
+	}
+	b.WriteString("    li t6, 0x40000000\n    sw a0, 0(t6)\nend:\n    j end\n")
+	return b.String()
+}
+
+// TestISAFuzzRTLvsEmulator is the differential ISA test: random programs
+// must produce identical architectural results on the RTL SoC and the
+// golden emulator.
+func TestISAFuzzRTLvsEmulator(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) * 7919))
+		src := randomProgram(rng, 120)
+		prog, err := riscv.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+		if err := r.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(200_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		w := riscv.Workload{Name: fmt.Sprintf("fuzz%d", seed), Program: prog}
+		if err := CheckAgainstEmulator(r, w, res); err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+		// Register-file cross-check.
+		e := riscv.NewEmu(prog, 4096)
+		if err := e.Run(uint64(res.Instret) * 2); err != nil {
+			t.Fatal(err)
+		}
+		for x := 1; x < 32; x++ {
+			got, ok := r.RegWord(x)
+			if !ok {
+				t.Fatal("no register file")
+			}
+			if uint32(got) != e.Regs[x] {
+				t.Fatalf("seed %d: x%d = %#x, emulator %#x", seed, x, got, e.Regs[x])
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package designs
+
+import (
+	"fmt"
+
+	"essent/internal/dsl"
+	"essent/internal/firrtl"
+)
+
+// Config parameterizes a SoC instance.
+type Config struct {
+	// Name becomes the circuit/top-module name (r16, r18, boom).
+	Name string
+	// ImemWords / DmemWords size the instruction and data memories.
+	ImemWords int
+	DmemWords int
+	// CacheLines is the direct-mapped data-cache size (1 word per line,
+	// power of two); MissPenalty the extra stall cycles per miss.
+	CacheLines  int
+	MissPenalty int
+	// Peripherals is the number of low-activity peripheral blocks.
+	Peripherals int
+	// Clusters / ClusterLanes / ClusterStages scale the wide datapath
+	// blocks that set the design's size point.
+	Clusters      int
+	ClusterLanes  int
+	ClusterStages int
+}
+
+// R16 approximates the paper's 2016 Rocket Chip configuration size point
+// (scaled ~10× down; ratios to r18/boom preserved).
+func R16() Config {
+	return Config{
+		Name: "r16", ImemWords: 4096, DmemWords: 16384,
+		CacheLines: 64, MissPenalty: 6,
+		Peripherals: 6, Clusters: 4, ClusterLanes: 12, ClusterStages: 6,
+	}
+}
+
+// R18 approximates the 2018 configuration (~2× r16).
+func R18() Config {
+	return Config{
+		Name: "r18", ImemWords: 4096, DmemWords: 16384,
+		CacheLines: 128, MissPenalty: 8,
+		Peripherals: 14, Clusters: 9, ClusterLanes: 14, ClusterStages: 7,
+	}
+}
+
+// Boom approximates the out-of-order BOOM size point (~4× r16, wider).
+func Boom() Config {
+	return Config{
+		Name: "boom", ImemWords: 4096, DmemWords: 16384,
+		CacheLines: 256, MissPenalty: 10,
+		Peripherals: 24, Clusters: 18, ClusterLanes: 16, ClusterStages: 8,
+	}
+}
+
+// Configs returns the three evaluation designs in Table I order.
+func Configs() []Config { return []Config{R16(), R18(), Boom()} }
+
+// Well-known flat names for testbench access (after hierarchy flattening).
+const (
+	ImemName    = "core$imem"
+	RegfileName = "core$regfile"
+	DmemName    = "dmem"
+	DoneSignal  = "done"
+	TohostSig   = "tohost"
+	InstretSig  = "instret"
+	PCSig       = "pc"
+)
+
+// Build generates the SoC circuit for a configuration.
+func Build(cfg Config) (*firrtl.Circuit, error) {
+	if cfg.CacheLines&(cfg.CacheLines-1) != 0 || cfg.CacheLines < 2 {
+		return nil, fmt.Errorf("designs: cache lines must be a power of two ≥ 2")
+	}
+	if cfg.DmemWords&(cfg.DmemWords-1) != 0 {
+		return nil, fmt.Errorf("designs: dmem words must be a power of two")
+	}
+	core := buildCore(cfg.ImemWords)
+	periph := buildPeripheral()
+	cluster := buildCluster(cfg.ClusterLanes, cfg.ClusterStages)
+	top := buildTop(cfg)
+	return &firrtl.Circuit{
+		Name:    cfg.Name,
+		Modules: []*firrtl.Module{top, core, periph, cluster},
+	}, nil
+}
+
+func log2(v int) int {
+	n := 0
+	for 1<<uint(n) < v {
+		n++
+	}
+	return n
+}
+
+// buildTop wires the core, the data memory system (direct-mapped blocking
+// cache timing model over a write-through RAM), and the uncore.
+func buildTop(cfg Config) *firrtl.Module {
+	m := dsl.NewModule(cfg.Name)
+	reset := m.Input("reset", 1)
+	doneOut := m.Output(DoneSignal, 1)
+	tohostOut := m.Output(TohostSig, 32)
+	instretOut := m.Output(InstretSig, 32)
+	pcOut := m.Output(PCSig, 32)
+	uncoreSig := m.Output("uncore_sig", 32)
+
+	core := m.Instantiate("core", "Core")
+	core.Drive("reset", reset)
+
+	memAddr := core.Port("mem_addr", 32)
+	memRen := core.Port("mem_ren", 1)
+	memWen := core.Port("mem_wen", 1)
+	memWdata := core.Port("mem_wdata", 32)
+
+	// --- Data memory + cache timing model ---
+	dmem := m.Mem(DmemName, 32, cfg.DmemWords)
+	lineBits := log2(cfg.CacheLines)
+	idxBits := log2(cfg.DmemWords)
+	wordAddr := m.Named("wordAddr", memAddr.Bits(31, 2))
+	dmemIdx := m.Named("dmemIdx", wordAddr.Bits(idxBits-1, 0))
+	inDmem := m.Named("inDmem", memAddr.Bit(31))
+	req := m.Named("memReq", memRen.And(inDmem))
+
+	line := m.Named("cacheLine", wordAddr.Bits(lineBits-1, 0))
+	tagW := 30 - lineBits
+	reqTag := m.Named("reqTag", wordAddr.Bits(29, lineBits))
+
+	tags := m.Mem("dtags", tagW+1, cfg.CacheLines)
+	cdata := m.Mem("dcache", 32, cfg.CacheLines)
+	tagEntry := tags.Read("r", line)
+	entryValid := tagEntry.Bit(tagW)
+	entryTag := tagEntry.Bits(tagW-1, 0)
+	hit := m.Named("cacheHit", entryValid.And(entryTag.Eq(reqTag)))
+
+	cntW := log2(cfg.MissPenalty + 1)
+	if cntW < 1 {
+		cntW = 1
+	}
+	missing := m.RegInit("missing", 1, 0)
+	cnt := m.RegInit("missCnt", cntW, 0)
+	startMiss := m.Named("startMiss", req.And(hit.Not()).And(missing.Not()))
+	complete := m.Named("missComplete", missing.And(cnt.OrR().Not()))
+	m.When(startMiss, func() {
+		m.Connect(missing, m.Lit(1, 1))
+		m.Connect(cnt, m.Lit(uint64(cfg.MissPenalty), cntW))
+	})
+	m.When(missing, func() {
+		m.When(cnt.OrR(), func() {
+			m.Connect(cnt, cnt.SubW(m.Lit(1, cntW), cntW))
+		})
+		m.When(complete, func() {
+			m.Connect(missing, m.Lit(0, 1))
+		})
+	})
+	stall := m.Named("stall", startMiss.Or(missing.And(cnt.OrR())))
+	core.Drive("stall", stall)
+
+	dmemWord := dmem.Read("r", dmemIdx)
+	core.Drive("mem_rdata", dmemWord)
+	// Write-through RAM: correctness lives in dmem, the cache only
+	// shapes timing. Cache data updates on refill and on store hits.
+	dmem.Write("w", dmemIdx, memWdata, memWen.And(inDmem))
+	refill := m.Named("refill", complete.And(req))
+	cacheWrData := m.Named("cacheWrData", memWen.Mux(memWdata, dmemWord))
+	cdata.Write("w", line, cacheWrData, refill.Or(memWen.And(inDmem).And(hit)))
+	tags.Write("w", line, m.Lit(1, 1).Cat(reqTag), refill)
+	// The cache data array participates in activity but not correctness;
+	// fold a bit of it into the uncore signature so it stays live.
+	cacheRead := cdata.Read("r", line)
+
+	// --- Uncore ---
+	sig := m.Lit(0, 32)
+	cycles := m.RegInit("cycleCnt", 32, 0)
+	m.Connect(cycles, cycles.AddW(m.Lit(1, 32), 32))
+	pcPort := core.Port("pc_out", 32)
+
+	for i := 0; i < cfg.Peripherals; i++ {
+		p := m.Instantiate(fmt.Sprintf("periph%d", i), "Periph")
+		p.Drive("reset", reset)
+		p.Drive("rate", m.Lit(uint64(3+i*5), 8))
+		p.Drive("stimulus", pcPort.Bits(9, 2))
+		sig = sig.Xor(p.Port("status", 16)).Bits(31, 0)
+	}
+	for i := 0; i < cfg.Clusters; i++ {
+		c := m.Instantiate(fmt.Sprintf("cluster%d", i), "Cluster")
+		c.Drive("reset", reset)
+		var en dsl.Signal
+		if i%3 == 0 {
+			// Store-correlated activity.
+			en = memWen
+		} else {
+			// Rare periodic pulse: one cycle out of 512.
+			en = cycles.Bits(8, 0).Eq(m.Lit(uint64((i*37)&511), 9))
+		}
+		c.Drive("en", en)
+		c.Drive("seed", memWdata.Xor(m.Lit(uint64(i)*0x9E3779B9, 32)))
+		sig = sig.Xor(c.Port("sig", 32)).Bits(31, 0)
+	}
+	m.Connect(uncoreSig, sig.Xor(cacheRead).Bits(31, 0))
+
+	m.Connect(doneOut, core.Port("done", 1))
+	m.Connect(tohostOut, core.Port("tohost", 32))
+	m.Connect(instretOut, core.Port("instret", 32))
+	m.Connect(pcOut, pcPort)
+	return m.Build()
+}
+
+// buildPeripheral emits a UART/timer-flavored block: a free-running
+// prescaler, a mostly-idle transmit FSM, and a status accumulator. Only
+// the prescaler's low bits toggle in a typical cycle.
+func buildPeripheral() *firrtl.Module {
+	m := dsl.NewModule("Periph")
+	m.Input("reset", 1)
+	rate := m.Input("rate", 8)
+	stim := m.Input("stimulus", 8)
+	status := m.Output("status", 16)
+
+	prescaler := m.RegInit("prescaler", 12, 0)
+	busy := m.RegInit("busy", 1, 0)
+	bitcnt := m.RegInit("bitcnt", 4, 0)
+	shreg := m.RegInit("shreg", 16, 0)
+	acc := m.RegInit("acc", 16, 0)
+
+	limit := m.Named("limit", rate.Cat(m.Lit(0, 4))) // rate × 16
+	tick := m.Named("tick", prescaler.Geq(limit))
+	m.Connect(prescaler, tick.Mux(m.Lit(0, 12), prescaler.AddW(m.Lit(1, 12), 12)))
+
+	m.When(tick.And(busy.Not()), func() {
+		m.Connect(busy, m.Lit(1, 1))
+		m.Connect(bitcnt, m.Lit(15, 4))
+		m.Connect(shreg, stim.Cat(stim.Not()))
+	})
+	m.When(busy, func() {
+		m.Connect(shreg, shreg.Shl(1).Bits(15, 0).Or(shreg.Bit(15)))
+		m.Connect(bitcnt, bitcnt.SubW(m.Lit(1, 4), 4))
+		m.When(bitcnt.OrR().Not(), func() {
+			m.Connect(busy, m.Lit(0, 1))
+			m.Connect(acc, acc.Xor(shreg).Bits(15, 0))
+		})
+	})
+	m.Connect(status, acc)
+	return m.Build()
+}
+
+// buildCluster emits a wide, deep datapath block that computes only when
+// enabled: lanes × stages of multiply/add/xor pipeline registers. The
+// size of the evaluation designs comes mostly from these.
+func buildCluster(lanes, stages int) *firrtl.Module {
+	m := dsl.NewModule("Cluster")
+	m.Input("reset", 1)
+	en := m.Input("en", 1)
+	seed := m.Input("seed", 32)
+	sigOut := m.Output("sig", 32)
+
+	// Valid bit pipeline: stage s computes only when its valid bit set.
+	valids := make([]dsl.Signal, stages)
+	for s := 0; s < stages; s++ {
+		valids[s] = m.RegInit(fmt.Sprintf("v%d", s), 1, 0)
+	}
+	m.Connect(valids[0], en)
+	for s := 1; s < stages; s++ {
+		m.Connect(valids[s], valids[s-1])
+	}
+
+	sig := m.Lit(0, 32)
+	for l := 0; l < lanes; l++ {
+		prev := seed.Xor(m.Lit(uint64(l)*0x85EBCA6B+1, 32))
+		for s := 0; s < stages; s++ {
+			r := m.Reg(fmt.Sprintf("lane%d_s%d", l, s), 32)
+			gate := en
+			if s > 0 {
+				gate = valids[s-1]
+			}
+			mixed := prev.Mul(m.Lit(uint64(2*s+3), 6)).Bits(31, 0).
+				Add(prev.Shr(s%7+1)).Bits(31, 0).
+				Xor(m.Lit(uint64(s*lanes+l)*0xC2B2AE35+7, 32))
+			m.When(gate, func() {
+				m.Connect(r, mixed)
+			})
+			prev = r
+		}
+		sig = sig.Xor(prev).Bits(31, 0)
+	}
+	m.Connect(sigOut, sig)
+	return m.Build()
+}

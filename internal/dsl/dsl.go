@@ -1,0 +1,308 @@
+// Package dsl is a small Chisel-like hardware construction API that emits
+// FIRRTL ASTs. Every operator application becomes a named FIRRTL node, so
+// emitted designs have the same fine op-level granularity as
+// Chisel-lowered FIRRTL — the granularity ESSENT's partitioner works at.
+//
+// Signals carry width and signedness; operators implement the dialect's
+// width rules and insert pad/tail fixups where a target width is
+// requested. Registers use last-connect semantics with When scopes,
+// mirroring Chisel's `when` blocks (the frontend's ExpandWhens pass
+// lowers them to mux trees).
+package dsl
+
+import (
+	"fmt"
+	"math/big"
+
+	"essent/internal/firrtl"
+)
+
+// Module builds one FIRRTL module.
+type Module struct {
+	name  string
+	ports []firrtl.Port
+	body  []firrtl.Stmt
+	// whenStack tracks nested When scopes; statements append to the top.
+	whenStack []*firrtl.When
+	nodeN     int
+	hasClock  bool
+}
+
+// NewModule starts a module with an implicit clock port.
+func NewModule(name string) *Module {
+	m := &Module{name: name, hasClock: true}
+	m.ports = append(m.ports, firrtl.Port{
+		Name: "clock", Dir: firrtl.Input,
+		Type: firrtl.Type{Kind: firrtl.ClockType, Width: 1},
+	})
+	return m
+}
+
+// Signal is a value-carrying wire in the design under construction.
+type Signal struct {
+	m      *Module
+	expr   firrtl.Expr
+	width  int
+	signed bool
+}
+
+// Width returns the signal's width in bits.
+func (s Signal) Width() int { return s.width }
+
+// Signed reports SInt-ness.
+func (s Signal) Signed() bool { return s.signed }
+
+func (m *Module) typ(width int, signed bool) firrtl.Type {
+	k := firrtl.UIntType
+	if signed {
+		k = firrtl.SIntType
+	}
+	return firrtl.Type{Kind: k, Width: width}
+}
+
+// Input declares an input port.
+func (m *Module) Input(name string, width int) Signal {
+	m.ports = append(m.ports, firrtl.Port{
+		Name: name, Dir: firrtl.Input, Type: m.typ(width, false),
+	})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width}
+}
+
+// Output declares an output port; drive it with Connect.
+func (m *Module) Output(name string, width int) Signal {
+	m.ports = append(m.ports, firrtl.Port{
+		Name: name, Dir: firrtl.Output, Type: m.typ(width, false),
+	})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width}
+}
+
+// push appends a statement to the current scope.
+func (m *Module) push(s firrtl.Stmt) {
+	if n := len(m.whenStack); n > 0 {
+		w := m.whenStack[n-1]
+		w.Then = append(w.Then, s)
+		return
+	}
+	m.body = append(m.body, s)
+}
+
+// pushDecl appends a declaration at module level (declarations are
+// hoisted out of when scopes).
+func (m *Module) pushDecl(s firrtl.Stmt) {
+	m.body = append(m.body, s)
+}
+
+// node names an expression, returning the named signal.
+func (m *Module) node(e firrtl.Expr, width int, signed bool) Signal {
+	m.nodeN++
+	name := fmt.Sprintf("_T_%d", m.nodeN)
+	m.pushDecl(&firrtl.DefNode{Name: name, Value: e})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width, signed: signed}
+}
+
+// Named gives a signal a stable, readable name (useful for debugging and
+// for peeking in testbenches).
+func (m *Module) Named(name string, s Signal) Signal {
+	m.pushDecl(&firrtl.DefNode{Name: name, Value: s.expr})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: s.width, signed: s.signed}
+}
+
+// Lit builds an unsigned literal of the given width (the value is
+// truncated to fit).
+func (m *Module) Lit(v uint64, width int) Signal {
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	return Signal{m: m, expr: &firrtl.Lit{
+		Type:  firrtl.Type{Kind: firrtl.UIntType, Width: width},
+		Value: new(big.Int).SetUint64(v),
+	}, width: width}
+}
+
+// LitS builds a signed literal.
+func (m *Module) LitS(v int64, width int) Signal {
+	return Signal{m: m, expr: &firrtl.Lit{
+		Type:  firrtl.Type{Kind: firrtl.SIntType, Width: width},
+		Value: big.NewInt(v),
+	}, width: width, signed: true}
+}
+
+// Wire declares a wire; drive it with Connect.
+func (m *Module) Wire(name string, width int) Signal {
+	m.pushDecl(&firrtl.DefWire{Name: name, Type: m.typ(width, false)})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width}
+}
+
+// Reg declares a register without reset.
+func (m *Module) Reg(name string, width int) Signal {
+	m.pushDecl(&firrtl.DefReg{
+		Name: name, Type: m.typ(width, false), Clock: &firrtl.Ref{Name: "clock"},
+	})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width}
+}
+
+// RegInit declares a register reset to init by the `reset` signal (which
+// must be an input named "reset").
+func (m *Module) RegInit(name string, width int, init uint64) Signal {
+	m.pushDecl(&firrtl.DefReg{
+		Name: name, Type: m.typ(width, false), Clock: &firrtl.Ref{Name: "clock"},
+		Reset: &firrtl.Ref{Name: "reset"},
+		Init: &firrtl.Lit{Type: firrtl.Type{Kind: firrtl.UIntType, Width: width},
+			Value: new(big.Int).SetUint64(init)},
+	})
+	return Signal{m: m, expr: &firrtl.Ref{Name: name}, width: width}
+}
+
+// Connect drives dst (wire, register, output, or memory port field) with
+// src, padding or truncating to dst's width.
+func (m *Module) Connect(dst, src Signal) {
+	v := src.fitU(dst.width)
+	m.push(&firrtl.Connect{Loc: dst.expr, Value: v.expr})
+}
+
+// When opens a conditional scope: statements issued inside fn apply only
+// when cond is set (last-connect semantics).
+func (m *Module) When(cond Signal, fn func()) {
+	w := &firrtl.When{Cond: cond.Bool().expr}
+	m.whenStack = append(m.whenStack, w)
+	fn()
+	m.whenStack = m.whenStack[:len(m.whenStack)-1]
+	m.push(w)
+}
+
+// WhenElse opens a conditional scope with an else branch.
+func (m *Module) WhenElse(cond Signal, thenFn, elseFn func()) {
+	w := &firrtl.When{Cond: cond.Bool().expr}
+	m.whenStack = append(m.whenStack, w)
+	thenFn()
+	m.whenStack = m.whenStack[:len(m.whenStack)-1]
+	// Build the else arm with a temporary When whose Then collects.
+	tmp := &firrtl.When{Cond: cond.Bool().expr}
+	m.whenStack = append(m.whenStack, tmp)
+	elseFn()
+	m.whenStack = m.whenStack[:len(m.whenStack)-1]
+	w.Else = tmp.Then
+	m.push(w)
+}
+
+// Printf emits a formatted print when en is set.
+func (m *Module) Printf(en Signal, format string, args ...Signal) {
+	p := &firrtl.Printf{
+		Clock: &firrtl.Ref{Name: "clock"}, En: en.Bool().expr, Format: format,
+	}
+	for _, a := range args {
+		p.Args = append(p.Args, a.expr)
+	}
+	m.push(p)
+}
+
+// Stop halts simulation with the code when en is set.
+func (m *Module) Stop(en Signal, code int) {
+	m.push(&firrtl.Stop{
+		Clock: &firrtl.Ref{Name: "clock"}, En: en.Bool().expr, Code: code,
+	})
+}
+
+// Assert fails simulation when en is set and pred is false.
+func (m *Module) Assert(pred, en Signal, msg string) {
+	m.push(&firrtl.Assert{
+		Clock: &firrtl.Ref{Name: "clock"},
+		Pred:  pred.Bool().expr, En: en.Bool().expr, Msg: msg,
+	})
+}
+
+// Mem declares a memory and returns a handle for attaching ports.
+func (m *Module) Mem(name string, width, depth int) *MemHandle {
+	h := &MemHandle{m: m, name: name, width: width, depth: depth}
+	h.def = &firrtl.DefMemory{
+		Name: name, DataType: m.typ(width, false), Depth: depth,
+		ReadLatency: 0, WriteLatency: 1,
+	}
+	m.pushDecl(h.def)
+	return h
+}
+
+// MemHandle attaches read/write ports to a declared memory.
+type MemHandle struct {
+	m            *Module
+	name         string
+	width, depth int
+	def          *firrtl.DefMemory
+}
+
+func (h *MemHandle) field(port, f string) firrtl.Expr {
+	return &firrtl.SubField{
+		Of:    &firrtl.SubField{Of: &firrtl.Ref{Name: h.name}, Field: port},
+		Field: f,
+	}
+}
+
+func (h *MemHandle) addrW() int {
+	w := 1
+	for 1<<uint(w) < h.depth {
+		w++
+	}
+	return w
+}
+
+// Read attaches a combinational read port driven by addr, returning the
+// read data.
+func (h *MemHandle) Read(port string, addr Signal) Signal {
+	h.def.Readers = append(h.def.Readers, port)
+	m := h.m
+	m.push(&firrtl.Connect{Loc: h.field(port, "addr"), Value: addr.fitU(h.addrW()).expr})
+	m.push(&firrtl.Connect{Loc: h.field(port, "en"), Value: m.Lit(1, 1).expr})
+	m.push(&firrtl.Connect{Loc: h.field(port, "clk"), Value: &firrtl.Ref{Name: "clock"}})
+	return Signal{m: m, expr: h.field(port, "data"), width: h.width}
+}
+
+// Write attaches a write port: when en, mem[addr] = data at the clock
+// edge.
+func (h *MemHandle) Write(port string, addr, data, en Signal) {
+	h.def.Writers = append(h.def.Writers, port)
+	m := h.m
+	m.push(&firrtl.Connect{Loc: h.field(port, "addr"), Value: addr.fitU(h.addrW()).expr})
+	m.push(&firrtl.Connect{Loc: h.field(port, "en"), Value: en.Bool().expr})
+	m.push(&firrtl.Connect{Loc: h.field(port, "clk"), Value: &firrtl.Ref{Name: "clock"}})
+	m.push(&firrtl.Connect{Loc: h.field(port, "data"), Value: data.fitU(h.width).expr})
+	m.push(&firrtl.Connect{Loc: h.field(port, "mask"), Value: m.Lit(1, 1).expr})
+}
+
+// Instance instantiates a child module and connects ports by name.
+type Instance struct {
+	m    *Module
+	name string
+}
+
+// Instantiate adds a child module instance. Connect its ports with Port /
+// Drive.
+func (m *Module) Instantiate(name, moduleName string) *Instance {
+	m.pushDecl(&firrtl.DefInstance{Name: name, Module: moduleName})
+	m.push(&firrtl.Connect{
+		Loc:   &firrtl.SubField{Of: &firrtl.Ref{Name: name}, Field: "clock"},
+		Value: &firrtl.Ref{Name: "clock"},
+	})
+	return &Instance{m: m, name: name}
+}
+
+// Drive connects a child input port.
+func (i *Instance) Drive(port string, v Signal) {
+	i.m.push(&firrtl.Connect{
+		Loc:   &firrtl.SubField{Of: &firrtl.Ref{Name: i.name}, Field: port},
+		Value: v.expr,
+	})
+}
+
+// Port reads a child output port.
+func (i *Instance) Port(port string, width int) Signal {
+	return Signal{
+		m:     i.m,
+		expr:  &firrtl.SubField{Of: &firrtl.Ref{Name: i.name}, Field: port},
+		width: width,
+	}
+}
+
+// Build finalizes the module.
+func (m *Module) Build() *firrtl.Module {
+	return &firrtl.Module{Name: m.name, Ports: m.ports, Body: m.body}
+}

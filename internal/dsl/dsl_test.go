@@ -1,0 +1,287 @@
+package dsl
+
+import (
+	"testing"
+
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+// build compiles a DSL module into a simulator (via the full pipeline).
+func build(t *testing.T, m *Module) sim.Simulator {
+	t.Helper()
+	circ := &firrtl.Circuit{Name: m.name, Modules: []*firrtl.Module{m.Build()}}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, firrtl.Print(circ))
+	}
+	s, err := sim.New(d, sim.Options{Engine: sim.EngineFullCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func poke(t *testing.T, s sim.Simulator, name string, v uint64) {
+	t.Helper()
+	id, ok := s.Design().SignalByName(name)
+	if !ok {
+		t.Fatalf("no signal %s", name)
+	}
+	s.Poke(id, v)
+}
+
+func peek(t *testing.T, s sim.Simulator, name string) uint64 {
+	t.Helper()
+	id, ok := s.Design().SignalByName(name)
+	if !ok {
+		t.Fatalf("no signal %s", name)
+	}
+	return s.Peek(id)
+}
+
+func TestArithmeticOps(t *testing.T) {
+	m := NewModule("T")
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	m.Connect(m.Output("sum", 9), a.Add(b))
+	m.Connect(m.Output("diff", 8), a.SubW(b, 8))
+	m.Connect(m.Output("prod", 16), a.Mul(b))
+	m.Connect(m.Output("quo", 8), a.Div(b))
+	m.Connect(m.Output("rem", 8), a.Rem(b))
+	m.Connect(m.Output("lt", 1), a.Lt(b))
+	m.Connect(m.Output("muxv", 8), a.Lt(b).Mux(a, b))
+	s := build(t, m)
+	poke(t, s, "a", 100)
+	poke(t, s, "b", 7)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{
+		"sum": 107, "diff": 93, "prod": 700, "quo": 14, "rem": 2,
+		"lt": 0, "muxv": 7,
+	}
+	for name, w := range want {
+		if got := peek(t, s, name); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	m := NewModule("T")
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	m.Connect(m.Output("lts", 1), a.LtS(b))
+	m.Connect(m.Output("geqs", 1), a.GeqS(b))
+	m.Connect(m.Output("sra", 8), a.DshrS(m.Lit(2, 3)))
+	m.Connect(m.Output("sx", 16), a.Sext(16))
+	m.Connect(m.Output("dvs", 8), a.DivS(b))
+	s := build(t, m)
+	poke(t, s, "a", 0xF0) // -16
+	poke(t, s, "b", 3)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if peek(t, s, "lts") != 1 || peek(t, s, "geqs") != 0 {
+		t.Error("signed comparison wrong")
+	}
+	if got := peek(t, s, "sra"); got != 0xFC { // -16>>2 = -4
+		t.Errorf("sra = %#x, want 0xFC", got)
+	}
+	if got := peek(t, s, "sx"); got != 0xFFF0 {
+		t.Errorf("sext = %#x", got)
+	}
+	if got := peek(t, s, "dvs"); got != 0xFB { // -16/3 = -5
+		t.Errorf("divs = %#x, want 0xFB", got)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	m := NewModule("T")
+	a := m.Input("a", 8)
+	m.Connect(m.Output("hi", 4), a.Bits(7, 4))
+	m.Connect(m.Output("b3", 1), a.Bit(3))
+	m.Connect(m.Output("cat", 16), a.Cat(a.Not()))
+	m.Connect(m.Output("shl", 10), a.Shl(2))
+	m.Connect(m.Output("shr", 6), a.Shr(2))
+	m.Connect(m.Output("dsl", 12), a.Dshl(m.Lit(4, 3), 12))
+	m.Connect(m.Output("orr", 1), a.OrR())
+	m.Connect(m.Output("andr", 1), a.AndR())
+	m.Connect(m.Output("xorr", 1), a.XorR())
+	s := build(t, m)
+	poke(t, s, "a", 0b1011_0010)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]uint64{
+		"hi": 0b1011, "b3": 0, "cat": 0b1011_0010_0100_1101,
+		"shl": 0b10_1100_1000, "shr": 0b10_1100,
+		"dsl": 0b1011_0010_0000, "orr": 1, "andr": 0, "xorr": 0,
+	}
+	for name, w := range checks {
+		if got := peek(t, s, name); got != w {
+			t.Errorf("%s = %#b, want %#b", name, got, w)
+		}
+	}
+}
+
+func TestRegisterAndWhen(t *testing.T) {
+	m := NewModule("T")
+	m.Input("reset", 1)
+	en := m.Input("en", 1)
+	r := m.RegInit("cnt", 8, 5)
+	m.When(en, func() {
+		m.Connect(r, r.AddW(m.Lit(1, 8), 8))
+	})
+	m.Connect(m.Output("o", 8), r)
+	s := build(t, m)
+	poke(t, s, "en", 0)
+	if err := s.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "cnt"); got != 5 {
+		t.Fatalf("hold broken: %d", got)
+	}
+	poke(t, s, "en", 1)
+	if err := s.Step(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "cnt"); got != 9 {
+		t.Fatalf("count: %d, want 9", got)
+	}
+	poke(t, s, "reset", 1)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "cnt"); got != 5 {
+		t.Fatalf("reset: %d, want 5", got)
+	}
+}
+
+func TestWhenElse(t *testing.T) {
+	m := NewModule("T")
+	sel := m.Input("sel", 1)
+	a := m.Input("a", 4)
+	b := m.Input("b", 4)
+	w := m.Wire("w", 4)
+	m.WhenElse(sel,
+		func() { m.Connect(w, a) },
+		func() { m.Connect(w, b) })
+	m.Connect(m.Output("o", 4), w)
+	s := build(t, m)
+	poke(t, s, "a", 3)
+	poke(t, s, "b", 12)
+	poke(t, s, "sel", 1)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "o"); got != 3 {
+		t.Fatalf("then arm: %d", got)
+	}
+	poke(t, s, "sel", 0)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "o"); got != 12 {
+		t.Fatalf("else arm: %d", got)
+	}
+}
+
+func TestMemReadWrite(t *testing.T) {
+	m := NewModule("T")
+	waddr := m.Input("waddr", 3)
+	wdata := m.Input("wdata", 8)
+	wen := m.Input("wen", 1)
+	raddr := m.Input("raddr", 3)
+	mem := m.Mem("scratch", 8, 8)
+	mem.Write("w", waddr, wdata, wen)
+	m.Connect(m.Output("rdata", 8), mem.Read("r", raddr))
+	s := build(t, m)
+	poke(t, s, "waddr", 5)
+	poke(t, s, "wdata", 0xAB)
+	poke(t, s, "wen", 1)
+	poke(t, s, "raddr", 5)
+	if err := s.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "rdata"); got != 0xAB {
+		t.Fatalf("mem read: %#x", got)
+	}
+}
+
+func TestInstanceHierarchy(t *testing.T) {
+	leaf := NewModule("Leaf")
+	x := leaf.Input("x", 4)
+	leaf.Connect(leaf.Output("y", 4), x.Not())
+
+	top := NewModule("Top")
+	a := top.Input("a", 4)
+	inst := top.Instantiate("l", "Leaf")
+	inst.Drive("x", a)
+	top.Connect(top.Output("o", 4), inst.Port("y", 4))
+
+	circ := &firrtl.Circuit{Name: "Top",
+		Modules: []*firrtl.Module{top.Build(), leaf.Build()}}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, sim.Options{Engine: sim.EngineFullCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := d.SignalByName("a")
+	s.Poke(id, 0b0101)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := d.SignalByName("o")
+	if got := s.Peek(o); got != 0b1010 {
+		t.Fatalf("o = %#b", got)
+	}
+}
+
+func TestPrintfStopAssert(t *testing.T) {
+	m := NewModule("T")
+	m.Input("reset", 1)
+	r := m.RegInit("r", 4, 0)
+	m.Connect(r, r.AddW(m.Lit(1, 4), 4))
+	m.Printf(m.Lit(1, 1), "r=%d\n", r)
+	m.Assert(r.Lt(m.Lit(15, 4)), m.Lit(1, 1), "overflow")
+	m.Stop(r.Eq(m.Lit(9, 4)), 0)
+	m.Connect(m.Output("o", 4), r)
+	s := build(t, m)
+	err := s.Step(100)
+	if err == nil {
+		t.Fatal("expected stop")
+	}
+	if s.Stats().Cycles != 10 {
+		t.Fatalf("stopped at %d", s.Stats().Cycles)
+	}
+}
+
+func TestNamedSignals(t *testing.T) {
+	m := NewModule("T")
+	a := m.Input("a", 4)
+	named := m.Named("doubled", a.Shl(1))
+	m.Connect(m.Output("o", 5), named)
+	s := build(t, m)
+	if _, ok := s.Design().SignalByName("doubled"); !ok {
+		t.Fatal("named signal missing from design")
+	}
+}
+
+func TestLitMasking(t *testing.T) {
+	m := NewModule("T")
+	// An over-wide literal value must be truncated, not rejected later.
+	m.Connect(m.Output("o", 8), m.Lit(0x1FF, 8))
+	s := build(t, m)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := peek(t, s, "o"); got != 0xFF {
+		t.Fatalf("lit masking: %#x", got)
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/sim"
+)
+
+// AblationRow measures one optimization variant (§III-B contributions).
+type AblationRow struct {
+	Variant     string
+	Seconds     float64
+	OpsPerCycle float64
+	Elided      int
+	// Slowdown is relative to the full configuration.
+	Slowdown float64
+}
+
+// Ablation disables the §III-B optimizations one at a time on the first
+// design × workload pair: in-partition register updates (elision) and
+// conditional multiplexor-way evaluation.
+func (ds *DesignSet) Ablation(scale Scale) ([]AblationRow, error) {
+	cd := ds.Designs[0]
+	w := ds.Workloads[0]
+	variants := []struct {
+		name string
+		opts sim.CCSSOptions
+	}{
+		{"full ESSENT", sim.CCSSOptions{Cp: 8}},
+		{"no reg elision", sim.CCSSOptions{Cp: 8, NoElide: true}},
+		{"no mux shadowing", sim.CCSSOptions{Cp: 8, NoMuxShadow: true}},
+		{"neither", sim.CCSSOptions{Cp: 8, NoElide: true, NoMuxShadow: true}},
+		{"pull triggering", sim.CCSSOptions{Cp: 8, PullTriggering: true}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		s, err := sim.NewCCSS(cd.optim, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := designs.NewRunner(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Load(w.Program); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := r.Run(scale.MaxCycles)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		st := s.Stats()
+		rows = append(rows, AblationRow{
+			Variant:     v.name,
+			Seconds:     elapsed.Seconds(),
+			OpsPerCycle: float64(st.OpsEvaluated) / float64(res.Cycles),
+			Elided:      s.NumElided,
+		})
+	}
+	base := rows[0].Seconds
+	for i := range rows {
+		rows[i].Slowdown = rows[i].Seconds / base
+	}
+	return rows, nil
+}
+
+// RenderAblation formats the ablation table.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: §III-B optimization contributions (r16 × dhrystone)\n")
+	b.WriteString("  variant            seconds  ops/cycle  elided-regs  slowdown\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %9.3f %10.1f %12d %8.2fx\n",
+			pad(r.Variant, 18), r.Seconds, r.OpsPerCycle, r.Elided, r.Slowdown)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters produce plot-ready data for every experiment. benchall
+// writes them next to its text output with -csv.
+
+// WriteTableICSV emits design,firrtl_lines,nodes,edges.
+func WriteTableICSV(w io.Writer, rows []TableIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "firrtl_lines", "nodes", "edges"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, strconv.Itoa(r.FirrtlLines),
+			strconv.Itoa(r.Nodes), strconv.Itoa(r.Edges),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIICSV emits benchmark,cycles_k,instret,description.
+func WriteTableIICSV(w io.Writer, rows []TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "cycles_k", "instret", "description"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name, fmt.Sprintf("%.1f", r.CyclesK),
+			strconv.FormatUint(uint64(r.Instret), 10), r.Description,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIIICSV emits one row per design×workload with engine columns.
+func WriteTableIIICSV(w io.Writer, rows []TableIIIRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"design", "workload", "cycles"}
+	for _, e := range Engines() {
+		header = append(header, e.Name+"_sec")
+	}
+	header = append(header, "speedup_vs_baseline")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Design, r.Workload, strconv.FormatUint(r.Cycles, 10)}
+		for _, s := range r.Seconds {
+			rec = append(rec, fmt.Sprintf("%.4f", s))
+		}
+		rec = append(rec, fmt.Sprintf("%.3f", r.Speedup))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV emits one row per histogram bucket per series.
+func WriteFig5CSV(w io.Writer, series []Fig5Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"design", "workload", "mean_activity", "bucket_lo", "bucket_hi", "cycles",
+	}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, c := range s.Hist.Counts {
+			lo := float64(i) * s.Hist.BucketWidth
+			if err := cw.Write([]string{
+				s.Design, s.Workload, fmt.Sprintf("%.5f", s.Mean),
+				fmt.Sprintf("%.4f", lo),
+				fmt.Sprintf("%.4f", lo+s.Hist.BucketWidth),
+				strconv.Itoa(c),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits design,workload,cp,seconds,normalized.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "workload", "cp", "seconds", "normalized"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, r.Workload, strconv.Itoa(r.Cp),
+			fmt.Sprintf("%.4f", r.Seconds), fmt.Sprintf("%.4f", r.Normalized),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV emits cp,partitions,base_ops,static,dynamic,eff_activity.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"cp", "partitions", "base_ops_per_cycle", "static_per_cycle",
+		"dynamic_per_cycle", "effective_activity",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Cp), strconv.Itoa(r.Partitions),
+			fmt.Sprintf("%.2f", r.BaseOpsPerCycle),
+			fmt.Sprintf("%.2f", r.StaticPerCycle),
+			fmt.Sprintf("%.2f", r.DynamicPerCycle),
+			fmt.Sprintf("%.5f", r.EffActivity),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,160 @@
+// Package exp regenerates the paper's evaluation artifacts: Tables I–IV
+// and Figures 5–7 (§V). Each experiment returns structured rows plus a
+// text rendering; cmd/benchall drives them all and EXPERIMENTS.md records
+// the measured results next to the paper's.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// Scale sets workload sizes and cycle caps. The paper runs hundreds of
+// thousands to millions of cycles on a 3.6 GHz host; interpreted engines
+// here default to smaller runs with the same relative structure.
+type Scale struct {
+	Workloads riscv.WorkloadConfig
+	MaxCycles int
+	// Fig5Cycles bounds activity sampling (it peeks every signal every
+	// cycle, which is expensive).
+	Fig5Cycles int
+}
+
+// QuickScale suits tests and -quick runs.
+func QuickScale() Scale {
+	return Scale{
+		Workloads: riscv.WorkloadConfig{
+			MatmulN: 6, PchaseNodes: 128, PchaseHops: 600, DhrystoneIters: 10},
+		MaxCycles:  400_000,
+		Fig5Cycles: 1_500,
+	}
+}
+
+// FullScale is the benchall default.
+func FullScale() Scale {
+	return Scale{
+		Workloads: riscv.WorkloadConfig{
+			MatmulN: 12, PchaseNodes: 512, PchaseHops: 6000, DhrystoneIters: 60},
+		MaxCycles:  4_000_000,
+		Fig5Cycles: 4_000,
+	}
+}
+
+// EngineSpec is one evaluated simulator (Table III columns).
+type EngineSpec struct {
+	// Name as reported in Table III.
+	Name string
+	// Options selects the engine.
+	Options sim.Options
+	// Optimized applies the netlist optimization passes first.
+	Optimized bool
+}
+
+// Engines returns the paper's four simulators, in Table III column order:
+// CommVer (event-driven stand-in), Verilator (optimized full-cycle
+// stand-in), Baseline, and ESSENT.
+func Engines() []EngineSpec {
+	return []EngineSpec{
+		{Name: "CommVer", Options: sim.Options{Engine: sim.EngineEventDriven}},
+		{Name: "Verilator", Options: sim.Options{Engine: sim.EngineFullCycleOpt}, Optimized: true},
+		{Name: "Baseline", Options: sim.Options{Engine: sim.EngineFullCycle}},
+		{Name: "ESSENT", Options: sim.Options{Engine: sim.EngineCCSS, Cp: 8}, Optimized: true},
+	}
+}
+
+// compiledDesign caches a built SoC in both raw and optimized forms.
+type compiledDesign struct {
+	cfg     designs.Config
+	circuit *firrtl.Circuit
+	raw     *netlist.Design
+	optim   *netlist.Design
+}
+
+func compileSoC(cfg designs.Config) (*compiledDesign, error) {
+	circ, err := designs.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		return nil, err
+	}
+	od, _, err := opt.Optimize(d)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledDesign{cfg: cfg, circuit: circ, raw: d, optim: od}, nil
+}
+
+// DesignSet compiles the evaluation designs once for reuse across
+// experiments.
+type DesignSet struct {
+	Designs   []*compiledDesign
+	Workloads []riscv.Workload
+}
+
+// NewDesignSet builds the Table I designs and Table II workloads.
+func NewDesignSet(scale Scale, cfgs []designs.Config) (*DesignSet, error) {
+	if cfgs == nil {
+		cfgs = designs.Configs()
+	}
+	ds := &DesignSet{}
+	for _, cfg := range cfgs {
+		cd, err := compileSoC(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: %w", cfg.Name, err)
+		}
+		ds.Designs = append(ds.Designs, cd)
+	}
+	ws, err := riscv.Workloads(scale.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	ds.Workloads = ws
+	return ds, nil
+}
+
+// runOn executes a workload on one engine over one design, returning the
+// wall time of the simulation loop and the simulator for stat inspection.
+func runOn(cd *compiledDesign, spec EngineSpec, w riscv.Workload,
+	maxCycles int) (time.Duration, designs.Result, sim.Simulator, error) {
+	d := cd.raw
+	if spec.Optimized {
+		d = cd.optim
+	}
+	s, err := sim.New(d, spec.Options)
+	if err != nil {
+		return 0, designs.Result{}, nil, err
+	}
+	r, err := designs.NewRunner(s)
+	if err != nil {
+		return 0, designs.Result{}, nil, err
+	}
+	if err := r.Load(w.Program); err != nil {
+		return 0, designs.Result{}, nil, err
+	}
+	start := time.Now()
+	res, err := r.Run(maxCycles)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, designs.Result{}, nil, fmt.Errorf("%s/%s/%s: %w",
+			cd.cfg.Name, spec.Name, w.Name, err)
+	}
+	return elapsed, res, s, nil
+}
+
+// column pads a string to width.
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

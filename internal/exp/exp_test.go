@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"essent/internal/designs"
+	"essent/internal/riscv"
+)
+
+// testScale keeps experiment tests fast.
+func testScale() Scale {
+	return Scale{
+		Workloads: riscv.WorkloadConfig{
+			MatmulN: 4, PchaseNodes: 32, PchaseHops: 80, DhrystoneIters: 2},
+		MaxCycles:  200_000,
+		Fig5Cycles: 300,
+	}
+}
+
+// testConfigs are two small SoCs standing in for the full design set.
+func testConfigs() []designs.Config {
+	small := designs.Config{
+		Name: "tinyA", ImemWords: 1024, DmemWords: 2048,
+		CacheLines: 16, MissPenalty: 3,
+		Peripherals: 2, Clusters: 1, ClusterLanes: 4, ClusterStages: 3,
+	}
+	bigger := small
+	bigger.Name = "tinyB"
+	bigger.Peripherals = 4
+	bigger.Clusters = 2
+	return []designs.Config{small, bigger}
+}
+
+func testSet(t *testing.T) *DesignSet {
+	t.Helper()
+	ds, err := NewDesignSet(testScale(), testConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTableI(t *testing.T) {
+	ds := testSet(t)
+	rows := ds.TableI()
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	if rows[0].Nodes >= rows[1].Nodes {
+		t.Fatalf("size ordering violated: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.FirrtlLines == 0 || r.Edges == 0 {
+			t.Fatalf("empty stats: %+v", r)
+		}
+	}
+	out := RenderTableI(rows)
+	if !strings.Contains(out, "tinyA") {
+		t.Fatalf("render missing design name:\n%s", out)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	ds := testSet(t)
+	rows, err := ds.TableII(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 workloads, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CyclesK <= 0 {
+			t.Fatalf("no cycles measured: %+v", r)
+		}
+	}
+	out := RenderTableII(rows)
+	if !strings.Contains(out, "dhrystone") || !strings.Contains(out, "pchase") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	// One small design, all engines, all workloads: checks the harness
+	// plumbing and that cycle counts agree across engines.
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ds.TableIII(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		for ei, sec := range r.Seconds {
+			if sec <= 0 {
+				t.Fatalf("engine %d reported %f seconds: %+v", ei, sec, r)
+			}
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("bad speedup: %+v", r)
+		}
+	}
+	out := RenderTableIII(rows)
+	if !strings.Contains(out, "ESSENT") || !strings.Contains(out, "Speedup") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	rows := TableIV()
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 approaches, got %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if !last.ConditionalExecution || !last.CoarsenedSchedule ||
+		!last.StaticSchedule || !last.SingularExecution {
+		t.Fatalf("ESSENT row must have all four attributes: %+v", last)
+	}
+	if last.CoarseningMethod != "acyclic partitioner" {
+		t.Fatalf("ESSENT coarsening method: %q", last.CoarseningMethod)
+	}
+	out := RenderTableIV(rows)
+	if !strings.Contains(out, "Cascade") || !strings.Contains(out, "acyclic partitioner") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := ds.Fig5(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("expected 3 series, got %d", len(series))
+	}
+	for _, s := range series {
+		if s.Mean <= 0 || s.Mean > 0.9 {
+			t.Fatalf("%s/%s: implausible mean activity %f", s.Design, s.Workload, s.Mean)
+		}
+	}
+	out := RenderFig5(series)
+	if !strings.Contains(out, "mean activity") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := []int{1, 8, 32}
+	rows, err := ds.Fig6(testScale(), cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(cps) {
+		t.Fatalf("expected %d rows, got %d", 3*len(cps), len(rows))
+	}
+	for _, r := range rows {
+		if r.Normalized < 1.0 {
+			t.Fatalf("normalization broken: %+v", r)
+		}
+	}
+	out := RenderFig6(rows, cps)
+	if !strings.Contains(out, "Cp=8") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTableICSV(&b, ds.TableI()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "design,firrtl_lines,nodes,edges\n") {
+		t.Fatalf("table1 csv header wrong:\n%s", b.String())
+	}
+	rows2, err := ds.TableII(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteTableIICSV(&b, rows2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dhrystone") {
+		t.Fatal("table2 csv missing workload")
+	}
+	f7, err := ds.Fig7(testScale(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteFig7CSV(&b, f7); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 3 {
+		t.Fatalf("fig7 csv should have header + 2 rows, got %d lines", lines)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := []int{1, 8, 64}
+	rows, err := ds.Fig7(testScale(), cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cps) {
+		t.Fatalf("expected %d rows, got %d", len(cps), len(rows))
+	}
+	// Coarsening must reduce partitions and static overhead while
+	// effective activity rises (the Fig. 7 trade).
+	if rows[0].Partitions <= rows[len(rows)-1].Partitions {
+		t.Fatalf("partition count should fall with Cp: %+v", rows)
+	}
+	if rows[0].StaticPerCycle <= rows[len(rows)-1].StaticPerCycle {
+		t.Fatalf("static overhead should fall with Cp: %+v", rows)
+	}
+	if rows[0].EffActivity > rows[len(rows)-1].EffActivity {
+		t.Fatalf("effective activity should rise with Cp: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.EffActivity <= 0 || r.EffActivity > 1 {
+			t.Fatalf("effective activity out of range: %+v", r)
+		}
+	}
+	out := RenderFig7(rows)
+	if !strings.Contains(out, "EffActivity") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ds.Ablation(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 variants, got %d", len(rows))
+	}
+	if rows[0].Slowdown != 1.0 {
+		t.Fatalf("baseline slowdown must be 1.0: %+v", rows[0])
+	}
+	// Elision off must report zero elided registers.
+	if rows[1].Elided != 0 || rows[3].Elided != 0 {
+		t.Fatalf("NoElide variants still elide: %+v", rows)
+	}
+	if rows[0].Elided == 0 {
+		t.Fatal("full variant should elide registers")
+	}
+	// Disabling mux shadowing must increase evaluated ops per cycle.
+	if rows[2].OpsPerCycle <= rows[0].OpsPerCycle {
+		t.Fatalf("mux shadowing should reduce ops: %+v", rows)
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "no mux shadowing") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"essent/internal/activity"
+	"essent/internal/designs"
+	"essent/internal/sim"
+)
+
+// Fig5Series is the activity distribution for one design × workload cell.
+type Fig5Series struct {
+	Design   string
+	Workload string
+	Mean     float64
+	Hist     activity.Histogram
+}
+
+// Fig5 measures per-cycle activity factor distributions for every
+// design × workload combination.
+func (ds *DesignSet) Fig5(scale Scale) ([]Fig5Series, error) {
+	var out []Fig5Series
+	for _, cd := range ds.Designs {
+		for _, w := range ds.Workloads {
+			s, err := sim.New(cd.raw, sim.Options{Engine: sim.EngineFullCycle})
+			if err != nil {
+				return nil, err
+			}
+			r, err := designs.NewRunner(s)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.Load(w.Program); err != nil {
+				return nil, err
+			}
+			tr := activity.NewTracker(s)
+			if err := tr.Run(scale.Fig5Cycles); err != nil {
+				// A stop inside the window is fine: the workload ended.
+				if _, ok := err.(*sim.StopError); !ok {
+					return nil, err
+				}
+			}
+			out = append(out, Fig5Series{
+				Design: cd.cfg.Name, Workload: w.Name,
+				Mean: tr.Mean(), Hist: tr.Histogram(12, 0.24),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig5 formats the activity histograms.
+func RenderFig5(series []Fig5Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: distribution of per-cycle activity factors (log-scaled bars)\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "\n%s / %s — mean activity %.2f%%\n",
+			s.Design, s.Workload, s.Mean*100)
+		b.WriteString(s.Hist.Render(""))
+	}
+	return b.String()
+}
+
+// Fig6Row is one point of the Cp sweep.
+type Fig6Row struct {
+	Design   string
+	Workload string
+	Cp       int
+	Seconds  float64
+	// Normalized to the best Cp for this design × workload.
+	Normalized float64
+}
+
+// Fig6Cps is the sweep the paper plots.
+var Fig6Cps = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig6 sweeps the partitioning parameter Cp over every design × workload.
+func (ds *DesignSet) Fig6(scale Scale, cps []int) ([]Fig6Row, error) {
+	if cps == nil {
+		cps = Fig6Cps
+	}
+	var rows []Fig6Row
+	for _, cd := range ds.Designs {
+		for _, w := range ds.Workloads {
+			base := len(rows)
+			best := 0.0
+			for _, cp := range cps {
+				spec := EngineSpec{
+					Name:      fmt.Sprintf("ESSENT(Cp=%d)", cp),
+					Options:   sim.Options{Engine: sim.EngineCCSS, Cp: cp},
+					Optimized: true,
+				}
+				elapsed, _, _, err := runOn(cd, spec, w, scale.MaxCycles)
+				if err != nil {
+					return nil, err
+				}
+				sec := elapsed.Seconds()
+				if best == 0 || sec < best {
+					best = sec
+				}
+				rows = append(rows, Fig6Row{
+					Design: cd.cfg.Name, Workload: w.Name, Cp: cp, Seconds: sec,
+				})
+			}
+			for i := base; i < len(rows); i++ {
+				rows[i].Normalized = rows[i].Seconds / best
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig6 formats the sweep as one row per design × workload.
+func RenderFig6(rows []Fig6Row, cps []int) string {
+	if cps == nil {
+		cps = Fig6Cps
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6: execution time vs partitioning parameter Cp (normalized to best)\n")
+	b.WriteString("  Design Workload   ")
+	for _, cp := range cps {
+		fmt.Fprintf(&b, "  Cp=%-4d", cp)
+	}
+	b.WriteString("\n")
+	for i := 0; i < len(rows); i += len(cps) {
+		fmt.Fprintf(&b, "  %s %s", pad(rows[i].Design, 6), pad(rows[i].Workload, 10))
+		for j := 0; j < len(cps); j++ {
+			fmt.Fprintf(&b, "  %6.2f ", rows[i+j].Normalized)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig7Row decomposes CCSS work at one Cp (r16 × dhrystone in the paper).
+type Fig7Row struct {
+	Cp         int
+	Partitions int
+	// Work counters, normalized per cycle.
+	BaseOpsPerCycle float64
+	StaticPerCycle  float64 // partition flag checks + input change tests
+	DynamicPerCycle float64 // output compares + wakes
+	// EffActivity is the fraction of the full-cycle schedule evaluated.
+	EffActivity float64
+}
+
+// Fig7 runs the overhead decomposition sweep on the first design and
+// workload (r16 × dhrystone).
+func (ds *DesignSet) Fig7(scale Scale, cps []int) ([]Fig7Row, error) {
+	if cps == nil {
+		cps = Fig6Cps
+	}
+	cd := ds.Designs[0]
+	w := ds.Workloads[0]
+	var rows []Fig7Row
+	for _, cp := range cps {
+		spec := EngineSpec{
+			Name:      fmt.Sprintf("ESSENT(Cp=%d)", cp),
+			Options:   sim.Options{Engine: sim.EngineCCSS, Cp: cp},
+			Optimized: true,
+		}
+		_, _, s, err := runOn(cd, spec, w, scale.MaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		cc := s.(*sim.CCSS)
+		st := s.Stats()
+		cyc := float64(st.Cycles)
+		rows = append(rows, Fig7Row{
+			Cp:              cp,
+			Partitions:      cc.NumPartitions(),
+			BaseOpsPerCycle: float64(st.OpsEvaluated) / cyc,
+			StaticPerCycle:  float64(st.PartChecks+st.InputChecks) / cyc,
+			DynamicPerCycle: float64(st.OutputCompares+st.Wakes) / cyc,
+			EffActivity:     activity.Effective(st, cc.NumSchedEntries()),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig7 formats the decomposition.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: overhead decomposition vs Cp (r16 × dhrystone, per-cycle work)\n")
+	b.WriteString("    Cp  Parts   BaseOps   Static  Dynamic  EffActivity\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %4d %6d %9.1f %8.1f %8.1f %10.1f%%\n",
+			r.Cp, r.Partitions, r.BaseOpsPerCycle, r.StaticPerCycle,
+			r.DynamicPerCycle, r.EffActivity*100)
+	}
+	return b.String()
+}

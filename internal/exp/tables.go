@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"essent/internal/firrtl"
+	"essent/internal/sim"
+)
+
+// TableIRow is one design-size line of Table I.
+type TableIRow struct {
+	Design      string
+	FirrtlLines int
+	Nodes       int
+	Edges       int
+}
+
+// TableI reports design sizes (FIRRTL lines, graph nodes, graph edges).
+func (ds *DesignSet) TableI() []TableIRow {
+	var rows []TableIRow
+	for _, cd := range ds.Designs {
+		st := cd.raw.Stats()
+		rows = append(rows, TableIRow{
+			Design:      cd.cfg.Name,
+			FirrtlLines: firrtl.LineCount(cd.circuit),
+			Nodes:       st.Signals,
+			Edges:       st.Edges,
+		})
+	}
+	return rows
+}
+
+// RenderTableI formats Table I.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	b.WriteString("Table I: open-source processor designs used for evaluation\n")
+	b.WriteString("  Design  FIRRTL-lines   Nodes    Edges\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %9d %10d %8d\n", pad(r.Design, 7), r.FirrtlLines, r.Nodes, r.Edges)
+	}
+	return b.String()
+}
+
+// TableIIRow is one workload line of Table II.
+type TableIIRow struct {
+	Name        string
+	CyclesK     float64 // thousands of cycles on r16
+	Instret     uint32
+	Description string
+}
+
+// TableII measures workload cycle counts on the first (r16) design.
+func (ds *DesignSet) TableII(scale Scale) ([]TableIIRow, error) {
+	var rows []TableIIRow
+	cd := ds.Designs[0]
+	for _, w := range ds.Workloads {
+		_, res, _, err := runOn(cd, Engines()[3], w, scale.MaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{
+			Name:        w.Name,
+			CyclesK:     float64(res.Cycles) / 1000,
+			Instret:     res.Instret,
+			Description: w.Description,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTableII formats Table II.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II: software workloads (cycle counts for r16)\n")
+	b.WriteString("  Benchmark   Cycles(K)   Description\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %9.1f   %s\n", pad(r.Name, 11), r.CyclesK, r.Description)
+	}
+	return b.String()
+}
+
+// TableIIIRow is one design×workload line of Table III.
+type TableIIIRow struct {
+	Design   string
+	Workload string
+	// Seconds per engine, in Engines() order.
+	Seconds [4]float64
+	// Speedup of ESSENT over Baseline (the paper's last column).
+	Speedup float64
+	// Cycles actually simulated (identical across engines by
+	// construction; verified).
+	Cycles uint64
+}
+
+// TableIII times all four simulators over every design × workload cell.
+func (ds *DesignSet) TableIII(scale Scale) ([]TableIIIRow, error) {
+	specs := Engines()
+	var rows []TableIIIRow
+	for _, cd := range ds.Designs {
+		for _, w := range ds.Workloads {
+			row := TableIIIRow{Design: cd.cfg.Name, Workload: w.Name}
+			var cycles uint64
+			for ei, spec := range specs {
+				elapsed, res, _, err := runOn(cd, spec, w, scale.MaxCycles)
+				if err != nil {
+					return nil, err
+				}
+				row.Seconds[ei] = elapsed.Seconds()
+				if cycles == 0 {
+					cycles = res.Cycles
+				} else if cycles != res.Cycles {
+					return nil, fmt.Errorf("exp: engines disagree on cycles for %s/%s: %d vs %d",
+						cd.cfg.Name, w.Name, cycles, res.Cycles)
+				}
+			}
+			row.Cycles = cycles
+			row.Speedup = row.Seconds[2] / row.Seconds[3]
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTableIII formats Table III.
+func RenderTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table III: execution times (sec.) & ESSENT's speedup over Baseline\n")
+	b.WriteString("  Design Workload   CommVer Verilator  Baseline    ESSENT   Speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %s %9.3f %9.3f %9.3f %9.3f %8.2fx\n",
+			pad(r.Design, 6), pad(r.Workload, 10),
+			r.Seconds[0], r.Seconds[1], r.Seconds[2], r.Seconds[3], r.Speedup)
+	}
+	return b.String()
+}
+
+// TableIVRow is one simulation-approach line of Table IV.
+type TableIVRow struct {
+	Approach             string
+	ConditionalExecution bool
+	CoarsenedSchedule    bool
+	StaticSchedule       bool
+	SingularExecution    bool
+	CoarseningMethod     string
+	CoarseningAutomated  string // "yes", "no", or "N/A"
+	TriggeringAutomated  string
+}
+
+// TableIV returns the qualitative comparison matrix. The first rows come
+// from this repository's engine capability descriptors; the prior-work
+// rows restate the paper's classification.
+func TableIV() []TableIVRow {
+	fromCaps := func(approach string, c sim.Capabilities) TableIVRow {
+		na := func(b bool) string {
+			if c.CoarseningMethod == "N/A" {
+				return "N/A"
+			}
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		return TableIVRow{
+			Approach:             approach,
+			ConditionalExecution: c.ConditionalExecution,
+			CoarsenedSchedule:    c.CoarsenedSchedule,
+			StaticSchedule:       c.StaticSchedule,
+			SingularExecution:    c.SingularExecution,
+			CoarseningMethod:     c.CoarseningMethod,
+			CoarseningAutomated:  na(c.CoarseningAutomated),
+			TriggeringAutomated:  na(c.TriggeringAutomated),
+		}
+	}
+	return []TableIVRow{
+		fromCaps("Full-cycle (e.g. Verilator)", sim.EngineCapabilities(sim.EngineFullCycle)),
+		fromCaps("Event-driven (e.g. Icarus)", sim.EngineCapabilities(sim.EngineEventDriven)),
+		{Approach: "Pérez [19]", ConditionalExecution: true, CoarsenedSchedule: true,
+			StaticSchedule: true, CoarseningMethod: "user (via modules)",
+			CoarseningAutomated: "no", TriggeringAutomated: "yes"},
+		{Approach: "Cascade [11]", ConditionalExecution: true, CoarsenedSchedule: true,
+			StaticSchedule: true, SingularExecution: true,
+			CoarseningMethod: "user (via modules)", CoarseningAutomated: "no",
+			TriggeringAutomated: "no"},
+		{Approach: "Chatterjee [8]", ConditionalExecution: true, CoarsenedSchedule: true,
+			CoarseningMethod: "clustering", CoarseningAutomated: "yes",
+			TriggeringAutomated: "yes"},
+		fromCaps("ESSENT (this work)", sim.EngineCapabilities(sim.EngineCCSS)),
+	}
+}
+
+// RenderTableIV formats the attribute matrix.
+func RenderTableIV(rows []TableIVRow) string {
+	check := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	var b strings.Builder
+	b.WriteString("Table IV: comparison of simulation approaches\n")
+	b.WriteString("  Approach                     Cond  Coars Static Singular  Method               AutoCoarse AutoTrig\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %-5s %-5s %-6s %-9s %s %-10s %s\n",
+			pad(r.Approach, 28), check(r.ConditionalExecution), check(r.CoarsenedSchedule),
+			check(r.StaticSchedule), check(r.SingularExecution),
+			pad(r.CoarseningMethod, 20), r.CoarseningAutomated, r.TriggeringAutomated)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package firrtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tNewline
+	tIndent
+	tDedent
+	tID
+	tInt
+	tString
+	tLParen
+	tRParen
+	tColon
+	tComma
+	tDot
+	tLT
+	tGT
+	tLE    // <=
+	tArrow // =>
+	tEq
+	tMinus
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tEOF:
+		return "EOF"
+	case tNewline:
+		return "newline"
+	case tIndent:
+		return "indent"
+	case tDedent:
+		return "dedent"
+	case tID:
+		return "identifier"
+	case tInt:
+		return "integer"
+	case tString:
+		return "string"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tColon:
+		return "':'"
+	case tComma:
+		return "','"
+	case tDot:
+		return "'.'"
+	case tLT:
+		return "'<'"
+	case tGT:
+		return "'>'"
+	case tLE:
+		return "'<='"
+	case tArrow:
+		return "'=>'"
+	case tEq:
+		return "'='"
+	case tMinus:
+		return "'-'"
+	default:
+		return "?"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Position
+}
+
+// lexer tokenizes FIRRTL source with Python-style INDENT/DEDENT handling.
+type lexer struct {
+	lines  []string
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{lines: strings.Split(src, "\n")}
+	indents := []int{0}
+	for ln, raw := range l.lines {
+		line := raw
+		// Strip comments (`;` outside strings).
+		line = stripComment(line)
+		trimmed := strings.TrimRight(line, " \t\r")
+		if strings.TrimSpace(trimmed) == "" {
+			continue // blank or comment-only line
+		}
+		indent := 0
+		for _, c := range trimmed {
+			if c == ' ' {
+				indent++
+			} else if c == '\t' {
+				indent += 2
+			} else {
+				break
+			}
+		}
+		if indent > indents[len(indents)-1] {
+			indents = append(indents, indent)
+			l.tokens = append(l.tokens, token{kind: tIndent, pos: Position{ln + 1, 1}})
+		} else {
+			for indent < indents[len(indents)-1] {
+				indents = indents[:len(indents)-1]
+				l.tokens = append(l.tokens, token{kind: tDedent, pos: Position{ln + 1, 1}})
+			}
+			if indent != indents[len(indents)-1] {
+				return nil, fmt.Errorf("firrtl: line %d: inconsistent indentation", ln+1)
+			}
+		}
+		if err := l.lexLine(strings.TrimSpace(trimmed), ln+1, indent+1); err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, token{kind: tNewline, pos: Position{ln + 1, len(trimmed) + 1}})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		l.tokens = append(l.tokens, token{kind: tDedent, pos: Position{len(l.lines), 1}})
+	}
+	l.tokens = append(l.tokens, token{kind: tEOF, pos: Position{len(l.lines) + 1, 1}})
+	return l.tokens, nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIDStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIDChar(c byte) bool {
+	return isIDStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexLine(s string, line, col0 int) error {
+	i := 0
+	emit := func(k tokenKind, text string, col int) {
+		l.tokens = append(l.tokens, token{kind: k, text: text, pos: Position{line, col0 + col}})
+	}
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case isIDStart(c):
+			j := i
+			for j < len(s) && isIDChar(s[j]) {
+				j++
+			}
+			emit(tID, s[i:j], i)
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			emit(tInt, s[i:j], i)
+			i = j
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+					switch s[j] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					default:
+						b.WriteByte('\\')
+						b.WriteByte(s[j])
+					}
+				} else {
+					b.WriteByte(s[j])
+				}
+				j++
+			}
+			if j >= len(s) {
+				return fmt.Errorf("firrtl: line %d: unterminated string", line)
+			}
+			emit(tString, b.String(), i)
+			i = j + 1
+		case c == '(':
+			emit(tLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tRParen, ")", i)
+			i++
+		case c == ':':
+			emit(tColon, ":", i)
+			i++
+		case c == ',':
+			emit(tComma, ",", i)
+			i++
+		case c == '.':
+			emit(tDot, ".", i)
+			i++
+		case c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				emit(tLE, "<=", i)
+				i += 2
+			} else {
+				emit(tLT, "<", i)
+				i++
+			}
+		case c == '>':
+			emit(tGT, ">", i)
+			i++
+		case c == '=':
+			if i+1 < len(s) && s[i+1] == '>' {
+				emit(tArrow, "=>", i)
+				i += 2
+			} else {
+				emit(tEq, "=", i)
+				i++
+			}
+		case c == '-':
+			emit(tMinus, "-", i)
+			i++
+		case c == '@':
+			// Source locator `@[...]`: skip to end of bracketed region.
+			j := i
+			for j < len(s) && s[j] != ']' {
+				j++
+			}
+			if j < len(s) {
+				i = j + 1
+			} else {
+				i = len(s)
+			}
+		default:
+			return fmt.Errorf("firrtl: line %d col %d: unexpected character %q", line, col0+i, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,936 @@
+package firrtl
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// Parse parses FIRRTL source text into a Circuit.
+func Parse(src string) (*Circuit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.circuit()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+type parseError struct {
+	pos Position
+	msg string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("firrtl: %s: %s", e.pos, e.msg)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{pos: p.peek().pos, msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.toks[p.i].kind == k
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tID && t.text == kw
+}
+
+func (p *parser) accept(k tokenKind) (token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return token{}, false
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.atKeyword(kw) {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, found %q", kw, p.peek().text)
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(tNewline) {
+		p.next()
+	}
+}
+
+func (p *parser) circuit() (*Circuit, error) {
+	p.skipNewlines()
+	if err := p.expectKeyword("circuit"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tIndent); err != nil {
+		return nil, err
+	}
+	c := &Circuit{Name: name.text}
+	for {
+		p.skipNewlines()
+		if _, ok := p.accept(tDedent); ok {
+			break
+		}
+		if p.at(tEOF) {
+			break
+		}
+		m, err := p.module()
+		if err != nil {
+			return nil, err
+		}
+		c.Modules = append(c.Modules, m)
+	}
+	if c.Top() == nil {
+		return nil, fmt.Errorf("firrtl: circuit %q has no top module of that name", c.Name)
+	}
+	return c, nil
+}
+
+func (p *parser) module() (*Module, error) {
+	pos := p.peek().pos
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tIndent); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Pos: pos}
+	// Ports.
+	for p.atKeyword("input") || p.atKeyword("output") {
+		dir := Input
+		if p.peek().text == "output" {
+			dir = Output
+		}
+		ppos := p.next().pos
+		pn, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, Port{Name: pn.text, Dir: dir, Type: ty, Pos: ppos})
+	}
+	body, err := p.stmtBlockUntilDedent()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+// stmtBlockUntilDedent parses statements until the matching DEDENT.
+func (p *parser) stmtBlockUntilDedent() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		if _, ok := p.accept(tDedent); ok {
+			return out, nil
+		}
+		if p.at(tEOF) {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+func (p *parser) parseType() (Type, error) {
+	t, err := p.expect(tID)
+	if err != nil {
+		return Type{}, err
+	}
+	switch t.text {
+	case "UInt", "SInt":
+		kind := UIntType
+		if t.text == "SInt" {
+			kind = SIntType
+		}
+		w := -1
+		if _, ok := p.accept(tLT); ok {
+			wt, err := p.expect(tInt)
+			if err != nil {
+				return Type{}, err
+			}
+			w, err = strconv.Atoi(wt.text)
+			if err != nil || w < 0 {
+				return Type{}, p.errf("bad width %q", wt.text)
+			}
+			if _, err := p.expect(tGT); err != nil {
+				return Type{}, err
+			}
+		}
+		return Type{Kind: kind, Width: w}, nil
+	case "Clock":
+		return Type{Kind: ClockType, Width: 1}, nil
+	case "AsyncReset":
+		return Type{Kind: AsyncResetType, Width: 1}, nil
+	case "Reset":
+		// Abstract reset lowers to UInt<1> in this dialect.
+		return Type{Kind: UIntType, Width: 1}, nil
+	default:
+		return Type{}, p.errf("unknown type %q", t.text)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.peek().pos
+	switch {
+	case p.atKeyword("skip"):
+		p.next()
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &Skip{stmtBase{pos}}, nil
+	case p.atKeyword("wire"):
+		p.next()
+		n, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &DefWire{stmtBase{pos}, n.text, ty}, nil
+	case p.atKeyword("reg"):
+		return p.regStmt(pos)
+	case p.atKeyword("regreset"):
+		return p.regresetStmt(pos)
+	case p.atKeyword("node"):
+		p.next()
+		n, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tEq); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &DefNode{stmtBase{pos}, n.text, e}, nil
+	case p.atKeyword("inst"):
+		p.next()
+		n, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, err
+		}
+		mod, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &DefInstance{stmtBase{pos}, n.text, mod.text}, nil
+	case p.atKeyword("mem"):
+		return p.memStmt(pos)
+	case p.atKeyword("when"):
+		return p.whenStmt(pos)
+	case p.atKeyword("printf"):
+		return p.printfStmt(pos)
+	case p.atKeyword("assert"):
+		return p.assertStmt(pos)
+	case p.atKeyword("stop"):
+		return p.stopStmt(pos)
+	}
+	// Connect or `is invalid`: starts with an expression.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tLE):
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &Connect{stmtBase{pos}, lhs, rhs}, nil
+	case p.atKeyword("is"):
+		p.next()
+		if err := p.expectKeyword("invalid"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+		return &Invalid{stmtBase{pos}, lhs}, nil
+	default:
+		return nil, p.errf("expected '<=' or 'is invalid' after expression")
+	}
+}
+
+// regStmt parses `reg name : type, clock [with : (reset => (rst, init))]`.
+func (p *parser) regStmt(pos Position) (Stmt, error) {
+	p.next() // reg
+	n, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	clk, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	r := &DefReg{stmtBase{pos}, n.text, ty, clk, nil, nil}
+	if p.atKeyword("with") {
+		p.next()
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		paren := false
+		if _, ok := p.accept(tLParen); ok {
+			paren = true
+		}
+		if err := p.expectKeyword("reset"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		rst, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		if paren {
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+		}
+		// Self-init (`reset => (x, r)` with init == reg) means no reset.
+		if ref, ok := init.(*Ref); !ok || ref.Name != n.text {
+			r.Reset, r.Init = rst, init
+		}
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// regresetStmt parses the FIRRTL 2.0 style `regreset name : type, clock, reset, init`.
+func (p *parser) regresetStmt(pos Position) (Stmt, error) {
+	p.next()
+	n, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	clk, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	rst, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	return &DefReg{stmtBase{pos}, n.text, ty, clk, rst, init}, nil
+}
+
+func (p *parser) memStmt(pos Position) (Stmt, error) {
+	p.next() // mem
+	n, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tIndent); err != nil {
+		return nil, err
+	}
+	m := &DefMemory{stmtBase: stmtBase{pos}, Name: n.text, ReadLatency: 0, WriteLatency: 1, Depth: -1}
+	for {
+		p.skipNewlines()
+		if _, ok := p.accept(tDedent); ok {
+			break
+		}
+		field, err := p.hyphenatedID()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		switch field {
+		case "data-type":
+			m.DataType, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+		case "depth":
+			t, err := p.expect(tInt)
+			if err != nil {
+				return nil, err
+			}
+			m.Depth, _ = strconv.Atoi(t.text)
+		case "read-latency":
+			t, err := p.expect(tInt)
+			if err != nil {
+				return nil, err
+			}
+			m.ReadLatency, _ = strconv.Atoi(t.text)
+		case "write-latency":
+			t, err := p.expect(tInt)
+			if err != nil {
+				return nil, err
+			}
+			m.WriteLatency, _ = strconv.Atoi(t.text)
+		case "read-under-write":
+			p.next() // value ignored (old semantics)
+		case "reader":
+			for p.at(tID) {
+				m.Readers = append(m.Readers, p.next().text)
+			}
+		case "writer":
+			for p.at(tID) {
+				m.Writers = append(m.Writers, p.next().text)
+			}
+		default:
+			return nil, p.errf("unknown mem field %q", field)
+		}
+		if _, err := p.expect(tNewline); err != nil {
+			return nil, err
+		}
+	}
+	if m.Depth <= 0 {
+		return nil, &parseError{pos, fmt.Sprintf("mem %s: missing or bad depth", m.Name)}
+	}
+	if m.DataType.Kind == UnknownType {
+		return nil, &parseError{pos, fmt.Sprintf("mem %s: missing data-type", m.Name)}
+	}
+	if m.ReadLatency != 0 || m.WriteLatency != 1 {
+		return nil, &parseError{pos, fmt.Sprintf(
+			"mem %s: only read-latency 0 / write-latency 1 supported", m.Name)}
+	}
+	return m, nil
+}
+
+// hyphenatedID reads an identifier possibly containing '-' (mem fields).
+func (p *parser) hyphenatedID() (string, error) {
+	t, err := p.expect(tID)
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	for p.at(tMinus) {
+		p.next()
+		t2, err := p.expect(tID)
+		if err != nil {
+			return "", err
+		}
+		name += "-" + t2.text
+	}
+	return name, nil
+}
+
+func (p *parser) whenStmt(pos Position) (Stmt, error) {
+	p.next() // when
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.blockOrInline()
+	if err != nil {
+		return nil, err
+	}
+	w := &When{stmtBase{pos}, cond, thenStmts, nil}
+	p.skipNewlines()
+	if p.atKeyword("else") {
+		p.next()
+		if p.atKeyword("when") {
+			// else-when chain.
+			inner, err := p.whenStmt(p.peek().pos)
+			if err != nil {
+				return nil, err
+			}
+			w.Else = []Stmt{inner}
+		} else {
+			if _, err := p.expect(tColon); err != nil {
+				return nil, err
+			}
+			elseStmts, err := p.blockOrInline()
+			if err != nil {
+				return nil, err
+			}
+			w.Else = elseStmts
+		}
+	}
+	return w, nil
+}
+
+// blockOrInline parses either an indented statement block or a single
+// inline statement after a colon.
+func (p *parser) blockOrInline() ([]Stmt, error) {
+	if _, ok := p.accept(tNewline); ok {
+		if _, err := p.expect(tIndent); err != nil {
+			return nil, err
+		}
+		return p.stmtBlockUntilDedent()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) printfStmt(pos Position) (Stmt, error) {
+	p.next()
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	clk, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	en, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	f, err := p.expect(tString)
+	if err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.at(tComma) {
+		p.next()
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	return &Printf{stmtBase{pos}, clk, en, f.text, args}, nil
+}
+
+func (p *parser) assertStmt(pos Position) (Stmt, error) {
+	p.next()
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	clk, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	pred, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	en, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	msg := ""
+	if p.at(tComma) {
+		p.next()
+		m, err := p.expect(tString)
+		if err != nil {
+			return nil, err
+		}
+		msg = m.text
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	return &Assert{stmtBase{pos}, clk, pred, en, msg}, nil
+}
+
+func (p *parser) stopStmt(pos Position) (Stmt, error) {
+	p.next()
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	clk, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	en, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, err
+	}
+	code := 0
+	neg := false
+	if _, ok := p.accept(tMinus); ok {
+		neg = true
+	}
+	t, err := p.expect(tInt)
+	if err != nil {
+		return nil, err
+	}
+	code, _ = strconv.Atoi(t.text)
+	if neg {
+		code = -code
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline); err != nil {
+		return nil, err
+	}
+	return &Stop{stmtBase{pos}, clk, en, code}, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	pos := p.peek().pos
+	t := p.peek()
+	if t.kind != tID {
+		return nil, p.errf("expected expression, found %s %q", t.kind, t.text)
+	}
+	switch t.text {
+	case "UInt", "SInt":
+		return p.literal(pos)
+	case "mux":
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &Mux{exprBase{pos}, c, a, b}, nil
+	case "validif":
+		p.next()
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &ValidIf{exprBase{pos}, c, v}, nil
+	}
+	if op, ok := LookupPrim(t.text); ok && p.toks[p.i+1].kind == tLParen {
+		p.next()
+		p.next() // (
+		spec := primSpecs[op]
+		prim := &Prim{exprBase: exprBase{pos}, Op: op}
+		for a := 0; a < spec.numArgs; a++ {
+			if a > 0 {
+				if _, err := p.expect(tComma); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			prim.Args = append(prim.Args, e)
+		}
+		for pi := 0; pi < spec.numPar; pi++ {
+			if _, err := p.expect(tComma); err != nil {
+				return nil, err
+			}
+			neg := false
+			if _, ok := p.accept(tMinus); ok {
+				neg = true
+			}
+			it, err := p.expect(tInt)
+			if err != nil {
+				return nil, err
+			}
+			v, _ := strconv.Atoi(it.text)
+			if neg {
+				v = -v
+			}
+			prim.Params = append(prim.Params, v)
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return prim, nil
+	}
+	// Reference chain.
+	p.next()
+	var e Expr = &Ref{exprBase{pos}, t.text}
+	for p.at(tDot) {
+		p.next()
+		f, err := p.expect(tID)
+		if err != nil {
+			return nil, err
+		}
+		e = &SubField{exprBase{pos}, e, f.text}
+	}
+	return e, nil
+}
+
+// literal parses UInt<w>(v) / SInt<w>(v) with decimal or radix-string values.
+func (p *parser) literal(pos Position) (Expr, error) {
+	t := p.next() // UInt or SInt
+	kind := UIntType
+	if t.text == "SInt" {
+		kind = SIntType
+	}
+	w := -1
+	if _, ok := p.accept(tLT); ok {
+		wt, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		w, _ = strconv.Atoi(wt.text)
+		if _, err := p.expect(tGT); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	v := new(big.Int)
+	switch {
+	case p.at(tString):
+		s := p.next().text
+		if err := parseRadixLiteral(v, s); err != nil {
+			return nil, &parseError{pos, err.Error()}
+		}
+	case p.at(tMinus):
+		p.next()
+		it, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		v.SetString(it.text, 10)
+		v.Neg(v)
+	case p.at(tInt):
+		it := p.next()
+		v.SetString(it.text, 10)
+	default:
+		return nil, p.errf("expected literal value")
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	if kind == UIntType && v.Sign() < 0 {
+		return nil, &parseError{pos, "negative UInt literal"}
+	}
+	// Width checking/inference.
+	need := minLitWidth(v, kind == SIntType)
+	if w < 0 {
+		w = need
+	} else if need > w {
+		return nil, &parseError{pos, fmt.Sprintf("literal %v does not fit in %d bits", v, w)}
+	}
+	return &Lit{exprBase{pos}, Type{kind, w}, v}, nil
+}
+
+func parseRadixLiteral(v *big.Int, s string) error {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return fmt.Errorf("empty radix literal")
+	}
+	base := 10
+	switch s[0] {
+	case 'h':
+		base, s = 16, s[1:]
+	case 'o':
+		base, s = 8, s[1:]
+	case 'b':
+		base, s = 2, s[1:]
+	case 'd':
+		base, s = 10, s[1:]
+	}
+	if _, ok := v.SetString(s, base); !ok {
+		return fmt.Errorf("bad literal %q", s)
+	}
+	if neg {
+		v.Neg(v)
+	}
+	return nil
+}
+
+// minLitWidth returns the minimum width to represent v (two's complement if
+// signed).
+func minLitWidth(v *big.Int, signed bool) int {
+	if !signed {
+		if v.Sign() == 0 {
+			return 1
+		}
+		return v.BitLen()
+	}
+	if v.Sign() >= 0 {
+		return v.BitLen() + 1
+	}
+	// Negative: need bits for |v|-1 plus the sign bit.
+	abs := new(big.Int).Neg(v)
+	abs.Sub(abs, big.NewInt(1))
+	return abs.BitLen() + 1
+}

@@ -1,0 +1,369 @@
+package firrtl
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+circuit Top : ; a comment
+  module Child :
+    input clock : Clock
+    input in : UInt<8>
+    output out : UInt<8>
+
+    reg r : UInt<8>, clock
+    r <= in
+    out <= r
+
+  module Top :
+    input clock : Clock
+    input reset : UInt<1>
+    input io_a : UInt<8>
+    input io_b : UInt<8>
+    output io_sum : UInt<9>
+    output io_dbg : UInt<8>
+
+    wire w : UInt<8>
+    node sum = add(io_a, io_b)
+    reg acc : UInt<9>, clock with : (reset => (reset, UInt<9>(0)))
+    acc <= sum
+    io_sum <= acc
+    w is invalid
+    when gt(io_a, io_b) :
+      w <= io_a
+    else :
+      w <= io_b
+
+    inst c of Child
+    c.clock <= clock
+    c.in <= w
+    io_dbg <= c.out
+
+    mem scratch :
+      data-type => UInt<32>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      reader => r0
+      writer => w0
+
+    scratch.r0.addr <= bits(io_a, 3, 0)
+    scratch.r0.en <= UInt<1>(1)
+    scratch.r0.clk <= clock
+    scratch.w0.addr <= bits(io_b, 3, 0)
+    scratch.w0.en <= UInt<1>(1)
+    scratch.w0.clk <= clock
+    scratch.w0.data <= pad(w, 32)
+    scratch.w0.mask <= UInt<1>(1)
+
+    printf(clock, UInt<1>(1), "a=%d\n", io_a)
+    assert(clock, leq(io_a, UInt<8>(255)), UInt<1>(1), "range")
+    stop(clock, UInt<1>(0), 0)
+`
+
+func parseSample(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	return c
+}
+
+func TestParseSample(t *testing.T) {
+	c := parseSample(t)
+	if c.Name != "Top" {
+		t.Fatalf("circuit name %q", c.Name)
+	}
+	if len(c.Modules) != 2 {
+		t.Fatalf("expected 2 modules, got %d", len(c.Modules))
+	}
+	top := c.Top()
+	if top == nil {
+		t.Fatal("no top module")
+	}
+	if len(top.Ports) != 6 {
+		t.Fatalf("expected 6 ports, got %d", len(top.Ports))
+	}
+	if top.Ports[0].Type.Kind != ClockType {
+		t.Fatal("first port should be Clock")
+	}
+	if top.Ports[4].Type != (Type{UIntType, 9}) {
+		t.Fatalf("io_sum type wrong: %v", top.Ports[4].Type)
+	}
+}
+
+func TestParseRegWithReset(t *testing.T) {
+	c := parseSample(t)
+	var reg *DefReg
+	for _, s := range c.Top().Body {
+		if r, ok := s.(*DefReg); ok && r.Name == "acc" {
+			reg = r
+		}
+	}
+	if reg == nil {
+		t.Fatal("acc register not found")
+	}
+	if reg.Reset == nil || reg.Init == nil {
+		t.Fatal("acc should have reset")
+	}
+	if RefName(reg.Reset) != "reset" {
+		t.Fatalf("reset expr: %s", ExprString(reg.Reset))
+	}
+	lit, ok := reg.Init.(*Lit)
+	if !ok || lit.Value.Sign() != 0 || lit.Type.Width != 9 {
+		t.Fatalf("init expr wrong: %s", ExprString(reg.Init))
+	}
+}
+
+func TestParseSelfResetRegMeansNoReset(t *testing.T) {
+	src := `
+circuit T :
+  module T :
+    input clock : Clock
+    input in : UInt<4>
+    output out : UInt<4>
+    reg r : UInt<4>, clock with : (reset => (UInt<1>(0), r))
+    r <= in
+    out <= r
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Top().Body[0].(*DefReg)
+	if r.Reset != nil {
+		t.Fatal("self-init register should have nil reset")
+	}
+}
+
+func TestParseRegreset(t *testing.T) {
+	src := `
+circuit T :
+  module T :
+    input clock : Clock
+    input reset : UInt<1>
+    output out : UInt<4>
+    regreset r : UInt<4>, clock, reset, UInt<4>(3)
+    r <= out
+    out <= r
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Top().Body[0].(*DefReg)
+	if r.Reset == nil || r.Init.(*Lit).Value.Int64() != 3 {
+		t.Fatal("regreset not parsed")
+	}
+}
+
+func TestParseWhen(t *testing.T) {
+	c := parseSample(t)
+	var when *When
+	for _, s := range c.Top().Body {
+		if w, ok := s.(*When); ok {
+			when = w
+		}
+	}
+	if when == nil {
+		t.Fatal("when not found")
+	}
+	if len(when.Then) != 1 || len(when.Else) != 1 {
+		t.Fatalf("when arms wrong: %d/%d", len(when.Then), len(when.Else))
+	}
+	prim, ok := when.Cond.(*Prim)
+	if !ok || prim.Op != OpGt {
+		t.Fatalf("when cond wrong: %s", ExprString(when.Cond))
+	}
+}
+
+func TestParseElseWhenChain(t *testing.T) {
+	src := `
+circuit T :
+  module T :
+    input a : UInt<2>
+    output o : UInt<2>
+    o <= UInt<2>(0)
+    when eq(a, UInt<2>(1)) :
+      o <= UInt<2>(1)
+    else when eq(a, UInt<2>(2)) :
+      o <= UInt<2>(2)
+    else :
+      o <= UInt<2>(3)
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Top().Body[1].(*When)
+	inner, ok := w.Else[0].(*When)
+	if !ok {
+		t.Fatal("else-when chain not nested")
+	}
+	if len(inner.Else) != 1 {
+		t.Fatal("inner else missing")
+	}
+}
+
+func TestParseInlineWhen(t *testing.T) {
+	src := `
+circuit T :
+  module T :
+    input a : UInt<1>
+    output o : UInt<1>
+    o <= UInt<1>(0)
+    when a : o <= UInt<1>(1)
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Top().Body[1].(*When)
+	if len(w.Then) != 1 {
+		t.Fatal("inline when body missing")
+	}
+}
+
+func TestParseMemory(t *testing.T) {
+	c := parseSample(t)
+	var mem *DefMemory
+	for _, s := range c.Top().Body {
+		if m, ok := s.(*DefMemory); ok {
+			mem = m
+		}
+	}
+	if mem == nil {
+		t.Fatal("mem not found")
+	}
+	if mem.Depth != 16 || mem.DataType.Width != 32 {
+		t.Fatalf("mem fields wrong: %+v", mem)
+	}
+	if len(mem.Readers) != 1 || mem.Readers[0] != "r0" {
+		t.Fatalf("readers wrong: %v", mem.Readers)
+	}
+	if len(mem.Writers) != 1 || mem.Writers[0] != "w0" {
+		t.Fatalf("writers wrong: %v", mem.Writers)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		src   string
+		want  int64
+		width int
+	}{
+		{`UInt<8>(255)`, 255, 8},
+		{`UInt<8>("hff")`, 255, 8},
+		{`UInt<4>("b1010")`, 10, 4},
+		{`UInt<6>("o17")`, 15, 6},
+		{`SInt<4>(-8)`, -8, 4},
+		{`SInt<4>(7)`, 7, 4},
+		{`UInt(12)`, 12, 4},
+		{`SInt(-1)`, -1, 1},
+	}
+	for _, cse := range cases {
+		src := "circuit T :\n  module T :\n    output o : UInt<64>\n    node n = " +
+			cse.src + "\n    o <= n\n"
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.src, err)
+		}
+		lit := c.Top().Body[0].(*DefNode).Value.(*Lit)
+		if lit.Value.Cmp(big.NewInt(cse.want)) != 0 {
+			t.Errorf("%s: value %v, want %d", cse.src, lit.Value, cse.want)
+		}
+		if lit.Type.Width != cse.width {
+			t.Errorf("%s: width %d, want %d", cse.src, lit.Type.Width, cse.width)
+		}
+	}
+}
+
+func TestParseLiteralTooBig(t *testing.T) {
+	src := "circuit T :\n  module T :\n    output o : UInt<2>\n    o <= UInt<2>(9)\n"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("expected width error for UInt<2>(9)")
+	}
+}
+
+func TestParseNegativeUIntRejected(t *testing.T) {
+	src := "circuit T :\n  module T :\n    output o : UInt<4>\n    o <= UInt<4>(-1)\n"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("expected error for negative UInt literal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"circuit T :\n  module X :\n    skip\n",               // no top module
+		"circuit T :\n  module T :\n    wire w\n",             // missing type
+		"circuit T :\n  module T :\n    node n = foo(\n",      // bad expr
+		"circuit T :\n  module T :\n    w <= @\n",             // illegal token use
+		"circuit T :\n  module T :\n    node n = \"str\"\n",   // string as expr
+		"circuit T :\n  module T :\n   bad indent\n     x\n",  // inconsistent dedent
+		"circuit T :\n  module T :\n    wire w : Vector<8>\n", // unknown type
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestParseSourceLocatorsIgnored(t *testing.T) {
+	src := "circuit T :\n  module T : @[foo.scala 10:3]\n    output o : UInt<1> @[foo.scala 11:2]\n    o <= UInt<1>(0) @[foo.scala 12:9]\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("source locators should be skipped: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1 := parseSample(t)
+	printed := Print(c1)
+	c2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed output failed: %v\n%s", err, printed)
+	}
+	printed2 := Print(c2)
+	if printed != printed2 {
+		t.Fatalf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	c := parseSample(t)
+	n := LineCount(c)
+	if n < 30 {
+		t.Fatalf("suspiciously low line count %d", n)
+	}
+	if !strings.Contains(Print(c), "circuit Top :") {
+		t.Fatal("print missing circuit header")
+	}
+}
+
+func TestPrimArities(t *testing.T) {
+	for op, spec := range primSpecs {
+		if spec.numArgs < 1 || spec.numArgs > 2 {
+			t.Errorf("%v: bad arity %d", op, spec.numArgs)
+		}
+		got, ok := LookupPrim(spec.name)
+		if !ok || got != op {
+			t.Errorf("LookupPrim(%q) = %v, %v", spec.name, got, ok)
+		}
+	}
+	if _, ok := LookupPrim("frobnicate"); ok {
+		t.Error("unknown primop should not resolve")
+	}
+}
+
+func TestRefName(t *testing.T) {
+	e := &SubField{Of: &SubField{Of: &Ref{Name: "m"}, Field: "r0"}, Field: "data"}
+	if RefName(e) != "m.r0.data" {
+		t.Fatalf("RefName = %q", RefName(e))
+	}
+	if RefName(&Mux{}) != "" {
+		t.Fatal("non-ref should give empty name")
+	}
+}

@@ -1,0 +1,93 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"essent/internal/firrtl"
+)
+
+// Error-path coverage: the pipeline must produce actionable diagnostics.
+
+func lowerErr(t *testing.T, src string) error {
+	t.Helper()
+	c := mustParse(t, src)
+	_, _, err := Lower(c)
+	return err
+}
+
+func TestErrorMessages(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"port width required",
+			"circuit T :\n  module T :\n    input a : UInt\n    output o : UInt<4>\n    o <= pad(a, 4)\n",
+			"explicit width"},
+		{"zero width",
+			"circuit T :\n  module T :\n    input a : UInt<0>\n    output o : UInt<4>\n    o <= pad(a, 4)\n",
+			"zero-width"},
+		{"kind mismatch connect",
+			"circuit T :\n  module T :\n    input a : SInt<4>\n    output o : UInt<4>\n    o <= a\n",
+			"kind mismatch"},
+		{"dshl too wide",
+			"circuit T :\n  module T :\n    input a : UInt<4>\n    input s : UInt<30>\n    output o : UInt<64>\n    o <= tail(dshl(a, s), 1)\n",
+			"dshl"},
+		{"width explosion",
+			"circuit T :\n  module T :\n    input a : UInt<4000>\n    input b : UInt<4000>\n    output o : UInt<1>\n    o <= orr(mul(a, b))\n",
+			"maximum"},
+		{"head too large",
+			"circuit T :\n  module T :\n    input a : UInt<4>\n    output o : UInt<8>\n    o <= head(a, 8)\n",
+			"head"},
+	}
+	for _, c := range cases {
+		err := lowerErr(t, c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestExpandWhensBadTargets(t *testing.T) {
+	// Connect to a non-reference must be rejected during expansion.
+	m := &firrtl.Module{Name: "T", Body: []firrtl.Stmt{
+		&firrtl.Connect{
+			Loc:   &firrtl.Mux{Cond: &firrtl.Ref{Name: "a"}, T: &firrtl.Ref{Name: "b"}, F: &firrtl.Ref{Name: "c"}},
+			Value: &firrtl.Ref{Name: "d"},
+		},
+	}}
+	if _, err := ExpandWhens(m); err == nil {
+		t.Fatal("expected error for non-reference connect target")
+	}
+}
+
+func TestMemPortFieldTypes(t *testing.T) {
+	m := &firrtl.DefMemory{
+		Name: "m", DataType: firrtl.Type{Kind: firrtl.UIntType, Width: 12},
+		Depth: 10,
+	}
+	fields := MemPortFields(m)
+	if fields["addr"].Width != 4 { // ceil(log2(10)) = 4
+		t.Fatalf("addr width %d", fields["addr"].Width)
+	}
+	if fields["data"].Width != 12 || fields["en"].Width != 1 {
+		t.Fatal("field types wrong")
+	}
+}
+
+func TestCollectTypesDuplicate(t *testing.T) {
+	m := &firrtl.Module{Name: "T",
+		Ports: []firrtl.Port{
+			{Name: "a", Dir: firrtl.Input, Type: firrtl.Type{Kind: firrtl.UIntType, Width: 1}},
+		},
+		Body: []firrtl.Stmt{
+			&firrtl.DefWire{Name: "a", Type: firrtl.Type{Kind: firrtl.UIntType, Width: 2}},
+		},
+	}
+	if _, err := CollectTypes(m); err == nil {
+		t.Fatal("duplicate signal should be rejected")
+	}
+}

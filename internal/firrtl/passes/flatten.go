@@ -1,0 +1,208 @@
+package passes
+
+import (
+	"fmt"
+
+	"essent/internal/firrtl"
+)
+
+// Flatten inlines the entire module hierarchy into a single flat module.
+// Instance-internal signal x of instance `c` becomes `c$x`; references to
+// instance ports (`c.out`) become references to boundary wires (`c$out`).
+// Input modules must already be when-expanded. Recursive instantiation is
+// rejected.
+func Flatten(c *firrtl.Circuit) (*firrtl.Module, error) {
+	f := &flattener{circuit: c, inProgress: map[string]bool{}, done: map[string][]firrtl.Stmt{}}
+	top := c.Top()
+	if top == nil {
+		return nil, fmt.Errorf("flatten: circuit %q has no top module", c.Name)
+	}
+	body, err := f.flatBody(top)
+	if err != nil {
+		return nil, err
+	}
+	return &firrtl.Module{Name: top.Name, Ports: top.Ports, Body: body, Pos: top.Pos}, nil
+}
+
+type flattener struct {
+	circuit    *firrtl.Circuit
+	inProgress map[string]bool
+	done       map[string][]firrtl.Stmt
+}
+
+// flatBody returns the fully inlined body of m (unprefixed).
+func (f *flattener) flatBody(m *firrtl.Module) ([]firrtl.Stmt, error) {
+	if body, ok := f.done[m.Name]; ok {
+		return body, nil
+	}
+	if f.inProgress[m.Name] {
+		return nil, fmt.Errorf("flatten: recursive instantiation of module %s", m.Name)
+	}
+	f.inProgress[m.Name] = true
+	defer func() { f.inProgress[m.Name] = false }()
+
+	var out []firrtl.Stmt
+	for _, s := range m.Body {
+		inst, ok := s.(*firrtl.DefInstance)
+		if !ok {
+			out = append(out, s)
+			continue
+		}
+		child := f.circuit.Module(inst.Module)
+		if child == nil {
+			return nil, fmt.Errorf("flatten: %s: instance %s of unknown module %s",
+				inst.Position(), inst.Name, inst.Module)
+		}
+		childBody, err := f.flatBody(child)
+		if err != nil {
+			return nil, err
+		}
+		prefix := inst.Name + "$"
+		// Boundary wires for each child port.
+		for _, p := range child.Ports {
+			out = append(out, &firrtl.DefWire{Name: prefix + p.Name, Type: p.Type})
+		}
+		// Inline the child body with prefixed names.
+		for _, cs := range childBody {
+			out = append(out, prefixStmt(cs, prefix))
+		}
+	}
+	// Rewrite instance-port references (`c.out` → `c$out`) in this module's
+	// own statements (instances are already gone).
+	instNames := map[string]bool{}
+	for _, s := range m.Body {
+		if inst, ok := s.(*firrtl.DefInstance); ok {
+			instNames[inst.Name] = true
+		}
+	}
+	for i, s := range out {
+		out[i] = rewriteStmt(s, func(e firrtl.Expr) firrtl.Expr {
+			sf, ok := e.(*firrtl.SubField)
+			if !ok {
+				return nil
+			}
+			base, ok := sf.Of.(*firrtl.Ref)
+			if !ok || !instNames[base.Name] {
+				return nil
+			}
+			return &firrtl.Ref{Name: base.Name + "$" + sf.Field}
+		})
+	}
+	f.done[m.Name] = out
+	return out, nil
+}
+
+// prefixStmt clones a statement, prefixing every declared and referenced
+// top-level name.
+func prefixStmt(s firrtl.Stmt, prefix string) firrtl.Stmt {
+	pe := func(e firrtl.Expr) firrtl.Expr { return prefixExpr(e, prefix) }
+	switch x := s.(type) {
+	case *firrtl.DefWire:
+		return &firrtl.DefWire{Name: prefix + x.Name, Type: x.Type}
+	case *firrtl.DefReg:
+		r := &firrtl.DefReg{Name: prefix + x.Name, Type: x.Type, Clock: pe(x.Clock)}
+		if x.Reset != nil {
+			r.Reset = pe(x.Reset)
+			r.Init = pe(x.Init)
+		}
+		return r
+	case *firrtl.DefNode:
+		return &firrtl.DefNode{Name: prefix + x.Name, Value: pe(x.Value)}
+	case *firrtl.DefMemory:
+		m := *x
+		m.Name = prefix + x.Name
+		return &m
+	case *firrtl.Connect:
+		return &firrtl.Connect{Loc: pe(x.Loc), Value: pe(x.Value)}
+	case *firrtl.Invalid:
+		return &firrtl.Invalid{Loc: pe(x.Loc)}
+	case *firrtl.Printf:
+		args := make([]firrtl.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = pe(a)
+		}
+		return &firrtl.Printf{Clock: pe(x.Clock), En: pe(x.En), Format: x.Format, Args: args}
+	case *firrtl.Assert:
+		return &firrtl.Assert{Clock: pe(x.Clock), Pred: pe(x.Pred), En: pe(x.En), Msg: x.Msg}
+	case *firrtl.Stop:
+		return &firrtl.Stop{Clock: pe(x.Clock), En: pe(x.En), Code: x.Code}
+	case *firrtl.Skip:
+		return x
+	default:
+		// DefInstance cannot appear (inlined); When cannot appear
+		// (expanded). Return unchanged; the netlist builder will reject it.
+		return s
+	}
+}
+
+func prefixExpr(e firrtl.Expr, prefix string) firrtl.Expr {
+	return mapExpr(e, func(e firrtl.Expr) firrtl.Expr {
+		if r, ok := e.(*firrtl.Ref); ok {
+			return &firrtl.Ref{Name: prefix + r.Name}
+		}
+		return nil
+	})
+}
+
+// mapExpr rebuilds an expression, replacing any subexpression for which fn
+// returns non-nil. fn is applied top-down; replaced subtrees are not
+// re-visited.
+func mapExpr(e firrtl.Expr, fn func(firrtl.Expr) firrtl.Expr) firrtl.Expr {
+	if e == nil {
+		return nil
+	}
+	if r := fn(e); r != nil {
+		return r
+	}
+	switch x := e.(type) {
+	case *firrtl.Ref, *firrtl.Lit:
+		return e
+	case *firrtl.SubField:
+		return &firrtl.SubField{Of: mapExpr(x.Of, fn), Field: x.Field}
+	case *firrtl.Mux:
+		return &firrtl.Mux{Cond: mapExpr(x.Cond, fn), T: mapExpr(x.T, fn), F: mapExpr(x.F, fn)}
+	case *firrtl.ValidIf:
+		return &firrtl.ValidIf{Cond: mapExpr(x.Cond, fn), V: mapExpr(x.V, fn)}
+	case *firrtl.Prim:
+		args := make([]firrtl.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = mapExpr(a, fn)
+		}
+		return &firrtl.Prim{Op: x.Op, Args: args, Params: x.Params}
+	default:
+		return e
+	}
+}
+
+// rewriteStmt applies an expression rewriter to all expressions in a
+// statement.
+func rewriteStmt(s firrtl.Stmt, fn func(firrtl.Expr) firrtl.Expr) firrtl.Stmt {
+	pe := func(e firrtl.Expr) firrtl.Expr { return mapExpr(e, fn) }
+	switch x := s.(type) {
+	case *firrtl.DefReg:
+		r := &firrtl.DefReg{Name: x.Name, Type: x.Type, Clock: pe(x.Clock)}
+		if x.Reset != nil {
+			r.Reset = pe(x.Reset)
+			r.Init = pe(x.Init)
+		}
+		return r
+	case *firrtl.DefNode:
+		return &firrtl.DefNode{Name: x.Name, Value: pe(x.Value)}
+	case *firrtl.Connect:
+		return &firrtl.Connect{Loc: pe(x.Loc), Value: pe(x.Value)}
+	case *firrtl.Invalid:
+		return &firrtl.Invalid{Loc: pe(x.Loc)}
+	case *firrtl.Printf:
+		args := make([]firrtl.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = pe(a)
+		}
+		return &firrtl.Printf{Clock: pe(x.Clock), En: pe(x.En), Format: x.Format, Args: args}
+	case *firrtl.Assert:
+		return &firrtl.Assert{Clock: pe(x.Clock), Pred: pe(x.Pred), En: pe(x.En), Msg: x.Msg}
+	case *firrtl.Stop:
+		return &firrtl.Stop{Clock: pe(x.Clock), En: pe(x.En), Code: x.Code}
+	default:
+		return s
+	}
+}

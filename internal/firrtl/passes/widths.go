@@ -1,0 +1,448 @@
+package passes
+
+import (
+	"fmt"
+
+	"essent/internal/firrtl"
+)
+
+// MaxWidth bounds signal widths; dshl's worst-case width rule can explode
+// and this keeps diagnostics sane.
+const MaxWidth = 4096
+
+// SignalTypes maps flat signal names (including dotted memory-port fields)
+// to their ground types.
+type SignalTypes map[string]firrtl.Type
+
+// MemPortFields returns the field types of a memory port. reader=true for
+// read ports (addr, en, clk, data) and false for write ports (addr, en,
+// clk, data, mask).
+func MemPortFields(m *firrtl.DefMemory) map[string]firrtl.Type {
+	addrW := addrWidth(m.Depth)
+	fields := map[string]firrtl.Type{
+		"addr": {Kind: firrtl.UIntType, Width: addrW},
+		"en":   {Kind: firrtl.UIntType, Width: 1},
+		"clk":  {Kind: firrtl.ClockType, Width: 1},
+		"data": m.DataType,
+		"mask": {Kind: firrtl.UIntType, Width: 1},
+	}
+	return fields
+}
+
+func addrWidth(depth int) int {
+	w := 1
+	for 1<<uint(w) < depth {
+		w++
+	}
+	return w
+}
+
+// CollectTypes gathers declared signal types for a flat module. Unwidthed
+// declarations are recorded with Width == -1.
+func CollectTypes(m *firrtl.Module) (SignalTypes, error) {
+	st := SignalTypes{}
+	add := func(name string, t firrtl.Type, pos firrtl.Position) error {
+		if _, dup := st[name]; dup {
+			return fmt.Errorf("%s: duplicate signal %q", pos, name)
+		}
+		st[name] = t
+		return nil
+	}
+	for _, p := range m.Ports {
+		if err := add(p.Name, p.Type, p.Pos); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range m.Body {
+		switch x := s.(type) {
+		case *firrtl.DefWire:
+			if err := add(x.Name, x.Type, x.Position()); err != nil {
+				return nil, err
+			}
+		case *firrtl.DefReg:
+			if err := add(x.Name, x.Type, x.Position()); err != nil {
+				return nil, err
+			}
+		case *firrtl.DefNode:
+			if err := add(x.Name, firrtl.Type{Kind: firrtl.UnknownType, Width: -1}, x.Position()); err != nil {
+				return nil, err
+			}
+		case *firrtl.DefMemory:
+			for _, r := range x.Readers {
+				for f, t := range MemPortFields(x) {
+					if f == "mask" {
+						continue
+					}
+					if err := add(x.Name+"."+r+"."+f, t, x.Position()); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for _, w := range x.Writers {
+				for f, t := range MemPortFields(x) {
+					if err := add(x.Name+"."+w+"."+f, t, x.Position()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// ExprType computes the type of an expression given signal types.
+// Returns a type with Width == -1 when an operand's width is not yet
+// known; returns an error for malformed expressions or widths beyond
+// MaxWidth (intermediate expressions included).
+func ExprType(e firrtl.Expr, st SignalTypes) (firrtl.Type, error) {
+	t, err := exprType(e, st)
+	if err != nil {
+		return firrtl.Type{}, err
+	}
+	if t.Width > MaxWidth {
+		return firrtl.Type{}, fmt.Errorf("%s: expression width %d exceeds maximum %d",
+			e.Position(), t.Width, MaxWidth)
+	}
+	return t, nil
+}
+
+func exprType(e firrtl.Expr, st SignalTypes) (firrtl.Type, error) {
+	switch x := e.(type) {
+	case *firrtl.Ref:
+		t, ok := st[x.Name]
+		if !ok {
+			return firrtl.Type{}, fmt.Errorf("%s: undefined signal %q", x.Position(), x.Name)
+		}
+		return t, nil
+	case *firrtl.SubField:
+		name := firrtl.RefName(x)
+		t, ok := st[name]
+		if !ok {
+			return firrtl.Type{}, fmt.Errorf("%s: undefined signal %q", x.Position(), name)
+		}
+		return t, nil
+	case *firrtl.Lit:
+		return x.Type, nil
+	case *firrtl.Mux:
+		tt, err := ExprType(x.T, st)
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		ft, err := ExprType(x.F, st)
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		if _, err := ExprType(x.Cond, st); err != nil {
+			return firrtl.Type{}, err
+		}
+		kind := tt.Kind
+		if kind == firrtl.UnknownType {
+			kind = ft.Kind
+		}
+		if tt.Width < 0 || ft.Width < 0 {
+			return firrtl.Type{Kind: kind, Width: -1}, nil
+		}
+		return firrtl.Type{Kind: kind, Width: max(tt.Width, ft.Width)}, nil
+	case *firrtl.ValidIf:
+		if _, err := ExprType(x.Cond, st); err != nil {
+			return firrtl.Type{}, err
+		}
+		return ExprType(x.V, st)
+	case *firrtl.Prim:
+		return primType(x, st)
+	default:
+		return firrtl.Type{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func primType(x *firrtl.Prim, st SignalTypes) (firrtl.Type, error) {
+	ts := make([]firrtl.Type, len(x.Args))
+	for i, a := range x.Args {
+		t, err := ExprType(a, st)
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		ts[i] = t
+	}
+	unknown := false
+	for _, t := range ts {
+		if t.Width < 0 {
+			unknown = true
+		}
+	}
+	u := func(w int) firrtl.Type { return firrtl.Type{Kind: firrtl.UIntType, Width: w} }
+	sameKind := func() (firrtl.TypeKind, error) {
+		if len(ts) == 2 && ts[0].Kind != ts[1].Kind &&
+			ts[0].Kind != firrtl.UnknownType && ts[1].Kind != firrtl.UnknownType {
+			return 0, fmt.Errorf("%s: %v: mixed UInt/SInt operands", x.Position(), x.Op)
+		}
+		return ts[0].Kind, nil
+	}
+	maybe := func(t firrtl.Type) (firrtl.Type, error) {
+		if unknown {
+			t.Width = -1
+		}
+		return t, nil
+	}
+	p := func(i int) int { return x.Params[i] }
+
+	switch x.Op {
+	case firrtl.OpAdd, firrtl.OpSub:
+		k, err := sameKind()
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		return maybe(firrtl.Type{Kind: k, Width: max(ts[0].Width, ts[1].Width) + 1})
+	case firrtl.OpMul:
+		k, err := sameKind()
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		return maybe(firrtl.Type{Kind: k, Width: ts[0].Width + ts[1].Width})
+	case firrtl.OpDiv:
+		k, err := sameKind()
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		w := ts[0].Width
+		if k == firrtl.SIntType {
+			w++
+		}
+		return maybe(firrtl.Type{Kind: k, Width: w})
+	case firrtl.OpRem:
+		k, err := sameKind()
+		if err != nil {
+			return firrtl.Type{}, err
+		}
+		return maybe(firrtl.Type{Kind: k, Width: min(ts[0].Width, ts[1].Width)})
+	case firrtl.OpLt, firrtl.OpLeq, firrtl.OpGt, firrtl.OpGeq, firrtl.OpEq, firrtl.OpNeq:
+		if _, err := sameKind(); err != nil {
+			return firrtl.Type{}, err
+		}
+		return u(1), nil
+	case firrtl.OpPad:
+		return maybe(firrtl.Type{Kind: ts[0].Kind, Width: max(ts[0].Width, p(0))})
+	case firrtl.OpAsUInt:
+		return maybe(u(ts[0].Width))
+	case firrtl.OpAsSInt:
+		return maybe(firrtl.Type{Kind: firrtl.SIntType, Width: ts[0].Width})
+	case firrtl.OpAsClock:
+		return firrtl.Type{Kind: firrtl.ClockType, Width: 1}, nil
+	case firrtl.OpAsAsyncReset:
+		return firrtl.Type{Kind: firrtl.AsyncResetType, Width: 1}, nil
+	case firrtl.OpShl:
+		return maybe(firrtl.Type{Kind: ts[0].Kind, Width: ts[0].Width + p(0)})
+	case firrtl.OpShr:
+		return maybe(firrtl.Type{Kind: ts[0].Kind, Width: max(ts[0].Width-p(0), 1)})
+	case firrtl.OpDshl:
+		if unknown {
+			return firrtl.Type{Kind: ts[0].Kind, Width: -1}, nil
+		}
+		if ts[1].Width > 20 {
+			return firrtl.Type{}, fmt.Errorf("%s: dshl shift operand too wide (%d bits)",
+				x.Position(), ts[1].Width)
+		}
+		return firrtl.Type{Kind: ts[0].Kind, Width: ts[0].Width + (1 << uint(ts[1].Width)) - 1}, nil
+	case firrtl.OpDshr:
+		return maybe(firrtl.Type{Kind: ts[0].Kind, Width: ts[0].Width})
+	case firrtl.OpCvt:
+		w := ts[0].Width
+		if ts[0].Kind == firrtl.UIntType && w >= 0 {
+			w++
+		}
+		return maybe(firrtl.Type{Kind: firrtl.SIntType, Width: w})
+	case firrtl.OpNeg:
+		return maybe(firrtl.Type{Kind: firrtl.SIntType, Width: ts[0].Width + 1})
+	case firrtl.OpNot:
+		return maybe(u(ts[0].Width))
+	case firrtl.OpAnd, firrtl.OpOr, firrtl.OpXor:
+		return maybe(u(max(ts[0].Width, ts[1].Width)))
+	case firrtl.OpAndr, firrtl.OpOrr, firrtl.OpXorr:
+		return u(1), nil
+	case firrtl.OpCat:
+		return maybe(u(ts[0].Width + ts[1].Width))
+	case firrtl.OpBits:
+		hi, lo := p(0), p(1)
+		if lo < 0 || hi < lo {
+			return firrtl.Type{}, fmt.Errorf("%s: bits(%d, %d): bad range", x.Position(), hi, lo)
+		}
+		if !unknown && hi >= ts[0].Width {
+			return firrtl.Type{}, fmt.Errorf("%s: bits(%d, %d) exceeds operand width %d",
+				x.Position(), hi, lo, ts[0].Width)
+		}
+		return u(hi - lo + 1), nil
+	case firrtl.OpHead:
+		if !unknown && p(0) > ts[0].Width {
+			return firrtl.Type{}, fmt.Errorf("%s: head(%d) exceeds width %d", x.Position(), p(0), ts[0].Width)
+		}
+		return u(p(0)), nil
+	case firrtl.OpTail:
+		if unknown {
+			return firrtl.Type{Kind: firrtl.UIntType, Width: -1}, nil
+		}
+		if p(0) >= ts[0].Width {
+			return firrtl.Type{}, fmt.Errorf("%s: tail(%d) leaves no bits of width %d",
+				x.Position(), p(0), ts[0].Width)
+		}
+		return u(ts[0].Width - p(0)), nil
+	default:
+		return firrtl.Type{}, fmt.Errorf("%s: unsupported primop %v", x.Position(), x.Op)
+	}
+}
+
+// InferWidths resolves all unknown widths in a flat module by fixpoint
+// iteration, mutating the declarations in place. Node declarations adopt
+// their expression types; wires and registers adopt the type of their
+// single connect.
+func InferWidths(m *firrtl.Module) error {
+	st, err := CollectTypes(m)
+	if err != nil {
+		return err
+	}
+	for _, p := range m.Ports {
+		if p.Type.Width < 0 {
+			return fmt.Errorf("port %s: explicit width required", p.Name)
+		}
+	}
+	// Map wire/reg target names to their single connect value.
+	connects := map[string]firrtl.Expr{}
+	for _, s := range m.Body {
+		if c, ok := s.(*firrtl.Connect); ok {
+			connects[firrtl.RefName(c.Loc)] = c.Value
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter > len(st)+8 {
+			return fmt.Errorf("module %s: width inference did not converge", m.Name)
+		}
+		changed := false
+		for _, s := range m.Body {
+			switch x := s.(type) {
+			case *firrtl.DefNode:
+				if st[x.Name].Width >= 0 {
+					continue
+				}
+				t, err := ExprType(x.Value, st)
+				if err != nil {
+					return err
+				}
+				if t.Width >= 0 {
+					st[x.Name] = t
+					changed = true
+				}
+			case *firrtl.DefWire:
+				if x.Type.Width >= 0 {
+					continue
+				}
+				if v, ok := connects[x.Name]; ok {
+					t, err := ExprType(v, st)
+					if err != nil {
+						return err
+					}
+					if t.Width >= 0 {
+						x.Type.Width = t.Width
+						st[x.Name] = x.Type
+						changed = true
+					}
+				}
+			case *firrtl.DefReg:
+				if x.Type.Width >= 0 {
+					continue
+				}
+				if v, ok := connects[x.Name]; ok {
+					t, err := ExprType(v, st)
+					if err != nil {
+						return err
+					}
+					if t.Width >= 0 {
+						x.Type.Width = t.Width
+						st[x.Name] = x.Type
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Validate everything resolved and in range.
+	for name, t := range st {
+		if t.Width < 0 {
+			return fmt.Errorf("module %s: could not infer width of %q", m.Name, name)
+		}
+		if t.Width == 0 {
+			return fmt.Errorf("module %s: zero-width signal %q not supported", m.Name, name)
+		}
+		if t.Width > MaxWidth {
+			return fmt.Errorf("module %s: signal %q width %d exceeds maximum %d",
+				m.Name, name, t.Width, MaxWidth)
+		}
+	}
+	// Validate connects (RHS must fit; kinds must agree except zero lits).
+	for _, s := range m.Body {
+		c, ok := s.(*firrtl.Connect)
+		if !ok {
+			continue
+		}
+		name := firrtl.RefName(c.Loc)
+		lt := st[name]
+		rt, err := ExprType(c.Value, st)
+		if err != nil {
+			return err
+		}
+		if lt.Kind == firrtl.ClockType || lt.Kind == firrtl.AsyncResetType ||
+			rt.Kind == firrtl.ClockType || rt.Kind == firrtl.AsyncResetType {
+			continue // clock wiring is structural only
+		}
+		zeroLit := false
+		if l, isLit := c.Value.(*firrtl.Lit); isLit && l.Value.Sign() == 0 {
+			zeroLit = true
+		}
+		if lt.Kind != rt.Kind && !zeroLit {
+			return fmt.Errorf("%s: connect %s: kind mismatch (%v <= %v)",
+				c.Position(), name, lt, rt)
+		}
+		if rt.Width > lt.Width {
+			return fmt.Errorf("%s: connect %s: value width %d exceeds target width %d",
+				c.Position(), name, rt.Width, lt.Width)
+		}
+	}
+	return nil
+}
+
+// Lower runs the full pipeline: when-expansion on every module, hierarchy
+// flattening, then width inference. The result is the flat module the
+// netlist builder consumes, along with its signal types.
+func Lower(c *firrtl.Circuit) (*firrtl.Module, SignalTypes, error) {
+	expanded := &firrtl.Circuit{Name: c.Name}
+	for _, m := range c.Modules {
+		em, err := ExpandWhens(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		expanded.Modules = append(expanded.Modules, em)
+	}
+	flat, err := Flatten(expanded)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := InferWidths(flat); err != nil {
+		return nil, nil, err
+	}
+	st, err := CollectTypes(flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Re-resolve node types (CollectTypes records nodes as unknown).
+	for _, s := range flat.Body {
+		if n, ok := s.(*firrtl.DefNode); ok {
+			t, err := ExprType(n.Value, st)
+			if err != nil {
+				return nil, nil, err
+			}
+			st[n.Name] = t
+		}
+	}
+	return flat, st, nil
+}

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTopoSortChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Fatalf("order violates edges: %v", order)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic should be false")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("expected 3-cycle, got %v", cyc)
+	}
+}
+
+func TestTopoSortParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 0 {
+		t.Fatalf("bad order %v", order)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1)
+	if g.IsAcyclic() {
+		t.Fatal("self loop should be cyclic")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 1 || cyc[0] != 1 {
+		t.Fatalf("expected [1], got %v", cyc)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles and one singleton: 0↔1 → 2 → 3↔4
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 3)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("expected 3 SCCs, got %v", comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 2 || sizes[1] != 1 {
+		t.Fatalf("unexpected SCC sizes: %v", comps)
+	}
+	// Reverse topological: the sink component {3,4} must come before {0,1}.
+	idxOf := func(node int) int {
+		for i, c := range comps {
+			for _, v := range c {
+				if v == node {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if idxOf(3) > idxOf(0) {
+		t.Fatalf("SCCs not in reverse topological order: %v", comps)
+	}
+}
+
+func TestSCCsAcyclicAllSingletons(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.SCCs()
+	if len(comps) != 6 {
+		t.Fatalf("expected 6 singleton SCCs, got %d", len(comps))
+	}
+}
+
+func TestSCCLongChainNoStackOverflow(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	comps := g.SCCs()
+	if len(comps) != n {
+		t.Fatalf("expected %d SCCs, got %d", n, len(comps))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.Reachable(0, 2) {
+		t.Fatal("0 should reach 2")
+	}
+	if g.Reachable(2, 0) {
+		t.Fatal("2 should not reach 0")
+	}
+	if g.Reachable(0, 4) {
+		t.Fatal("0 should not reach 4")
+	}
+	if !g.Reachable(3, 3) {
+		t.Fatal("node reaches itself")
+	}
+}
+
+func TestRandomDAGTopoProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(100)
+		g := New(n)
+		// Edges only from lower to higher IDs ⇒ acyclic by construction.
+		for i := 0; i < n*2; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(u, v)
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("trial %d: unexpected cycle: %v", trial, err)
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if pos[u] >= pos[v] {
+					t.Fatalf("trial %d: edge %d→%d violated", trial, u, v)
+				}
+			}
+		}
+		if len(g.SCCs()) != n {
+			t.Fatalf("trial %d: DAG should have all-singleton SCCs", trial)
+		}
+	}
+}
+
+func TestRandomCyclicDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(50)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(u, v)
+		}
+		// Close a random back edge along a path to force a cycle.
+		g.AddEdge(n-1, 0)
+		g.AddEdge(0, n-1)
+		if g.IsAcyclic() {
+			t.Fatalf("trial %d: cycle not detected", trial)
+		}
+		cyc := g.FindCycle()
+		if len(cyc) == 0 {
+			t.Fatalf("trial %d: FindCycle returned nil on cyclic graph", trial)
+		}
+		// Verify the cycle is a real closed walk.
+		for i, u := range cyc {
+			v := cyc[(i+1)%len(cyc)]
+			found := false
+			for _, w := range g.Out(u) {
+				if w == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: reported cycle %v has no edge %d→%d", trial, cyc, u, v)
+			}
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	dot := g.DOT("t", func(i int) string { return "node" })
+	if !strings.Contains(dot, "n0 -> n1") || !strings.Contains(dot, "digraph") {
+		t.Fatalf("bad DOT output: %s", dot)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1)
+	id := g.AddNode()
+	if id != 1 || g.Len() != 2 {
+		t.Fatal("AddNode bookkeeping wrong")
+	}
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatal("NumEdges wrong")
+	}
+}

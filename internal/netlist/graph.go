@@ -1,0 +1,140 @@
+package netlist
+
+import (
+	"fmt"
+
+	"essent/internal/graph"
+)
+
+// NodeKind classifies design-graph nodes.
+type NodeKind uint8
+
+// Design-graph node kinds. Signal nodes come first (node ID == SignalID);
+// sink nodes (memory writes, displays, checks) follow.
+const (
+	NodeSignal NodeKind = iota
+	NodeMemWrite
+	NodeDisplay
+	NodeCheck
+)
+
+// DesignGraph couples the dependency graph with node metadata. Node IDs
+// [0, len(Signals)) are signals; the rest are side-effect sinks.
+type DesignGraph struct {
+	G *graph.Graph
+	D *Design
+	// Kind and Index identify each node: for NodeSignal, Index is the
+	// SignalID; for sinks it indexes the corresponding design table.
+	Kind  []NodeKind
+	Index []int
+
+	sink []bool
+}
+
+// NumSignals returns the count of signal nodes (the prefix of node IDs).
+func (dg *DesignGraph) NumSignals() int { return len(dg.D.Signals) }
+
+// IsSource reports whether the node has no combinational inputs this
+// cycle: external inputs, register outputs.
+func (dg *DesignGraph) IsSource(n int) bool {
+	if dg.Kind[n] != NodeSignal {
+		return false
+	}
+	k := dg.D.Signals[n].Kind
+	return k == KInput || k == KRegOut
+}
+
+// IsSink reports whether the node is a state/effect sink: memory writes,
+// displays, checks, register next values, and top-level outputs.
+func (dg *DesignGraph) IsSink(n int) bool { return dg.sink[n] }
+
+// BuildGraph constructs the dependency graph of a design: one node per
+// signal plus one per sink, with an edge u → v when v reads u this cycle.
+// Register outputs have no in-edges and register next-values no out-edges
+// (the state split of §II that breaks feedback cycles).
+func BuildGraph(d *Design) *DesignGraph {
+	n := len(d.Signals) + len(d.MemWrites) + len(d.Displays) + len(d.Checks)
+	dg := &DesignGraph{
+		G:     graph.New(n),
+		D:     d,
+		Kind:  make([]NodeKind, n),
+		Index: make([]int, n),
+	}
+	addArg := func(a Arg, to int) {
+		if !a.IsConst() {
+			dg.G.AddEdge(int(a.Sig), to)
+		}
+	}
+	for i := range d.Signals {
+		dg.Kind[i] = NodeSignal
+		dg.Index[i] = i
+		s := &d.Signals[i]
+		switch s.Kind {
+		case KComb:
+			for _, a := range s.Op.Args {
+				addArg(a, i)
+			}
+		case KMemRead:
+			r := &d.MemReads[s.MemRead]
+			addArg(r.Addr, i)
+			addArg(r.En, i)
+		}
+	}
+	next := len(d.Signals)
+	for i := range d.MemWrites {
+		dg.Kind[next] = NodeMemWrite
+		dg.Index[next] = i
+		w := &d.MemWrites[i]
+		addArg(w.Addr, next)
+		addArg(w.En, next)
+		addArg(w.Data, next)
+		addArg(w.Mask, next)
+		next++
+	}
+	for i := range d.Displays {
+		dg.Kind[next] = NodeDisplay
+		dg.Index[next] = i
+		addArg(d.Displays[i].En, next)
+		for _, a := range d.Displays[i].Args {
+			addArg(a, next)
+		}
+		next++
+	}
+	for i := range d.Checks {
+		dg.Kind[next] = NodeCheck
+		dg.Index[next] = i
+		addArg(d.Checks[i].En, next)
+		addArg(d.Checks[i].Pred, next)
+		next++
+	}
+	dg.sink = make([]bool, n)
+	for i := len(d.Signals); i < n; i++ {
+		dg.sink[i] = true
+	}
+	for i := range d.Signals {
+		if d.Signals[i].IsOutput {
+			dg.sink[i] = true
+		}
+	}
+	for i := range d.Regs {
+		dg.sink[d.Regs[i].Next] = true
+	}
+	return dg
+}
+
+// TopoOrder returns a topological order of all nodes, or an error naming
+// the signals on a combinational loop.
+func (dg *DesignGraph) TopoOrder() ([]int, error) {
+	order, err := dg.G.TopoSort()
+	if err != nil {
+		cyc := dg.G.FindCycle()
+		names := make([]string, 0, len(cyc))
+		for _, n := range cyc {
+			if dg.Kind[n] == NodeSignal {
+				names = append(names, dg.D.Signals[n].Name)
+			}
+		}
+		return nil, fmt.Errorf("netlist: combinational loop through %v: %w", names, err)
+	}
+	return order, nil
+}

@@ -1,0 +1,261 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"essent/internal/bits"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+	"essent/internal/sim"
+)
+
+func compile(t *testing.T, src string) *netlist.Design {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConstFold(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input a : UInt<8>
+    output o : UInt<9>
+    node k1 = add(UInt<8>(3), UInt<8>(4))
+    node k2 = bits(k1, 3, 0)
+    o <= add(a, k2)
+`
+	d := compile(t, src)
+	od, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConstFolded < 2 {
+		t.Fatalf("expected ≥2 folds, got %+v", st)
+	}
+	// Behavior preserved.
+	s, err := sim.NewFullCycle(od, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := od.SignalByName("a")
+	o, _ := od.SignalByName("o")
+	s.Poke(a, 10)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(o); got != 17 {
+		t.Fatalf("o = %d, want 17", got)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input a : UInt<8>
+    input b : UInt<8>
+    output o1 : UInt<9>
+    output o2 : UInt<9>
+    node s1 = add(a, b)
+    node s2 = add(a, b)
+    o1 <= s1
+    o2 <= s2
+`
+	d := compile(t, src)
+	_, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CSEMerged < 1 {
+		t.Fatalf("expected CSE merge, got %+v", st)
+	}
+}
+
+func TestDCERemovesDeadLogic(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    node dead1 = not(a)
+    node dead2 = add(dead1, a)
+    reg deadreg : UInt<8>, clock
+    deadreg <= a
+    o <= a
+    mem deadmem :
+      data-type => UInt<8>
+      depth => 4
+      read-latency => 0
+      write-latency => 1
+      writer => w
+    deadmem.w.addr <= bits(a, 1, 0)
+    deadmem.w.en <= UInt<1>(1)
+    deadmem.w.clk <= clock
+    deadmem.w.data <= a
+    deadmem.w.mask <= UInt<1>(1)
+`
+	d := compile(t, src)
+	od, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRegs != 1 {
+		t.Fatalf("dead reg not removed: %+v", st)
+	}
+	if st.DeadMems != 1 {
+		t.Fatalf("dead mem not removed: %+v", st)
+	}
+	if st.DeadSignals == 0 {
+		t.Fatalf("dead signals not removed: %+v", st)
+	}
+	if _, ok := od.SignalByName("dead1"); ok {
+		t.Fatal("dead1 survived DCE")
+	}
+	if _, ok := od.SignalByName("a"); !ok {
+		t.Fatal("input must survive DCE")
+	}
+	if len(od.Mems) != 0 || len(od.MemWrites) != 0 {
+		t.Fatal("dead memory plumbing survived")
+	}
+}
+
+func TestDCEKeepsAssertCone(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    node guard = lt(a, UInt<8>(200))
+    o <= a
+    assert(clock, guard, UInt<1>(1), "bound")
+`
+	d := compile(t, src)
+	od, _, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := od.SignalByName("guard"); !ok {
+		t.Fatal("assert predicate cone must stay live")
+	}
+}
+
+// TestOptimizedEquivalence fuzzes: the optimized design must behave
+// identically to the original on every engine, for shared signals.
+func TestOptimizedEquivalence(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		c := randckt.Generate(seed+500, randckt.DefaultConfig())
+		d, err := netlist.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		od, _, err := Optimize(d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := sim.NewFullCycle(d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subjects := make([]sim.Simulator, 0, 3)
+		for _, o := range []sim.Options{
+			{Engine: sim.EngineFullCycleOpt},
+			{Engine: sim.EngineCCSS, Cp: 8},
+			{Engine: sim.EngineEventDriven},
+		} {
+			s, err := sim.New(od, o)
+			if err != nil {
+				t.Fatalf("seed %d engine %v: %v", seed, o.Engine, err)
+			}
+			subjects = append(subjects, s)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 80; cyc++ {
+			if cyc == 0 || rng.Intn(3) == 0 {
+				in := d.Inputs[rng.Intn(len(d.Inputs))]
+				name := d.Signals[in].Name
+				w := d.Signals[in].Width
+				words := make([]uint64, bits.Words(w))
+				for i := range words {
+					words[i] = rng.Uint64()
+				}
+				bits.MaskInto(words, w)
+				ref.PokeWide(in, words)
+				for _, s := range subjects {
+					id, ok := od.SignalByName(name)
+					if !ok {
+						t.Fatalf("input %s lost in optimization", name)
+					}
+					s.PokeWide(id, words)
+				}
+			}
+			if err := ref.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range subjects {
+				if err := s.Step(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Compare on outputs and surviving registers by name.
+			refState := observe(ref, d, od)
+			for si, s := range subjects {
+				if got := observe(s, od, od); got != refState {
+					t.Fatalf("seed %d cyc %d subject %d diverged:\nref %s\ngot %s",
+						seed, cyc, si, refState, got)
+				}
+			}
+		}
+	}
+}
+
+// observe renders the state of signals present in the optimized design.
+func observe(s sim.Simulator, own, opt *netlist.Design) string {
+	out := ""
+	for _, o := range opt.Outputs {
+		name := opt.Signals[o].Name
+		id, _ := own.SignalByName(name)
+		out += fmt.Sprintf("%s=%x;", name, s.PeekWide(id, nil))
+	}
+	for ri := range opt.Regs {
+		name := opt.Regs[ri].Name
+		id, ok := own.SignalByName(name)
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("%s=%x;", name, s.PeekWide(id, nil))
+	}
+	return out
+}
+
+func TestOptimizeStatsNonTrivial(t *testing.T) {
+	c := randckt.Generate(42, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(od.Signals) > len(d.Signals) {
+		t.Fatal("optimization should not grow the design")
+	}
+	t.Logf("opt stats: %+v (%d → %d signals)", st, len(d.Signals), len(od.Signals))
+}

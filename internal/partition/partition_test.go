@@ -1,0 +1,263 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+)
+
+func buildDesign(t *testing.T, seed int64, cfg randckt.Config) *netlist.DesignGraph {
+	t.Helper()
+	c := randckt.Generate(seed, cfg)
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	return netlist.BuildGraph(d)
+}
+
+func srcDesign(t *testing.T, src string) *netlist.DesignGraph {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netlist.BuildGraph(d)
+}
+
+// checkInvariants verifies the core partitioning invariants: exact cover
+// of schedulable nodes, acyclic partition graph, always-on singletons.
+func checkInvariants(t *testing.T, dg *netlist.DesignGraph, res *Result) {
+	t.Helper()
+	numSignals := len(dg.D.Signals)
+	seen := map[int]int{}
+	for p, ms := range res.Parts {
+		for _, n := range ms {
+			if prev, dup := seen[n]; dup {
+				t.Fatalf("node %d in partitions %d and %d", n, prev, p)
+			}
+			seen[n] = p
+			if res.PartOf[n] != p {
+				t.Fatalf("PartOf[%d]=%d but member of %d", n, res.PartOf[n], p)
+			}
+		}
+	}
+	for n := 0; n < dg.G.Len(); n++ {
+		schedulable := false
+		if n < numSignals {
+			k := dg.D.Signals[n].Kind
+			schedulable = k == netlist.KComb || k == netlist.KMemRead
+		} else {
+			schedulable = true
+		}
+		if schedulable {
+			if _, ok := seen[n]; !ok {
+				t.Fatalf("schedulable node %d not covered", n)
+			}
+		} else if res.PartOf[n] != -1 {
+			t.Fatalf("source node %d assigned to partition %d", n, res.PartOf[n])
+		}
+	}
+	if _, ok := TopoOrder(dg, res); !ok {
+		t.Fatal("partition graph is cyclic")
+	}
+	for p, on := range res.AlwaysOn {
+		if on && len(res.Parts[p]) != 1 {
+			t.Fatalf("always-on partition %d has %d members", p, len(res.Parts[p]))
+		}
+	}
+}
+
+func TestPartitionRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		dg := buildDesign(t, seed, randckt.DefaultConfig())
+		for _, cp := range []int{1, 4, 8, 32} {
+			res, err := Partition(dg, Options{Cp: cp})
+			if err != nil {
+				t.Fatalf("seed %d cp %d: %v", seed, cp, err)
+			}
+			checkInvariants(t, dg, res)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	dg := buildDesign(t, 7, randckt.DefaultConfig())
+	r1, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg2 := buildDesign(t, 7, randckt.DefaultConfig())
+	r2, err := Partition(dg2, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Parts, r2.Parts) {
+		t.Fatal("partitioning is not deterministic")
+	}
+}
+
+func TestCpCoarsens(t *testing.T) {
+	dg := buildDesign(t, 3, randckt.Config{
+		Nodes: 200, Regs: 16, Inputs: 6, Outputs: 4, MaxWidth: 32,
+	})
+	fine, err := Partition(dg, Options{Cp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Partition(dg, Options{Cp: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Stats.FinalParts > fine.Stats.FinalParts {
+		t.Fatalf("larger Cp should not yield more partitions: %d vs %d",
+			coarse.Stats.FinalParts, fine.Stats.FinalParts)
+	}
+	// Cp=1 declares no partition small, so phases B/C are no-ops.
+	if fine.Stats.AfterPhaseA != fine.Stats.FinalParts {
+		t.Fatalf("Cp=1 should stop after phase A: %d vs %d",
+			fine.Stats.AfterPhaseA, fine.Stats.FinalParts)
+	}
+}
+
+// The Fig. 2 shape: an acyclic graph whose naive partitioning would be
+// cyclic. The partitioner must produce an acyclic alternative.
+func TestFig2ShapeStaysAcyclic(t *testing.T) {
+	src := `
+circuit F :
+  module F :
+    input a : UInt<4>
+    input b : UInt<4>
+    output o1 : UInt<4>
+    output o2 : UInt<4>
+    node x = not(a)
+    node y = and(x, b)
+    node z = or(x, y)
+    o1 <= y
+    o2 <= z
+`
+	dg := srcDesign(t, src)
+	res, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, dg, res)
+}
+
+func TestSingleParentMergePhaseA(t *testing.T) {
+	// A linear pipeline of logic between registers collapses to few
+	// partitions: each register's cone plus merges.
+	src := `
+circuit P :
+  module P :
+    input clock : Clock
+    input in : UInt<8>
+    output out : UInt<8>
+    node a = not(in)
+    node b = not(a)
+    node c = not(b)
+    out <= c
+`
+	dg := srcDesign(t, src)
+	res, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, dg, res)
+	// The whole chain is one cone already (MFFC), so one partition.
+	if res.Stats.FinalParts != 1 {
+		t.Fatalf("chain should be a single partition, got %d", res.Stats.FinalParts)
+	}
+}
+
+func TestRepeatedStructureMergesTogether(t *testing.T) {
+	// 8 independent 1-bit operations on the same two inputs (a bit-vector
+	// pattern): phase B should group them rather than leave 8 singletons.
+	src := `
+circuit B :
+  module B :
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<8>
+    node b0 = and(bits(a, 0, 0), bits(b, 0, 0))
+    node b1 = and(bits(a, 1, 1), bits(b, 1, 1))
+    node b2 = and(bits(a, 2, 2), bits(b, 2, 2))
+    node b3 = and(bits(a, 3, 3), bits(b, 3, 3))
+    node b4 = and(bits(a, 4, 4), bits(b, 4, 4))
+    node b5 = and(bits(a, 5, 5), bits(b, 5, 5))
+    node b6 = and(bits(a, 6, 6), bits(b, 6, 6))
+    node b7 = and(bits(a, 7, 7), bits(b, 7, 7))
+    o <= cat(cat(cat(b7, b6), cat(b5, b4)), cat(cat(b3, b2), cat(b1, b0)))
+`
+	dg := srcDesign(t, src)
+	res, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, dg, res)
+	if res.Stats.FinalParts > 2 {
+		t.Fatalf("repeated structure should coalesce, got %d partitions (sizes %v)",
+			res.Stats.FinalParts, sizes(res))
+	}
+}
+
+func sizes(res *Result) []int {
+	out := make([]int, len(res.Parts))
+	for i, p := range res.Parts {
+		out[i] = len(p)
+	}
+	return out
+}
+
+func TestDisplayCheckSingletons(t *testing.T) {
+	src := `
+circuit D :
+  module D :
+    input clock : Clock
+    input x : UInt<4>
+    output o : UInt<4>
+    o <= x
+    printf(clock, UInt<1>(1), "x=%d\n", x)
+    assert(clock, lt(x, UInt<4>(15)), UInt<1>(1), "r")
+`
+	dg := srcDesign(t, src)
+	res, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, dg, res)
+	on := 0
+	for _, a := range res.AlwaysOn {
+		if a {
+			on++
+		}
+	}
+	if on != 2 {
+		t.Fatalf("expected 2 always-on partitions (printf + assert), got %d", on)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	dg := buildDesign(t, 11, randckt.DefaultConfig())
+	res, err := Partition(dg, Options{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.NumNodes == 0 || st.InitialParts == 0 || st.FinalParts == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.FinalParts > st.InitialParts {
+		t.Fatal("merging cannot increase partition count")
+	}
+	if st.MaxSize == 0 || st.MeanSize == 0 {
+		t.Fatalf("size stats missing: %+v", st)
+	}
+}

@@ -1,0 +1,441 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into instruction words. Supported
+// syntax: one instruction or label per line; `label:`; comments with `#`
+// or `//`; `.word <value>`; pseudo-instructions li, la, mv, not, neg, j,
+// jr, ret, call, nop, beqz, bnez, blez, bgez, bltz, bgtz.
+func Assemble(src string) ([]uint32, error) {
+	a := &assembler{labels: map[string]int32{}}
+	// Pass 1: expand pseudos, record label addresses.
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripAsmComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("asm: line %d: bad label %q", ln+1, label)
+			}
+			a.labels[label] = int32(len(a.items) * 4)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.expand(line, ln+1); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: encode with resolved labels.
+	out := make([]uint32, len(a.items))
+	for i, it := range a.items {
+		w, err := a.encode(it, int32(i*4))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+type asmItem struct {
+	spec    *Spec
+	rd, rs1 int
+	rs2     int
+	imm     int32
+	label   string // pending label reference (pc-relative for B/J, absolute otherwise)
+	word    uint32 // raw .word value
+	isWord  bool
+	line    int
+	hi      bool // %hi-style upper part of an absolute label (for la)
+	lo      bool
+}
+
+type assembler struct {
+	items  []asmItem
+	labels map[string]int32
+}
+
+func stripAsmComment(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func parseReg(s string) (int, error) {
+	r, ok := abiRegs[strings.TrimSpace(s)]
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func parseImm(s string) (int32, bool) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// expand parses one statement, expanding pseudo-instructions.
+func (a *assembler) expand(line string, ln int) error {
+	fields := strings.Fields(line)
+	mn := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	emit := func(it asmItem) {
+		it.line = ln
+		a.items = append(a.items, it)
+	}
+	fail := func(formatStr string, v ...any) error {
+		return fmt.Errorf("asm: line %d: %s", ln, fmt.Sprintf(formatStr, v...))
+	}
+
+	switch mn {
+	case ".word":
+		if len(args) != 1 {
+			return fail(".word needs one value")
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(args[0]), 0, 33)
+		if err != nil {
+			return fail("bad .word %q", args[0])
+		}
+		emit(asmItem{isWord: true, word: uint32(v)})
+		return nil
+	case "nop":
+		emit(asmItem{spec: SpecByName["addi"]})
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fail("li rd, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, ok := parseImm(args[1])
+		if !ok {
+			return fail("bad immediate %q", args[1])
+		}
+		a.emitLI(rd, imm, ln)
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fail("la rd, label")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		label := strings.TrimSpace(args[1])
+		// Absolute address: lui + addi pair with label fixup.
+		emit(asmItem{spec: SpecByName["lui"], rd: rd, label: label, hi: true})
+		emit(asmItem{spec: SpecByName["addi"], rd: rd, rs1: rd, label: label, lo: true})
+		return nil
+	case "mv":
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		emit(asmItem{spec: SpecByName["addi"], rd: rd, rs1: rs})
+		return nil
+	case "not":
+		rd, _ := parseReg(args[0])
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		emit(asmItem{spec: SpecByName["xori"], rd: rd, rs1: rs, imm: -1})
+		return nil
+	case "neg":
+		rd, _ := parseReg(args[0])
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		emit(asmItem{spec: SpecByName["sub"], rd: rd, rs1: 0, rs2: rs})
+		return nil
+	case "j":
+		emit(asmItem{spec: SpecByName["jal"], rd: 0, label: strings.TrimSpace(args[0])})
+		return nil
+	case "jr":
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		emit(asmItem{spec: SpecByName["jalr"], rd: 0, rs1: rs})
+		return nil
+	case "ret":
+		emit(asmItem{spec: SpecByName["jalr"], rd: 0, rs1: 1})
+		return nil
+	case "call":
+		emit(asmItem{spec: SpecByName["jal"], rd: 1, label: strings.TrimSpace(args[0])})
+		return nil
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		label := strings.TrimSpace(args[1])
+		switch mn {
+		case "beqz":
+			emit(asmItem{spec: SpecByName["beq"], rs1: rs, rs2: 0, label: label})
+		case "bnez":
+			emit(asmItem{spec: SpecByName["bne"], rs1: rs, rs2: 0, label: label})
+		case "blez":
+			emit(asmItem{spec: SpecByName["bge"], rs1: 0, rs2: rs, label: label})
+		case "bgez":
+			emit(asmItem{spec: SpecByName["bge"], rs1: rs, rs2: 0, label: label})
+		case "bltz":
+			emit(asmItem{spec: SpecByName["blt"], rs1: rs, rs2: 0, label: label})
+		case "bgtz":
+			emit(asmItem{spec: SpecByName["blt"], rs1: 0, rs2: rs, label: label})
+		}
+		return nil
+	}
+
+	spec, ok := SpecByName[mn]
+	if !ok {
+		return fail("unknown instruction %q", mn)
+	}
+	it := asmItem{spec: spec}
+	var err error
+	switch spec.Fmt {
+	case FmtR:
+		if len(args) != 3 {
+			return fail("%s rd, rs1, rs2", mn)
+		}
+		if it.rd, err = parseReg(args[0]); err != nil {
+			return fail("%v", err)
+		}
+		if it.rs1, err = parseReg(args[1]); err != nil {
+			return fail("%v", err)
+		}
+		if it.rs2, err = parseReg(args[2]); err != nil {
+			return fail("%v", err)
+		}
+	case FmtI:
+		switch spec.Opcode {
+		case opLOAD:
+			// lw rd, off(rs1)
+			if len(args) != 2 {
+				return fail("%s rd, off(rs1)", mn)
+			}
+			if it.rd, err = parseReg(args[0]); err != nil {
+				return fail("%v", err)
+			}
+			if it.imm, it.rs1, err = parseMemOperand(args[1]); err != nil {
+				return fail("%v", err)
+			}
+		case opSYSTEM:
+			// ecall/ebreak take no operands
+		case opJALR:
+			// jalr rd, off(rs1) or jalr rd, rs1, off
+			if len(args) == 2 {
+				if it.rd, err = parseReg(args[0]); err != nil {
+					return fail("%v", err)
+				}
+				if it.imm, it.rs1, err = parseMemOperand(args[1]); err != nil {
+					return fail("%v", err)
+				}
+			} else if len(args) == 3 {
+				if it.rd, err = parseReg(args[0]); err != nil {
+					return fail("%v", err)
+				}
+				if it.rs1, err = parseReg(args[1]); err != nil {
+					return fail("%v", err)
+				}
+				imm, ok := parseImm(args[2])
+				if !ok {
+					return fail("bad imm")
+				}
+				it.imm = imm
+			} else {
+				return fail("jalr rd, off(rs1)")
+			}
+		default:
+			if len(args) != 3 {
+				return fail("%s rd, rs1, imm", mn)
+			}
+			if it.rd, err = parseReg(args[0]); err != nil {
+				return fail("%v", err)
+			}
+			if it.rs1, err = parseReg(args[1]); err != nil {
+				return fail("%v", err)
+			}
+			imm, ok := parseImm(args[2])
+			if !ok {
+				return fail("bad immediate %q", args[2])
+			}
+			it.imm = imm
+		}
+	case FmtS:
+		if len(args) != 2 {
+			return fail("%s rs2, off(rs1)", mn)
+		}
+		if it.rs2, err = parseReg(args[0]); err != nil {
+			return fail("%v", err)
+		}
+		if it.imm, it.rs1, err = parseMemOperand(args[1]); err != nil {
+			return fail("%v", err)
+		}
+	case FmtB:
+		if len(args) != 3 {
+			return fail("%s rs1, rs2, label", mn)
+		}
+		if it.rs1, err = parseReg(args[0]); err != nil {
+			return fail("%v", err)
+		}
+		if it.rs2, err = parseReg(args[1]); err != nil {
+			return fail("%v", err)
+		}
+		if imm, ok := parseImm(args[2]); ok {
+			it.imm = imm
+		} else {
+			it.label = strings.TrimSpace(args[2])
+		}
+	case FmtU:
+		if len(args) != 2 {
+			return fail("%s rd, imm", mn)
+		}
+		if it.rd, err = parseReg(args[0]); err != nil {
+			return fail("%v", err)
+		}
+		imm, ok := parseImm(args[1])
+		if !ok {
+			return fail("bad immediate %q", args[1])
+		}
+		it.imm = imm << 12
+	case FmtJ:
+		if len(args) != 2 {
+			return fail("%s rd, label", mn)
+		}
+		if it.rd, err = parseReg(args[0]); err != nil {
+			return fail("%v", err)
+		}
+		if imm, ok := parseImm(args[1]); ok {
+			it.imm = imm
+		} else {
+			it.label = strings.TrimSpace(args[1])
+		}
+	}
+	emit(it)
+	return nil
+}
+
+// emitLI expands `li rd, imm` into lui/addi as needed.
+func (a *assembler) emitLI(rd int, imm int32, ln int) {
+	if imm >= -2048 && imm < 2048 {
+		a.items = append(a.items, asmItem{
+			spec: SpecByName["addi"], rd: rd, imm: imm, line: ln,
+		})
+		return
+	}
+	upper := (imm + 0x800) >> 12
+	lower := imm - upper<<12
+	a.items = append(a.items, asmItem{
+		spec: SpecByName["lui"], rd: rd, imm: upper << 12, line: ln,
+	})
+	if lower != 0 {
+		a.items = append(a.items, asmItem{
+			spec: SpecByName["addi"], rd: rd, rs1: rd, imm: lower, line: ln,
+		})
+	}
+}
+
+func (a *assembler) encode(it asmItem, pc int32) (uint32, error) {
+	if it.isWord {
+		return it.word, nil
+	}
+	imm := it.imm
+	if it.label != "" {
+		target, ok := a.labels[it.label]
+		if !ok {
+			return 0, fmt.Errorf("asm: line %d: undefined label %q", it.line, it.label)
+		}
+		switch {
+		case it.hi:
+			abs := target + int32(ImemBase)
+			imm = ((abs + 0x800) >> 12) << 12
+		case it.lo:
+			abs := target + int32(ImemBase)
+			upper := (abs + 0x800) >> 12
+			imm = abs - upper<<12
+		case it.spec.Fmt == FmtB || it.spec.Fmt == FmtJ:
+			imm = target - pc
+		default:
+			imm = target
+		}
+	}
+	return Encode(it.spec, it.rd, it.rs1, it.rs2, imm), nil
+}
+
+// parseMemOperand parses "off(reg)".
+func parseMemOperand(s string) (int32, int, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off int32
+	if offStr != "" {
+		v, ok := parseImm(offStr)
+		if !ok {
+			return 0, 0, fmt.Errorf("bad offset %q", offStr)
+		}
+		off = v
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+// splitArgs splits on commas outside parentheses.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,281 @@
+package riscv
+
+import "fmt"
+
+// Emu is the golden RV32IM emulator. It shares the SoC's memory map:
+// instructions at ImemBase, data at DmemBase, halt-on-store at
+// TohostAddr (or ecall, which reports a0).
+type Emu struct {
+	PC      uint32
+	Regs    [32]uint32
+	Imem    []uint32
+	Dmem    []uint32
+	Halted  bool
+	Tohost  uint32
+	Instret uint64
+}
+
+// NewEmu builds an emulator with the program loaded and dmemWords words of
+// data RAM.
+func NewEmu(program []uint32, dmemWords int) *Emu {
+	return &Emu{
+		Imem: append([]uint32(nil), program...),
+		Dmem: make([]uint32, dmemWords),
+	}
+}
+
+// load reads a 32-bit word at a word-aligned byte address.
+func (e *Emu) load(addr uint32) (uint32, error) {
+	switch {
+	case addr >= DmemBase && addr < DmemBase+uint32(len(e.Dmem))*4:
+		return e.Dmem[(addr-DmemBase)/4], nil
+	case addr >= ImemBase && addr < ImemBase+uint32(len(e.Imem))*4:
+		return e.Imem[(addr-ImemBase)/4], nil
+	default:
+		return 0, fmt.Errorf("emu: load from unmapped address %#x (pc %#x)", addr, e.PC)
+	}
+}
+
+func (e *Emu) store(addr, val uint32) error {
+	switch {
+	case addr == TohostAddr:
+		e.Tohost = val
+		e.Halted = true
+		return nil
+	case addr >= DmemBase && addr < DmemBase+uint32(len(e.Dmem))*4:
+		e.Dmem[(addr-DmemBase)/4] = val
+		return nil
+	default:
+		return fmt.Errorf("emu: store to unmapped address %#x (pc %#x)", addr, e.PC)
+	}
+}
+
+// Step executes one instruction.
+func (e *Emu) Step() error {
+	if e.Halted {
+		return nil
+	}
+	if e.PC%4 != 0 || e.PC/4 >= uint32(len(e.Imem)) {
+		return fmt.Errorf("emu: pc out of range %#x", e.PC)
+	}
+	ins := e.Imem[e.PC/4]
+	f := Decode(ins)
+	rs1 := e.Regs[f.Rs1]
+	rs2 := e.Regs[f.Rs2]
+	next := e.PC + 4
+	var rd uint32
+	wb := false
+
+	switch f.Opcode {
+	case opLUI:
+		rd, wb = uint32(f.ImmU), true
+	case opAUIPC:
+		rd, wb = e.PC+uint32(f.ImmU), true
+	case opJAL:
+		rd, wb = next, true
+		next = e.PC + uint32(f.ImmJ)
+	case opJALR:
+		rd, wb = next, true
+		next = (rs1 + uint32(f.ImmI)) &^ 1
+	case opBRANCH:
+		taken := false
+		switch f.Funct3 {
+		case 0:
+			taken = rs1 == rs2
+		case 1:
+			taken = rs1 != rs2
+		case 4:
+			taken = int32(rs1) < int32(rs2)
+		case 5:
+			taken = int32(rs1) >= int32(rs2)
+		case 6:
+			taken = rs1 < rs2
+		case 7:
+			taken = rs1 >= rs2
+		default:
+			return fmt.Errorf("emu: bad branch funct3 %d", f.Funct3)
+		}
+		if taken {
+			next = e.PC + uint32(f.ImmB)
+		}
+	case opLOAD:
+		addr := rs1 + uint32(f.ImmI)
+		word, err := e.load(addr &^ 3)
+		if err != nil {
+			return err
+		}
+		sh := (addr % 4) * 8
+		switch f.Funct3 {
+		case 0: // lb
+			rd = uint32(int32(word>>sh<<24) >> 24)
+		case 1: // lh
+			rd = uint32(int32(word>>sh<<16) >> 16)
+		case 2: // lw
+			rd = word
+		case 4: // lbu
+			rd = word >> sh & 0xFF
+		case 5: // lhu
+			rd = word >> sh & 0xFFFF
+		default:
+			return fmt.Errorf("emu: bad load funct3 %d", f.Funct3)
+		}
+		wb = true
+	case opSTORE:
+		addr := rs1 + uint32(f.ImmS)
+		base := addr &^ 3
+		sh := (addr % 4) * 8
+		switch f.Funct3 {
+		case 0: // sb
+			if base == TohostAddr {
+				return e.advance(next, e.store(base, rs2&0xFF))
+			}
+			word, err := e.load(base)
+			if err != nil {
+				return err
+			}
+			word = word&^(0xFF<<sh) | (rs2&0xFF)<<sh
+			if err := e.store(base, word); err != nil {
+				return err
+			}
+		case 1: // sh
+			if base == TohostAddr {
+				return e.advance(next, e.store(base, rs2&0xFFFF))
+			}
+			word, err := e.load(base)
+			if err != nil {
+				return err
+			}
+			word = word&^(0xFFFF<<sh) | (rs2&0xFFFF)<<sh
+			if err := e.store(base, word); err != nil {
+				return err
+			}
+		case 2: // sw
+			if err := e.store(base, rs2); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("emu: bad store funct3 %d", f.Funct3)
+		}
+	case opOPIMM:
+		rd, wb = alu(f.Funct3, f.Funct7, true, rs1, uint32(f.ImmI)), true
+	case opOP:
+		if f.Funct7 == 1 {
+			rd, wb = muldiv(f.Funct3, rs1, rs2), true
+		} else {
+			rd, wb = alu(f.Funct3, f.Funct7, false, rs1, rs2), true
+		}
+	case opSYSTEM:
+		// ecall/ebreak halt, reporting a0.
+		e.Tohost = e.Regs[10]
+		e.Halted = true
+		return nil
+	default:
+		return fmt.Errorf("emu: unknown opcode %#x at pc %#x", f.Opcode, e.PC)
+	}
+	if wb && f.Rd != 0 {
+		e.Regs[f.Rd] = rd
+	}
+	return e.advance(next, nil)
+}
+
+func (e *Emu) advance(next uint32, err error) error {
+	if err != nil {
+		return err
+	}
+	e.PC = next
+	e.Instret++
+	return nil
+}
+
+// alu implements the shared integer operations. For immediate forms
+// (isImm), sub/sra selection uses the shift immediate's funct7 bits only
+// for shifts.
+func alu(funct3, funct7 uint32, isImm bool, a, b uint32) uint32 {
+	switch funct3 {
+	case 0:
+		if !isImm && funct7 == 0x20 {
+			return a - b
+		}
+		return a + b
+	case 1:
+		return a << (b & 31)
+	case 2:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case 3:
+		if a < b {
+			return 1
+		}
+		return 0
+	case 4:
+		return a ^ b
+	case 5:
+		if funct7 == 0x20 {
+			return uint32(int32(a) >> (b & 31))
+		}
+		return a >> (b & 31)
+	case 6:
+		return a | b
+	case 7:
+		return a & b
+	}
+	return 0
+}
+
+// muldiv implements the M extension.
+func muldiv(funct3, a, b uint32) uint32 {
+	switch funct3 {
+	case 0: // mul
+		return a * b
+	case 1: // mulh
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case 2: // mulhsu
+		return uint32(uint64(int64(int32(a))*int64(b)) >> 32)
+	case 3: // mulhu
+		return uint32(uint64(a) * uint64(b) >> 32)
+	case 4: // div
+		switch {
+		case b == 0:
+			return ^uint32(0)
+		case int32(a) == -1<<31 && int32(b) == -1:
+			return a
+		default:
+			return uint32(int32(a) / int32(b))
+		}
+	case 5: // divu
+		if b == 0 {
+			return ^uint32(0)
+		}
+		return a / b
+	case 6: // rem
+		switch {
+		case b == 0:
+			return a
+		case int32(a) == -1<<31 && int32(b) == -1:
+			return 0
+		default:
+			return uint32(int32(a) % int32(b))
+		}
+	case 7: // remu
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	return 0
+}
+
+// Run executes until halt or maxInstrs, returning an error on traps.
+func (e *Emu) Run(maxInstrs uint64) error {
+	for !e.Halted && e.Instret < maxInstrs {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	if !e.Halted {
+		return fmt.Errorf("emu: did not halt within %d instructions", maxInstrs)
+	}
+	return nil
+}

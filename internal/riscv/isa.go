@@ -1,0 +1,237 @@
+// Package riscv implements the software substrate of the evaluation: the
+// RV32IM instruction set (encodings, assembler, disassembler), a golden
+// ISA emulator, and the three workload programs of Table II (dhrystone,
+// matmul, pchase). The RTL SoC in internal/designs executes the same
+// binaries; final architectural state must match the emulator.
+package riscv
+
+import "fmt"
+
+// Memory map shared by the emulator and the RTL SoC.
+const (
+	// ImemBase is the instruction scratchpad base (execution starts here).
+	ImemBase = 0x0000_0000
+	// DmemBase is the data RAM base.
+	DmemBase = 0x8000_0000
+	// TohostAddr receives the result signature; a store here halts.
+	TohostAddr = 0x4000_0000
+)
+
+// Opcode field values.
+const (
+	opLUI    = 0x37
+	opAUIPC  = 0x17
+	opJAL    = 0x6F
+	opJALR   = 0x67
+	opBRANCH = 0x63
+	opLOAD   = 0x03
+	opSTORE  = 0x23
+	opOPIMM  = 0x13
+	opOP     = 0x33
+	opSYSTEM = 0x73
+)
+
+// Fmt is an instruction encoding format.
+type Fmt int
+
+// Encoding formats.
+const (
+	FmtR Fmt = iota
+	FmtI
+	FmtS
+	FmtB
+	FmtU
+	FmtJ
+)
+
+// Spec describes one instruction mnemonic.
+type Spec struct {
+	Name   string
+	Fmt    Fmt
+	Opcode uint32
+	Funct3 uint32
+	Funct7 uint32
+}
+
+// Specs lists every supported instruction.
+var Specs = []Spec{
+	{"lui", FmtU, opLUI, 0, 0},
+	{"auipc", FmtU, opAUIPC, 0, 0},
+	{"jal", FmtJ, opJAL, 0, 0},
+	{"jalr", FmtI, opJALR, 0, 0},
+	{"beq", FmtB, opBRANCH, 0, 0},
+	{"bne", FmtB, opBRANCH, 1, 0},
+	{"blt", FmtB, opBRANCH, 4, 0},
+	{"bge", FmtB, opBRANCH, 5, 0},
+	{"bltu", FmtB, opBRANCH, 6, 0},
+	{"bgeu", FmtB, opBRANCH, 7, 0},
+	{"lb", FmtI, opLOAD, 0, 0},
+	{"lh", FmtI, opLOAD, 1, 0},
+	{"lw", FmtI, opLOAD, 2, 0},
+	{"lbu", FmtI, opLOAD, 4, 0},
+	{"lhu", FmtI, opLOAD, 5, 0},
+	{"sb", FmtS, opSTORE, 0, 0},
+	{"sh", FmtS, opSTORE, 1, 0},
+	{"sw", FmtS, opSTORE, 2, 0},
+	{"addi", FmtI, opOPIMM, 0, 0},
+	{"slti", FmtI, opOPIMM, 2, 0},
+	{"sltiu", FmtI, opOPIMM, 3, 0},
+	{"xori", FmtI, opOPIMM, 4, 0},
+	{"ori", FmtI, opOPIMM, 6, 0},
+	{"andi", FmtI, opOPIMM, 7, 0},
+	{"slli", FmtI, opOPIMM, 1, 0x00},
+	{"srli", FmtI, opOPIMM, 5, 0x00},
+	{"srai", FmtI, opOPIMM, 5, 0x20},
+	{"add", FmtR, opOP, 0, 0x00},
+	{"sub", FmtR, opOP, 0, 0x20},
+	{"sll", FmtR, opOP, 1, 0x00},
+	{"slt", FmtR, opOP, 2, 0x00},
+	{"sltu", FmtR, opOP, 3, 0x00},
+	{"xor", FmtR, opOP, 4, 0x00},
+	{"srl", FmtR, opOP, 5, 0x00},
+	{"sra", FmtR, opOP, 5, 0x20},
+	{"or", FmtR, opOP, 6, 0x00},
+	{"and", FmtR, opOP, 7, 0x00},
+	{"mul", FmtR, opOP, 0, 0x01},
+	{"mulh", FmtR, opOP, 1, 0x01},
+	{"mulhsu", FmtR, opOP, 2, 0x01},
+	{"mulhu", FmtR, opOP, 3, 0x01},
+	{"div", FmtR, opOP, 4, 0x01},
+	{"divu", FmtR, opOP, 5, 0x01},
+	{"rem", FmtR, opOP, 6, 0x01},
+	{"remu", FmtR, opOP, 7, 0x01},
+	{"ecall", FmtI, opSYSTEM, 0, 0},
+	{"ebreak", FmtI, opSYSTEM, 0, 0},
+}
+
+// SpecByName indexes Specs by mnemonic.
+var SpecByName = func() map[string]*Spec {
+	m := map[string]*Spec{}
+	for i := range Specs {
+		m[Specs[i].Name] = &Specs[i]
+	}
+	return m
+}()
+
+// abiRegs maps register names (ABI and xN) to numbers.
+var abiRegs = func() map[string]int {
+	m := map[string]int{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+		"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+		"a6": 16, "a7": 17,
+		"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+		"s8": 24, "s9": 25, "s10": 26, "s11": 27,
+		"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = i
+	}
+	return m
+}()
+
+// Encode assembles one instruction from its fields. imm interpretation
+// depends on the format (already relocated for B/J).
+func Encode(s *Spec, rd, rs1, rs2 int, imm int32) uint32 {
+	o := s.Opcode | s.Funct3<<12
+	u := func(v int32, bits uint) uint32 { return uint32(v) & (1<<bits - 1) }
+	switch s.Fmt {
+	case FmtR:
+		return o | uint32(rd)<<7 | uint32(rs1)<<15 | uint32(rs2)<<20 | s.Funct7<<25
+	case FmtI:
+		enc := o | uint32(rd)<<7 | uint32(rs1)<<15 | u(imm, 12)<<20
+		if s.Name == "slli" || s.Name == "srli" || s.Name == "srai" {
+			enc = o | uint32(rd)<<7 | uint32(rs1)<<15 | u(imm, 5)<<20 | s.Funct7<<25
+		}
+		if s.Name == "ebreak" {
+			enc |= 1 << 20
+		}
+		return enc
+	case FmtS:
+		return o | uint32(rs1)<<15 | uint32(rs2)<<20 |
+			u(imm, 5)<<7 | u(imm>>5, 7)<<25
+	case FmtB:
+		return o | uint32(rs1)<<15 | uint32(rs2)<<20 |
+			u(imm>>11, 1)<<7 | u(imm>>1, 4)<<8 |
+			u(imm>>5, 6)<<25 | u(imm>>12, 1)<<31
+	case FmtU:
+		return s.Opcode | uint32(rd)<<7 | u(imm>>12, 20)<<12
+	case FmtJ:
+		return s.Opcode | uint32(rd)<<7 |
+			u(imm>>12, 8)<<12 | u(imm>>11, 1)<<20 |
+			u(imm>>1, 10)<<21 | u(imm>>20, 1)<<31
+	}
+	return 0
+}
+
+// Fields unpacks a raw instruction word.
+type Fields struct {
+	Opcode, Rd, Funct3, Rs1, Rs2, Funct7 uint32
+	ImmI, ImmS, ImmB, ImmU, ImmJ         int32
+}
+
+// Decode splits an instruction word into fields.
+func Decode(ins uint32) Fields {
+	sext := func(v uint32, bits uint) int32 {
+		return int32(v<<(32-bits)) >> (32 - bits)
+	}
+	f := Fields{
+		Opcode: ins & 0x7F,
+		Rd:     ins >> 7 & 0x1F,
+		Funct3: ins >> 12 & 0x7,
+		Rs1:    ins >> 15 & 0x1F,
+		Rs2:    ins >> 20 & 0x1F,
+		Funct7: ins >> 25 & 0x7F,
+	}
+	f.ImmI = sext(ins>>20, 12)
+	f.ImmS = sext(ins>>25<<5|ins>>7&0x1F, 12)
+	f.ImmB = sext(
+		(ins>>31&1)<<12|(ins>>7&1)<<11|(ins>>25&0x3F)<<5|(ins>>8&0xF)<<1, 13)
+	f.ImmU = int32(ins & 0xFFFFF000)
+	f.ImmJ = sext(
+		(ins>>31&1)<<20|(ins>>12&0xFF)<<12|(ins>>20&1)<<11|(ins>>21&0x3FF)<<1, 21)
+	return f
+}
+
+// Disassemble renders an instruction word (best effort, for diagnostics).
+func Disassemble(ins uint32) string {
+	f := Decode(ins)
+	for i := range Specs {
+		s := &Specs[i]
+		if s.Opcode != f.Opcode {
+			continue
+		}
+		switch s.Fmt {
+		case FmtR:
+			if s.Funct3 == f.Funct3 && s.Funct7 == f.Funct7 {
+				return fmt.Sprintf("%s x%d, x%d, x%d", s.Name, f.Rd, f.Rs1, f.Rs2)
+			}
+		case FmtI:
+			if s.Funct3 == f.Funct3 {
+				if s.Name == "slli" || s.Name == "srli" || s.Name == "srai" {
+					if s.Funct7 != f.Funct7 {
+						continue
+					}
+					return fmt.Sprintf("%s x%d, x%d, %d", s.Name, f.Rd, f.Rs1, f.Rs2)
+				}
+				if s.Opcode == opLOAD {
+					return fmt.Sprintf("%s x%d, %d(x%d)", s.Name, f.Rd, f.ImmI, f.Rs1)
+				}
+				return fmt.Sprintf("%s x%d, x%d, %d", s.Name, f.Rd, f.Rs1, f.ImmI)
+			}
+		case FmtS:
+			if s.Funct3 == f.Funct3 {
+				return fmt.Sprintf("%s x%d, %d(x%d)", s.Name, f.Rs2, f.ImmS, f.Rs1)
+			}
+		case FmtB:
+			if s.Funct3 == f.Funct3 {
+				return fmt.Sprintf("%s x%d, x%d, %d", s.Name, f.Rs1, f.Rs2, f.ImmB)
+			}
+		case FmtU:
+			return fmt.Sprintf("%s x%d, %#x", s.Name, f.Rd, uint32(f.ImmU)>>12)
+		case FmtJ:
+			return fmt.Sprintf("%s x%d, %d", s.Name, f.Rd, f.ImmJ)
+		}
+	}
+	return fmt.Sprintf(".word %#08x", ins)
+}

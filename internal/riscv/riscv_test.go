@@ -1,0 +1,295 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec         string
+		rd, rs1, rs2 int
+		imm          int32
+	}{
+		{"add", 3, 4, 5, 0},
+		{"sub", 31, 1, 2, 0},
+		{"addi", 7, 8, 0, -2048},
+		{"addi", 7, 8, 0, 2047},
+		{"lw", 10, 2, 0, 124},
+		{"sw", 0, 2, 11, -4},
+		{"beq", 0, 5, 6, -8},
+		{"bne", 0, 5, 6, 4094},
+		{"jal", 1, 0, 0, -1048576},
+		{"jal", 1, 0, 0, 2048},
+		{"lui", 15, 0, 0, int32(-4096)}, // 0xFFFFF000
+		{"srai", 4, 4, 0, 31},
+		{"mul", 9, 10, 11, 0},
+	}
+	for _, c := range cases {
+		s := SpecByName[c.spec]
+		if s == nil {
+			t.Fatalf("no spec %q", c.spec)
+		}
+		ins := Encode(s, c.rd, c.rs1, c.rs2, c.imm)
+		f := Decode(ins)
+		if f.Opcode != s.Opcode {
+			t.Errorf("%s: opcode %#x, want %#x", c.spec, f.Opcode, s.Opcode)
+		}
+		switch s.Fmt {
+		case FmtR:
+			if int(f.Rd) != c.rd || int(f.Rs1) != c.rs1 || int(f.Rs2) != c.rs2 {
+				t.Errorf("%s: regs wrong", c.spec)
+			}
+		case FmtI:
+			if c.spec == "srai" {
+				if int(f.Rs2) != int(c.imm) {
+					t.Errorf("srai shamt = %d, want %d", f.Rs2, c.imm)
+				}
+			} else if f.ImmI != c.imm {
+				t.Errorf("%s: immI = %d, want %d", c.spec, f.ImmI, c.imm)
+			}
+		case FmtS:
+			if f.ImmS != c.imm {
+				t.Errorf("%s: immS = %d, want %d", c.spec, f.ImmS, c.imm)
+			}
+		case FmtB:
+			if f.ImmB != c.imm {
+				t.Errorf("%s: immB = %d, want %d", c.spec, f.ImmB, c.imm)
+			}
+		case FmtU:
+			if f.ImmU != c.imm {
+				t.Errorf("%s: immU = %#x, want %#x", c.spec, f.ImmU, c.imm)
+			}
+		case FmtJ:
+			if f.ImmJ != c.imm {
+				t.Errorf("%s: immJ = %d, want %d", c.spec, f.ImmJ, c.imm)
+			}
+		}
+	}
+}
+
+func TestAssembleSimple(t *testing.T) {
+	prog, err := Assemble(`
+    addi x1, x0, 5     # x1 = 5
+    addi x2, x0, 7
+    add  x3, x1, x2
+    li t1, 0x40000000
+    sw x3, 0(t1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 64)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.Tohost != 12 {
+		t.Fatalf("tohost = %d, want 12", e.Tohost)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	prog, err := Assemble(`
+    li a0, 0
+    li t0, 10
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li t1, 0x40000000
+    sw a0, 0(t1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 64)
+	if err := e.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Tohost != 55 {
+		t.Fatalf("tohost = %d, want 55", e.Tohost)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	prog, err := Assemble(`
+    li a0, 21
+    call double
+    li t1, 0x40000000
+    sw a0, 0(t1)
+double:
+    add a0, a0, a0
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 64)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.Tohost != 42 {
+		t.Fatalf("tohost = %d, want 42", e.Tohost)
+	}
+}
+
+func TestByteHalfAccess(t *testing.T) {
+	prog, err := Assemble(`
+    li s1, 0x80000000
+    li t0, 0x80
+    sb t0, 1(s1)       # byte 1
+    li t0, 0xBEEF
+    sh t0, 2(s1)       # halfword at offset 2
+    lw a0, 0(s1)
+    lb a1, 1(s1)       # sign-extended 0x80 = -128
+    lhu a2, 2(s1)
+    add a0, a0, a1
+    add a0, a0, a2
+    li t1, 0x40000000
+    sw a0, 0(t1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 64)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	minus128 := int32(-128)
+	want := uint32(0xBEEF8000) + uint32(minus128) + 0xBEEF
+	if e.Tohost != want {
+		t.Fatalf("tohost = %#x, want %#x", e.Tohost, want)
+	}
+}
+
+func TestMulDivSemantics(t *testing.T) {
+	// div by zero → -1; most-negative/−1 → most-negative (RISC-V spec).
+	prog, err := Assemble(`
+    li t0, 100
+    li t1, 0
+    div a0, t0, t1     # -1
+    li t2, -2147483648
+    li t3, -1
+    div a1, t2, t3     # 0x80000000
+    rem a2, t2, t3     # 0
+    add a0, a0, a1
+    add a0, a0, a2
+    li t1, 0x40000000
+    sw a0, 0(t1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 64)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	minusOne := ^uint32(0)
+	want := minusOne + 0x80000000
+	if e.Tohost != want {
+		t.Fatalf("tohost = %#x, want %#x", e.Tohost, want)
+	}
+}
+
+func TestWorkloadsRunOnEmulator(t *testing.T) {
+	ws, err := Workloads(DefaultWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("expected 3 workloads")
+	}
+	sigs := map[string]uint32{}
+	for _, w := range ws {
+		e := NewEmu(w.Program, 16384)
+		if err := e.Run(5_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		sigs[w.Name] = e.Tohost
+		t.Logf("%s: %d instructions, signature %#x", w.Name, e.Instret, e.Tohost)
+		if e.Instret < 100 {
+			t.Errorf("%s: suspiciously short run (%d instrs)", w.Name, e.Instret)
+		}
+	}
+	// Signatures must be deterministic.
+	ws2, _ := Workloads(DefaultWorkloadConfig())
+	for _, w := range ws2 {
+		e := NewEmu(w.Program, 16384)
+		if err := e.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if e.Tohost != sigs[w.Name] {
+			t.Errorf("%s: nondeterministic signature", w.Name)
+		}
+	}
+}
+
+func TestPchaseVisitsChain(t *testing.T) {
+	// pchase's final index after k hops of next = (i+97) mod n from 0 is
+	// (97*k) mod n.
+	prog, err := Assemble(PchaseAsm(128, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmu(prog, 4096)
+	if err := e.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(97 * 500 % 128)
+	if e.Tohost != want {
+		t.Fatalf("pchase signature = %d, want %d", e.Tohost, want)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog, err := Assemble(`
+    add x3, x1, x2
+    lw a0, 8(sp)
+    beq x1, x2, next
+next:
+    lui t0, 0x12345
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{"add x3, x1, x2", "lw x10, 8(x2)", "beq x1, x2, 4", "lui x5, 0x12345"}
+	for i, want := range cases {
+		if got := Disassemble(prog[i]); got != want {
+			t.Errorf("disasm[%d] = %q, want %q", i, got, want)
+		}
+	}
+	if !strings.HasPrefix(Disassemble(0xFFFFFFFF), ".word") {
+		t.Error("garbage should disassemble to .word")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate x1, x2",
+		"add x1, x2",
+		"addi x1, x99, 0",
+		"lw x1, noparen",
+		"beq x1, x2, missing_label",
+		".word zzz",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestEmuTraps(t *testing.T) {
+	// Load from unmapped memory.
+	prog, _ := Assemble("li t0, 0x50000000\nlw a0, 0(t0)")
+	e := NewEmu(prog, 16)
+	if err := e.Run(10); err == nil {
+		t.Error("expected trap for unmapped load")
+	}
+	// Runaway (no halt).
+	prog2, _ := Assemble("loop: j loop")
+	e2 := NewEmu(prog2, 16)
+	if err := e2.Run(100); err == nil {
+		t.Error("expected non-halt error")
+	}
+}

@@ -1,0 +1,259 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is a named program with the paper's Table II role.
+type Workload struct {
+	Name        string
+	Description string
+	Program     []uint32
+}
+
+// WorkloadConfig scales the workloads (the paper runs hundreds of
+// thousands to millions of cycles; benchmarks here default smaller and
+// scale up via these knobs).
+type WorkloadConfig struct {
+	// MatmulN is the matrix dimension for matmul.
+	MatmulN int
+	// PchaseNodes is the pointer-chain length; PchaseHops the number of
+	// dependent loads performed.
+	PchaseNodes int
+	PchaseHops  int
+	// DhrystoneIters is the outer loop count of the dhrystone-like mix.
+	DhrystoneIters int
+}
+
+// DefaultWorkloadConfig suits unit tests and quick runs.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{MatmulN: 8, PchaseNodes: 256, PchaseHops: 2000, DhrystoneIters: 40}
+}
+
+// Workloads assembles the three Table II programs.
+func Workloads(cfg WorkloadConfig) ([]Workload, error) {
+	var out []Workload
+	for _, w := range []struct {
+		name, desc, src string
+	}{
+		{"dhrystone", "Dhrystone-style mixed integer/branch/string microbenchmark",
+			DhrystoneAsm(cfg.DhrystoneIters)},
+		{"matmul", "Dense integer matrix multiplication benchmark",
+			MatmulAsm(cfg.MatmulN)},
+		{"pchase", "Pointer-chasing synthetic microbenchmark (dependent loads)",
+			PchaseAsm(cfg.PchaseNodes, cfg.PchaseHops)},
+	} {
+		prog, err := Assemble(w.src)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.name, err)
+		}
+		out = append(out, Workload{Name: w.name, Description: w.desc, Program: prog})
+	}
+	return out, nil
+}
+
+// MatmulAsm computes C = A×B for n×n int32 matrices materialized in data
+// RAM, then reports the sum of C's elements through tohost.
+func MatmulAsm(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+# matmul: C[i][j] = sum_k A[i][k]*B[k][j], n = %d
+    li s0, %d          # n
+    li s1, 0x80000000  # A base
+    li s2, 0x80001000  # B base
+    li s3, 0x80002000  # C base
+
+# init: A[i][j] = i + 2*j + 1, B[i][j] = i ^ (3*j)
+    li t0, 0           # i
+init_i:
+    li t1, 0           # j
+init_j:
+    mul t2, t0, s0
+    add t2, t2, t1
+    slli t2, t2, 2     # element byte offset
+    slli t3, t1, 1
+    add t3, t3, t0
+    addi t3, t3, 1
+    add t4, s1, t2
+    sw t3, 0(t4)       # A[i][j]
+    slli t3, t1, 1
+    add t3, t3, t1     # 3*j
+    xor t3, t3, t0
+    add t4, s2, t2
+    sw t3, 0(t4)       # B[i][j]
+    addi t1, t1, 1
+    blt t1, s0, init_j
+    addi t0, t0, 1
+    blt t0, s0, init_i
+
+# multiply
+    li t0, 0           # i
+mul_i:
+    li t1, 0           # j
+mul_j:
+    li t5, 0           # acc
+    li t2, 0           # k
+mul_k:
+    mul t3, t0, s0
+    add t3, t3, t2
+    slli t3, t3, 2
+    add t3, t3, s1
+    lw t3, 0(t3)       # A[i][k]
+    mul t4, t2, s0
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, t4, s2
+    lw t4, 0(t4)       # B[k][j]
+    mul t3, t3, t4
+    add t5, t5, t3
+    addi t2, t2, 1
+    blt t2, s0, mul_k
+    mul t3, t0, s0
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, t3, s3
+    sw t5, 0(t3)       # C[i][j]
+    addi t1, t1, 1
+    blt t1, s0, mul_j
+    addi t0, t0, 1
+    blt t0, s0, mul_i
+
+# signature: sum of C
+    li t0, 0           # index
+    mul t6, s0, s0
+    li a0, 0
+sum_loop:
+    slli t3, t0, 2
+    add t3, t3, s3
+    lw t3, 0(t3)
+    add a0, a0, t3
+    addi t0, t0, 1
+    blt t0, t6, sum_loop
+
+    li t1, 0x40000000
+    sw a0, 0(t1)       # tohost: halt with signature
+halt:
+    j halt
+`, n, n)
+	return b.String()
+}
+
+// PchaseAsm builds a pseudo-random single-cycle permutation of nodes
+// entries and chases it hops times; the final index is the signature.
+func PchaseAsm(nodes, hops int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+# pchase: %d nodes, %d hops
+    li s0, %d          # nodes
+    li s1, 0x80000000  # chain base
+
+# Build chain with a stride that is coprime to nodes: next = (i + 97) %% n
+    li t0, 0           # i
+build:
+    addi t1, t0, 97
+    rem t1, t1, s0     # (i + 97) mod nodes
+    slli t2, t0, 2
+    add t2, t2, s1
+    sw t1, 0(t2)       # chain[i] = next index
+    addi t0, t0, 1
+    blt t0, s0, build
+
+# chase
+    li t0, 0           # current index
+    li t3, %d          # hops
+chase:
+    slli t2, t0, 2
+    add t2, t2, s1
+    lw t0, 0(t2)       # dependent load
+    addi t3, t3, -1
+    bnez t3, chase
+
+    mv a0, t0
+    li t1, 0x40000000
+    sw a0, 0(t1)
+halt:
+    j halt
+`, nodes, hops, nodes, hops)
+	return b.String()
+}
+
+// DhrystoneAsm is a dhrystone-flavored mix: procedure calls, string copy
+// and compare over byte arrays, integer arithmetic, and branching.
+func DhrystoneAsm(iters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+# dhrystone-style mixed workload, %d iterations
+    li s0, %d          # iterations
+    li s1, 0x80000000  # array A (bytes)
+    li s2, 0x80000100  # array B (bytes)
+    li s3, 0           # checksum
+    li s4, 0           # iteration counter
+
+# seed array A with bytes
+    li t0, 0
+seed:
+    andi t1, t0, 63
+    addi t1, t1, 33
+    add t2, s1, t0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, seed
+
+main_loop:
+# Proc_1: string copy A -> B (strcpy-ish over 64 bytes)
+    call strcopy
+# Proc_2: compare and branch chain
+    call compare
+    add s3, s3, a0
+# Proc_3: integer mix
+    andi t0, s4, 15
+    addi t0, t0, 3
+    mul t1, t0, t0
+    div t2, t1, t0
+    rem t3, t1, t0
+    add t4, t2, t3
+    xor s3, s3, t4
+    slli t5, s3, 1
+    srli t6, s3, 31
+    or s3, t5, t6      # rotate checksum
+    addi s4, s4, 1
+    blt s4, s0, main_loop
+
+    mv a0, s3
+    li t1, 0x40000000
+    sw a0, 0(t1)
+halt:
+    j halt
+
+strcopy:
+    li t0, 0
+sc_loop:
+    add t1, s1, t0
+    lbu t2, 0(t1)
+    add t1, s2, t0
+    sb t2, 0(t1)
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, sc_loop
+    ret
+
+compare:
+    li t0, 0
+    li a0, 0
+cmp_loop:
+    add t1, s1, t0
+    lbu t2, 0(t1)
+    add t1, s2, t0
+    lbu t3, 0(t1)
+    bne t2, t3, cmp_diff
+    addi a0, a0, 1
+cmp_diff:
+    addi t0, t0, 4
+    li t3, 64
+    blt t0, t3, cmp_loop
+    ret
+`, iters, iters)
+	return b.String()
+}

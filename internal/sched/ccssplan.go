@@ -1,0 +1,405 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"essent/internal/netlist"
+	"essent/internal/partition"
+)
+
+// CCSSPlan is the complete static plan for a CCSS simulator: the acyclic
+// partitioning, the partition-level register-elision results, the global
+// execution order, and all triggering fan-out lists. Both the CCSS
+// interpreter engine and the code generator consume it.
+type CCSSPlan struct {
+	DG *netlist.DesignGraph
+	// Order is the global node order: partitions in schedule order, each
+	// partition's members in node-topological order.
+	Order []int
+	// Elided marks registers updated in place inside their partition.
+	Elided    []bool
+	NumElided int
+	// Parts are in schedule order (runtime IDs).
+	Parts []PartPlan
+	// RegReaderParts lists, per register, the runtime partition IDs
+	// containing readers of its output.
+	RegReaderParts [][]int
+	// MemReaderParts lists, per memory, the partitions holding read ports.
+	MemReaderParts [][]int
+	// InputConsumers lists, per design input (netlist.Design.Inputs
+	// order), the partitions reading it.
+	InputConsumers [][]int
+	// PartLevels gives each partition's longest-path depth in the
+	// partition DAG (data + ordering edges). Partitions on the same
+	// level are mutually independent — the parallel engine evaluates
+	// them concurrently.
+	PartLevels []int
+	// NumLevels is max(PartLevels)+1.
+	NumLevels int
+	// PartStats carries the partitioner's statistics.
+	PartStats partition.Stats
+	// Shadows holds the mux-arm cones for conditional multiplexor-way
+	// evaluation (§III-B), computed with partition scopes.
+	Shadows *MuxShadows
+}
+
+// PartPlan describes one partition in schedule order.
+type PartPlan struct {
+	// Members in execution order (subset of CCSSPlan.Order).
+	Members []int
+	// AlwaysOn partitions evaluate every cycle (display/check sinks).
+	AlwaysOn bool
+	// Outputs require change detection and consumer triggering.
+	Outputs []OutputPlan
+	// Regs lists non-elided registers written by this partition (their
+	// commit+compare happens at the cycle boundary when the partition
+	// ran).
+	Regs []int
+}
+
+// OutputPlan is one change-detected partition output.
+type OutputPlan struct {
+	Sig netlist.SignalID
+	// Consumers are runtime partition IDs to wake on change.
+	Consumers []int
+}
+
+// PlanOptions configures CCSS planning (the ablation knobs of §III-B).
+type PlanOptions struct {
+	// Cp is the partitioning threshold (0 = 8).
+	Cp int
+	// NoElide disables in-partition register updates (all registers fall
+	// back to two-phase commit).
+	NoElide bool
+	// NoMuxShadow disables conditional multiplexor-way evaluation.
+	NoMuxShadow bool
+}
+
+// PlanCCSS partitions the design and computes the full CCSS execution
+// plan (§III + §IV) with default options.
+func PlanCCSS(d *netlist.Design, cp int) (*CCSSPlan, error) {
+	return PlanCCSSOpts(d, PlanOptions{Cp: cp})
+}
+
+// PlanCCSSOpts is PlanCCSS with explicit optimization knobs.
+func PlanCCSSOpts(d *netlist.Design, opts PlanOptions) (*CCSSPlan, error) {
+	cp := opts.Cp
+	if cp <= 0 {
+		cp = partition.DefaultCp
+	}
+	dg := netlist.BuildGraph(d)
+	res, err := partition.Partition(dg, partition.Options{Cp: cp})
+	if err != nil {
+		return nil, err
+	}
+
+	// Snapshot pure data adjacency before ordering edges mutate the graph.
+	dataOut := make([][]int, dg.G.Len())
+	for u := 0; u < dg.G.Len(); u++ {
+		dataOut[u] = append([]int(nil), dg.G.Out(u)...)
+	}
+
+	// Partition-level adjacency for the elision analysis.
+	np := len(res.Parts)
+	psucc := make([]map[int]bool, np)
+	for i := range psucc {
+		psucc[i] = map[int]bool{}
+	}
+	for u := 0; u < dg.G.Len(); u++ {
+		pu := res.PartOf[u]
+		if pu < 0 {
+			continue
+		}
+		for _, v := range dataOut[u] {
+			pv := res.PartOf[v]
+			if pv >= 0 && pv != pu {
+				psucc[pu][pv] = true
+			}
+		}
+	}
+
+	// Register update elision at partition granularity (§III-B1).
+	elided := make([]bool, len(d.Regs))
+	numElided := 0
+	regRange := len(d.Regs)
+	if opts.NoElide {
+		regRange = 0
+	}
+	for ri := 0; ri < regRange; ri++ {
+		r := &d.Regs[ri]
+		w := res.PartOf[int(r.Next)]
+		if w < 0 {
+			continue
+		}
+		readers := dataOut[int(r.Out)]
+		cross := map[int]bool{}
+		var same []int
+		for _, rd := range readers {
+			p := res.PartOf[rd]
+			if p == w {
+				if rd != int(r.Next) {
+					same = append(same, rd)
+				}
+			} else if p >= 0 {
+				cross[p] = true
+			}
+		}
+		safe := true
+		if len(cross) > 0 {
+			reach := reachParts(psucc, w)
+			for p := range cross {
+				if reach[p] {
+					safe = false
+					break
+				}
+			}
+		}
+		if safe && len(same) > 0 {
+			reach := reachWithinPart(dg, res.PartOf, int(r.Next), w)
+			for _, rd := range same {
+				if reach[rd] {
+					safe = false
+					break
+				}
+			}
+		}
+		if !safe {
+			continue
+		}
+		crossList := make([]int, 0, len(cross))
+		for p := range cross {
+			crossList = append(crossList, p)
+		}
+		sort.Ints(crossList)
+		for _, p := range crossList {
+			psucc[p][w] = true
+		}
+		for _, rd := range same {
+			dg.G.AddEdge(rd, int(r.Next))
+		}
+		elided[ri] = true
+		numElided++
+	}
+
+	partOrder, ok := topoParts(psucc)
+	if !ok {
+		return nil, fmt.Errorf("sched: ccss partition graph became cyclic (internal error)")
+	}
+	nodeOrder, err := dg.G.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("sched: node graph cyclic after ordering edges: %w", err)
+	}
+	nodePos := make([]int, dg.G.Len())
+	for i, n := range nodeOrder {
+		nodePos[n] = i
+	}
+	rt := make([]int, np)
+	for i, p := range partOrder {
+		rt[p] = i
+	}
+
+	plan := &CCSSPlan{
+		DG: dg, Elided: elided, NumElided: numElided,
+		Parts: make([]PartPlan, np), PartStats: res.Stats,
+	}
+	for i, p := range partOrder {
+		ms := append([]int(nil), res.Parts[p]...)
+		sort.Slice(ms, func(a, b int) bool { return nodePos[ms[a]] < nodePos[ms[b]] })
+		plan.Parts[i] = PartPlan{Members: ms, AlwaysOn: res.AlwaysOn[p]}
+		plan.Order = append(plan.Order, ms...)
+	}
+
+	consumersOf := func(node int) []int {
+		set := map[int]bool{}
+		for _, v := range dataOut[node] {
+			if p := res.PartOf[v]; p >= 0 {
+				set[rt[p]] = true
+			}
+		}
+		out := make([]int, 0, len(set))
+		for p := range set {
+			out = append(out, p)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	// Partition outputs: comb/memread signals with external consumers.
+	regNextSet := map[netlist.SignalID]bool{}
+	for ri := range d.Regs {
+		regNextSet[d.Regs[ri].Next] = true
+	}
+	for n := range d.Signals {
+		s := &d.Signals[n]
+		p := res.PartOf[n]
+		if p < 0 || (s.Kind != netlist.KComb && s.Kind != netlist.KMemRead) {
+			continue
+		}
+		if s.Kind == netlist.KComb && regNextSet[netlist.SignalID(n)] {
+			continue
+		}
+		var cs []int
+		seen := map[int]bool{}
+		for _, v := range dataOut[n] {
+			q := res.PartOf[v]
+			if q >= 0 && q != p && !seen[rt[q]] {
+				seen[rt[q]] = true
+				cs = append(cs, rt[q])
+			}
+		}
+		if len(cs) > 0 {
+			sort.Ints(cs)
+			plan.Parts[rt[p]].Outputs = append(plan.Parts[rt[p]].Outputs,
+				OutputPlan{Sig: netlist.SignalID(n), Consumers: cs})
+		}
+	}
+
+	// Register plumbing.
+	plan.RegReaderParts = make([][]int, len(d.Regs))
+	for ri := range d.Regs {
+		r := &d.Regs[ri]
+		plan.RegReaderParts[ri] = consumersOf(int(r.Out))
+		w := res.PartOf[int(r.Next)]
+		if w < 0 {
+			continue
+		}
+		if elided[ri] {
+			plan.Parts[rt[w]].Outputs = append(plan.Parts[rt[w]].Outputs,
+				OutputPlan{Sig: r.Out, Consumers: plan.RegReaderParts[ri]})
+		} else {
+			plan.Parts[rt[w]].Regs = append(plan.Parts[rt[w]].Regs, ri)
+		}
+	}
+
+	// Memory read-port partitions.
+	plan.MemReaderParts = make([][]int, len(d.Mems))
+	for mi := range d.Mems {
+		set := map[int]bool{}
+		for _, rp := range d.Mems[mi].Readers {
+			if p := res.PartOf[int(d.MemReads[rp].Data)]; p >= 0 {
+				set[rt[p]] = true
+			}
+		}
+		ps := make([]int, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		plan.MemReaderParts[mi] = ps
+	}
+
+	// Input consumers.
+	plan.InputConsumers = make([][]int, len(d.Inputs))
+	for i, in := range d.Inputs {
+		plan.InputConsumers[i] = consumersOf(int(in))
+	}
+
+	// Partition levels (longest path over the partition DAG, walking in
+	// the already-computed topological order).
+	plan.PartLevels = make([]int, np)
+	for _, p := range partOrder {
+		lvl := plan.PartLevels[rt[p]]
+		for q := range psucc[p] {
+			if lvl+1 > plan.PartLevels[rt[q]] {
+				plan.PartLevels[rt[q]] = lvl + 1
+			}
+		}
+	}
+	for _, l := range plan.PartLevels {
+		if l+1 > plan.NumLevels {
+			plan.NumLevels = l + 1
+		}
+	}
+
+	// Mux-arm cones, scoped to partitions.
+	scope := make([]int, dg.G.Len())
+	for i := range scope {
+		scope[i] = -1
+	}
+	for pi := range plan.Parts {
+		for _, n := range plan.Parts[pi].Members {
+			scope[n] = pi
+		}
+	}
+	orderPos := make([]int, dg.G.Len())
+	for i, n := range plan.Order {
+		orderPos[n] = i
+	}
+	if !opts.NoMuxShadow {
+		plan.Shadows = ComputeMuxShadows(d, dg, scope, orderPos)
+	}
+	return plan, nil
+}
+
+func reachParts(psucc []map[int]bool, src int) map[int]bool {
+	seen := map[int]bool{}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range psucc[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+func reachWithinPart(dg *netlist.DesignGraph, partOf []int, src, w int) map[int]bool {
+	seen := map[int]bool{}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range dg.G.Out(u) {
+			if partOf[v] == w && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+func topoParts(psucc []map[int]bool) ([]int, bool) {
+	np := len(psucc)
+	indeg := make([]int, np)
+	for _, succ := range psucc {
+		for v := range succ {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for p := 0; p < np; p++ {
+		if indeg[p] == 0 {
+			ready = append(ready, p)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		p := ready[0]
+		ready = ready[1:]
+		order = append(order, p)
+		next := make([]int, 0, len(psucc[p]))
+		for v := range psucc[p] {
+			next = append(next, v)
+		}
+		sort.Ints(next)
+		changed := false
+		for _, v := range next {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Ints(ready)
+		}
+	}
+	return order, len(order) == np
+}

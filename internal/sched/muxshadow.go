@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"sort"
+
+	"essent/internal/netlist"
+)
+
+// MuxShadows records which operations can be folded into a multiplexer
+// arm and evaluated only when that arm is selected — the paper's
+// "conditionally evaluating multiplexor ways" optimization (§III-B).
+// An operation is arm-exclusive when its every data consumer leads into
+// exactly one arm of one mux within the same scope (partition); such
+// operations are skipped in the main walk and emitted inside the mux's
+// branch by the code generator.
+type MuxShadows struct {
+	// Arms maps a mux's output signal to its arm cones (instruction
+	// signals in topological order).
+	Arms map[netlist.SignalID]*MuxArms
+	// Shadowed marks signals claimed by some arm cone.
+	Shadowed map[netlist.SignalID]bool
+}
+
+// MuxArms holds the true/false arm cones of one mux.
+type MuxArms struct {
+	T, F []netlist.SignalID
+}
+
+// ComputeMuxShadows analyzes a design for arm-exclusive cones. scope maps
+// each design-graph node to an evaluation scope (partition ID, or all
+// zeros for a full-cycle schedule); cones never cross scopes. nodePos
+// gives a topological position for every node (used to order cone
+// members and to process muxes downstream-first so nested muxes claim
+// their cones before enclosing ones).
+func ComputeMuxShadows(d *netlist.Design, dg *netlist.DesignGraph,
+	scope []int, nodePos []int) *MuxShadows {
+	ms := &MuxShadows{
+		Arms:     map[netlist.SignalID]*MuxArms{},
+		Shadowed: map[netlist.SignalID]bool{},
+	}
+	// Pure data fanout (the graph may carry ordering edges; recompute
+	// consumers from the ops themselves).
+	numSig := len(d.Signals)
+	fanout := make([][]int32, numSig)
+	addUse := func(a netlist.Arg, user int) {
+		if !a.IsConst() {
+			fanout[a.Sig] = append(fanout[a.Sig], int32(user))
+		}
+	}
+	const sinkUser = -1
+	for i := range d.Signals {
+		s := &d.Signals[i]
+		switch s.Kind {
+		case netlist.KComb:
+			for _, a := range s.Op.Args {
+				addUse(a, i)
+			}
+		case netlist.KMemRead:
+			r := &d.MemReads[s.MemRead]
+			addUse(r.Addr, i)
+			addUse(r.En, i)
+		}
+	}
+	markSink := func(a netlist.Arg) {
+		if !a.IsConst() {
+			fanout[a.Sig] = append(fanout[a.Sig], sinkUser)
+		}
+	}
+	for i := range d.MemWrites {
+		w := &d.MemWrites[i]
+		markSink(w.Addr)
+		markSink(w.En)
+		markSink(w.Data)
+		markSink(w.Mask)
+	}
+	for i := range d.Displays {
+		markSink(d.Displays[i].En)
+		for _, a := range d.Displays[i].Args {
+			markSink(a)
+		}
+	}
+	for i := range d.Checks {
+		markSink(d.Checks[i].En)
+		markSink(d.Checks[i].Pred)
+	}
+
+	// Signals that must evaluate unconditionally.
+	protected := make([]bool, numSig)
+	for _, o := range d.Outputs {
+		protected[o] = true
+	}
+	for ri := range d.Regs {
+		protected[d.Regs[ri].Next] = true
+		protected[d.Regs[ri].Out] = true
+	}
+
+	// Collect muxes, downstream-first.
+	var muxes []int
+	for i := range d.Signals {
+		s := &d.Signals[i]
+		if s.Kind == netlist.KComb && s.Op.Kind == netlist.OMux {
+			muxes = append(muxes, i)
+		}
+	}
+	sort.Slice(muxes, func(a, b int) bool { return nodePos[muxes[a]] > nodePos[muxes[b]] })
+
+	// deferPos records where a claimed signal will actually execute: the
+	// schedule position of the outermost mux whose expansion contains it.
+	// A nested mux's own cone members inherit that outer position.
+	deferPos := map[netlist.SignalID]int{}
+
+	claimable := func(x netlist.SignalID, mux int, ownerPos int) bool {
+		s := &d.Signals[x]
+		if (s.Kind != netlist.KComb && s.Kind != netlist.KMemRead) ||
+			protected[x] || ms.Shadowed[x] {
+			return false
+		}
+		if scope[x] != scope[mux] {
+			return false
+		}
+		if len(fanout[x]) == 0 {
+			return false // dead or side-channel signals stay unconditional
+		}
+		// Claiming x defers its evaluation to the owning expansion's
+		// schedule position. Ordering edges (register update elision:
+		// reader → in-place write) must still hold: any non-data graph
+		// successor of x scheduled at or before that position forbids
+		// the deferral.
+		for _, y := range dg.G.Out(int(x)) {
+			if y >= numSig {
+				continue // sink data edges; sink-fed signals are already excluded
+			}
+			isData := false
+			for _, u := range fanout[x] {
+				if u >= 0 && int(u) == y {
+					isData = true
+					break
+				}
+			}
+			if !isData && nodePos[y] <= ownerPos {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, mi := range muxes {
+		op := d.Signals[mi].Op
+		sel, tArg, fArg := op.Args[0], op.Args[1], op.Args[2]
+		// A mux already claimed into an outer cone executes at the outer
+		// expansion's position; its own cones inherit that deferral.
+		ownerPos := nodePos[mi]
+		if dp, ok := deferPos[netlist.SignalID(mi)]; ok {
+			ownerPos = dp
+		}
+		arms := &MuxArms{}
+		for armIdx, arg := range []netlist.Arg{tArg, fArg} {
+			if arg.IsConst() {
+				continue
+			}
+			root := arg.Sig
+			// The root must feed only this mux, through only this arm.
+			if (!sel.IsConst() && sel.Sig == root) ||
+				(armIdx == 0 && !fArg.IsConst() && fArg.Sig == root) ||
+				(armIdx == 1 && !tArg.IsConst() && tArg.Sig == root) {
+				continue
+			}
+			if !claimable(root, mi, ownerPos) || !allUsersAre(fanout[root], int32(mi)) {
+				continue
+			}
+			cone := map[netlist.SignalID]bool{root: true}
+			// Grow: operands of cone members join when every use is
+			// inside the cone.
+			changed := true
+			for changed {
+				changed = false
+				for x := range cone {
+					for _, a := range operandsOf(d, x) {
+						if a.IsConst() || cone[a.Sig] || !claimable(a.Sig, mi, ownerPos) {
+							continue
+						}
+						inside := true
+						for _, u := range fanout[a.Sig] {
+							if u == sinkUser || !cone[netlist.SignalID(u)] {
+								inside = false
+								break
+							}
+						}
+						if inside {
+							cone[a.Sig] = true
+							changed = true
+						}
+					}
+				}
+			}
+			members := make([]netlist.SignalID, 0, len(cone))
+			for x := range cone {
+				members = append(members, x)
+			}
+			sort.Slice(members, func(a, b int) bool {
+				return nodePos[members[a]] < nodePos[members[b]]
+			})
+			for _, x := range members {
+				ms.Shadowed[x] = true
+				deferPos[x] = ownerPos
+			}
+			if armIdx == 0 {
+				arms.T = members
+			} else {
+				arms.F = members
+			}
+		}
+		if len(arms.T) > 0 || len(arms.F) > 0 {
+			ms.Arms[netlist.SignalID(mi)] = arms
+		}
+	}
+	return ms
+}
+
+func allUsersAre(users []int32, who int32) bool {
+	for _, u := range users {
+		if u != who {
+			return false
+		}
+	}
+	return len(users) > 0
+}
+
+func operandsOf(d *netlist.Design, x netlist.SignalID) []netlist.Arg {
+	s := &d.Signals[x]
+	switch s.Kind {
+	case netlist.KComb:
+		return s.Op.Args
+	case netlist.KMemRead:
+		r := &d.MemReads[s.MemRead]
+		return []netlist.Arg{r.Addr, r.En}
+	default:
+		return nil
+	}
+}

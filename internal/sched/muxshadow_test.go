@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"testing"
+
+	"essent/internal/netlist"
+)
+
+func shadowsFor(t *testing.T, src string) (*netlist.Design, *MuxShadows) {
+	t.Helper()
+	d := compile(t, src)
+	dg := netlist.BuildGraph(d)
+	order, err := dg.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePos := make([]int, dg.G.Len())
+	for i, n := range order {
+		nodePos[n] = i
+	}
+	scope := make([]int, dg.G.Len())
+	return d, ComputeMuxShadows(d, dg, scope, nodePos)
+}
+
+func TestMuxShadowClaimsExclusiveCone(t *testing.T) {
+	// The mul/add cone feeds only the mux's true arm; the false arm is a
+	// plain input (unclaimable: it is a source).
+	d, ms := shadowsFor(t, `
+circuit T :
+  module T :
+    input sel : UInt<1>
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<16>
+    node expensive = mul(a, b)
+    node fixed = pad(b, 16)
+    o <= mux(sel, expensive, fixed)
+`)
+	if len(ms.Arms) != 1 {
+		t.Fatalf("expected 1 shadowed mux, got %d", len(ms.Arms))
+	}
+	exp, _ := d.SignalByName("expensive")
+	if !ms.Shadowed[exp] {
+		t.Fatal("expensive cone not claimed")
+	}
+	fixed, _ := d.SignalByName("fixed")
+	if !ms.Shadowed[fixed] {
+		t.Fatal("false-arm pad not claimed")
+	}
+}
+
+func TestMuxShadowSharedConeNotClaimed(t *testing.T) {
+	// The cone feeds the mux AND an output: not exclusive.
+	d, ms := shadowsFor(t, `
+circuit T :
+  module T :
+    input sel : UInt<1>
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<16>
+    output side : UInt<16>
+    node shared = mul(a, b)
+    side <= shared
+    o <= mux(sel, shared, pad(b, 16))
+`)
+	sh, _ := d.SignalByName("shared")
+	if ms.Shadowed[sh] {
+		t.Fatal("shared cone must stay unconditional")
+	}
+}
+
+func TestMuxShadowProtectsRegisters(t *testing.T) {
+	// A register's next-value signal may feed only a mux arm, but state
+	// must update every cycle — never claimed.
+	d, ms := shadowsFor(t, `
+circuit T :
+  module T :
+    input clock : Clock
+    input sel : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= a
+    o <= mux(sel, r, a)
+`)
+	for ri := range d.Regs {
+		if ms.Shadowed[d.Regs[ri].Next] || ms.Shadowed[d.Regs[ri].Out] {
+			t.Fatal("register signals must never be shadowed")
+		}
+	}
+}
+
+func TestMuxShadowNestedMuxes(t *testing.T) {
+	// An inner mux (with its own cone) inside the outer mux's arm: both
+	// levels claim, and the inner's members are not double-claimed.
+	d, ms := shadowsFor(t, `
+circuit T :
+  module T :
+    input s1 : UInt<1>
+    input s2 : UInt<1>
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<16>
+    node inner_t = mul(a, a)
+    node inner = mux(s2, inner_t, pad(a, 16))
+    node outer_t = xor(inner, pad(b, 16))
+    o <= mux(s1, outer_t, pad(b, 16))
+`)
+	innerT, _ := d.SignalByName("inner_t")
+	outerT, _ := d.SignalByName("outer_t")
+	if !ms.Shadowed[innerT] || !ms.Shadowed[outerT] {
+		t.Fatalf("nested cones not claimed (inner_t=%v outer_t=%v)",
+			ms.Shadowed[innerT], ms.Shadowed[outerT])
+	}
+	inner, _ := d.SignalByName("inner")
+	// The inner mux itself belongs to the outer arm's cone.
+	if !ms.Shadowed[inner] {
+		t.Fatal("inner mux should be inside the outer cone")
+	}
+	// The inner mux's own arm list must not contain signals that the
+	// outer arm also lists (no double emission).
+	counts := map[netlist.SignalID]int{}
+	for _, arms := range ms.Arms {
+		for _, s := range arms.T {
+			counts[s]++
+		}
+		for _, s := range arms.F {
+			counts[s]++
+		}
+	}
+	for sig, n := range counts {
+		if n > 1 {
+			t.Fatalf("signal %s claimed by %d arms", d.Signals[sig].Name, n)
+		}
+	}
+}
+
+// TestMuxShadowDeferralRespectsElision reproduces the nested-deferral
+// regression: a cone member reading an in-place-updated register must not
+// be deferred past the register's write, even when its owning mux is
+// itself nested in an outer cone whose position lies after the write.
+func TestMuxShadowDeferralRespectsElision(t *testing.T) {
+	d := compile(t, `
+circuit T :
+  module T :
+    input clock : Clock
+    input s1 : UInt<1>
+    input s2 : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r5 : UInt<8>, clock
+    reg r0 : UInt<8>, clock
+    r5 <= a
+    node readsR5 = not(r5)
+    node inner = mux(s2, readsR5, a)
+    node outerArm = tail(add(inner, a), 1)
+    r0 <= mux(s1, outerArm, a)
+    o <= r0
+`)
+	plan, err := Build(d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shadows == nil {
+		t.Fatal("no shadows computed")
+	}
+	// If r5 is elided and readsR5 got claimed, its deferral position must
+	// precede r5$next in the order.
+	pos := map[int]int{}
+	for i, n := range plan.Order {
+		pos[n] = i
+	}
+	readsR5, _ := d.SignalByName("readsR5")
+	r5next := d.Regs[0].Next
+	if d.Regs[0].Name != "r5" {
+		r5next = d.Regs[1].Next
+	}
+	if plan.Shadows.Shadowed[readsR5] {
+		// Find the outermost owner chain position by locating the mux
+		// whose arm contains readsR5.
+		for mx, arms := range plan.Shadows.Arms {
+			for _, lists := range [][]netlist.SignalID{arms.T, arms.F} {
+				for _, s := range lists {
+					if s == readsR5 && pos[int(mx)] > pos[int(r5next)] {
+						// The owner itself must not be deferred past
+						// r5$next through an outer cone.
+						if plan.Shadows.Shadowed[mx] {
+							t.Fatalf("readsR5 deferred into nested cone past r5$next")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMuxShadowScopeBoundary(t *testing.T) {
+	// With each node in its own scope, nothing can be claimed.
+	d := compile(t, `
+circuit T :
+  module T :
+    input sel : UInt<1>
+    input a : UInt<8>
+    output o : UInt<16>
+    node expensive = mul(a, a)
+    o <= mux(sel, expensive, pad(a, 16))
+`)
+	dg := netlist.BuildGraph(d)
+	order, _ := dg.TopoOrder()
+	nodePos := make([]int, dg.G.Len())
+	for i, n := range order {
+		nodePos[n] = i
+	}
+	scope := make([]int, dg.G.Len())
+	for i := range scope {
+		scope[i] = i // every node isolated
+	}
+	ms := ComputeMuxShadows(d, dg, scope, nodePos)
+	if len(ms.Shadowed) != 0 {
+		t.Fatalf("cross-scope claims: %v", ms.Shadowed)
+	}
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/partition"
+	"essent/internal/sched"
+)
+
+// CCSSOptions configures the CCSS (ESSENT) engine.
+type CCSSOptions struct {
+	// Cp is the partitioning threshold (§IV); 0 selects the paper's
+	// default of 8.
+	Cp int
+	// NoElide and NoMuxShadow disable individual §III-B optimizations
+	// (ablation knobs; both default on).
+	NoElide     bool
+	NoMuxShadow bool
+	// PullTriggering replaces push-direction wakes with per-cycle input
+	// comparisons (the §III-A direction ablation; expected slower).
+	PullTriggering bool
+}
+
+// CCSS is the paper's essential-signal-simulation engine: the design is
+// acyclically partitioned, each partition guarded by an activity flag,
+// triggering is push-directional on changed outputs, and state-element
+// updates happen inside partitions when the elision analysis allows
+// (§III). The schedule is static and singular: one pass over the
+// partition list per cycle, each partition evaluated at most once.
+type CCSS struct {
+	*machine
+
+	parts []ccssPart
+	flags []bool
+
+	// Input change detection (§III-A: "the simulator also detects changes
+	// to external inputs").
+	inputs []ccssInput
+	prevIn []uint64
+
+	// Per-register reader partitions (wake targets on state change).
+	regReaderParts [][]int32
+	// Per-memory reader-port partitions.
+	memReaderParts [][]int32
+	// regNext/regOut read register value storage at commit.
+	regNext []operand
+	regOut  []operand
+
+	// dirtyRegs lists non-elided registers whose writer partition ran
+	// this cycle (commit must compare-and-wake them).
+	dirtyRegs []int32
+
+	// oldVals buffers pre-evaluation output values for change detection.
+	oldVals []uint64
+
+	// PartStats from construction (for the experiment harness).
+	PartStats partition.Stats
+	// NumElided counts in-place-updated registers.
+	NumElided int
+
+	// plan is retained for engines layered on top (parallel evaluation).
+	plan *sched.CCSSPlan
+
+	// Pull-triggering state (nil when push, the default).
+	pull     bool
+	pullIns  [][]pullInput
+	pullSnap []uint64
+}
+
+type ccssPart struct {
+	schedStart, schedEnd int32
+	alwaysOn             bool
+	outputs              []ccssOutput
+	// regs lists non-elided register indices written by this partition.
+	regs []int32
+}
+
+type ccssOutput struct {
+	off    int32
+	words  int32
+	oldOff int32
+	// consumers are partition indices to wake when this output changes
+	// (the OR-reduction targets of Fig. 1).
+	consumers []int32
+}
+
+type ccssInput struct {
+	off       int32
+	words     int32
+	prevOff   int32
+	consumers []int32
+}
+
+func toInt32s(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+// NewCCSS compiles a CCSS simulator for the design.
+func NewCCSS(d *netlist.Design, opts CCSSOptions) (*CCSS, error) {
+	plan, err := sched.PlanCCSSOpts(d, sched.PlanOptions{
+		Cp: opts.Cp, NoElide: opts.NoElide, NoMuxShadow: opts.NoMuxShadow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, err := newCCSSFromPlan(d, plan)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PullTriggering {
+		c.pull = true
+		c.buildPull()
+	}
+	return c, nil
+}
+
+// newCCSSFromPlan builds the runtime structures from a computed plan.
+func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan) (*CCSS, error) {
+	groups := make([][]int, len(plan.Parts))
+	for pi := range plan.Parts {
+		groups[pi] = plan.Parts[pi].Members
+	}
+	m, ranges, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
+		machineConfig{shadows: plan.Shadows, groups: groups})
+	if err != nil {
+		return nil, err
+	}
+	c := &CCSS{machine: m, PartStats: plan.PartStats, NumElided: plan.NumElided,
+		plan: plan}
+
+	// Partition runtime structures: entry ranges come straight from the
+	// grouped schedule construction.
+	np := len(plan.Parts)
+	c.parts = make([]ccssPart, np)
+	c.flags = make([]bool, np)
+	oldOff := int32(0)
+	for p := 0; p < np; p++ {
+		pp := &plan.Parts[p]
+		part := ccssPart{schedStart: ranges[p][0], schedEnd: ranges[p][1],
+			alwaysOn: pp.AlwaysOn, regs: toInt32s(pp.Regs)}
+		for _, op := range pp.Outputs {
+			words := int32(bits.Words(d.Signals[op.Sig].Width))
+			part.outputs = append(part.outputs, ccssOutput{
+				off: m.off[op.Sig], words: words, oldOff: oldOff,
+				consumers: toInt32s(op.Consumers),
+			})
+			oldOff += words
+		}
+		c.parts[p] = part
+	}
+	c.oldVals = make([]uint64, oldOff)
+
+	// Register and memory wake plumbing.
+	c.regReaderParts = make([][]int32, len(d.Regs))
+	c.regNext = make([]operand, len(d.Regs))
+	c.regOut = make([]operand, len(d.Regs))
+	for ri := range d.Regs {
+		c.regReaderParts[ri] = toInt32s(plan.RegReaderParts[ri])
+		c.regNext[ri] = m.operandOf(netlist.SigArg(d.Regs[ri].Next))
+		c.regOut[ri] = m.operandOf(netlist.SigArg(d.Regs[ri].Out))
+	}
+	c.memReaderParts = make([][]int32, len(d.Mems))
+	for mi := range d.Mems {
+		c.memReaderParts[mi] = toInt32s(plan.MemReaderParts[mi])
+	}
+
+	// Input change detection.
+	prevOff := int32(0)
+	for i, in := range d.Inputs {
+		words := int32(bits.Words(d.Signals[in].Width))
+		c.inputs = append(c.inputs, ccssInput{
+			off: m.off[in], words: words, prevOff: prevOff,
+			consumers: toInt32s(plan.InputConsumers[i]),
+		})
+		prevOff += words
+	}
+	c.prevIn = make([]uint64, prevOff)
+
+	c.wakeAll()
+	return c, nil
+}
+
+// wakeAll flags every partition (first cycle and after Reset).
+func (c *CCSS) wakeAll() {
+	for i := range c.flags {
+		c.flags[i] = true
+	}
+	// Invalidate input history so the first Step re-seeds it.
+	for i := range c.prevIn {
+		c.prevIn[i] = ^uint64(0)
+	}
+	for i := range c.pullSnap {
+		c.pullSnap[i] = ^uint64(0)
+	}
+}
+
+// PokeMem writes a memory word and wakes the memory's read-port
+// partitions so stale read data is recomputed.
+func (c *CCSS) PokeMem(mem, addr int, v uint64) {
+	c.machine.PokeMem(mem, addr, v)
+	for _, q := range c.memReaderParts[mem] {
+		c.flags[q] = true
+	}
+}
+
+// Reset restores initial state and re-arms every partition.
+func (c *CCSS) Reset() {
+	c.machine.Reset()
+	c.dirtyRegs = c.dirtyRegs[:0]
+	c.wakeAll()
+}
+
+// Step simulates n cycles with conditional partition evaluation.
+func (c *CCSS) Step(n int) error {
+	if c.pull {
+		for i := 0; i < n; i++ {
+			if err := c.stepOnePull(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := c.stepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CCSS) stepOne() error {
+	if c.stopErr != nil {
+		return c.stopErr
+	}
+	m := c.machine
+	t := m.t
+
+	// Detect external input changes and wake dependent partitions.
+	for i := range c.inputs {
+		in := &c.inputs[i]
+		m.stats.InputChecks++
+		changed := false
+		for w := int32(0); w < in.words; w++ {
+			if t[in.off+w] != c.prevIn[in.prevOff+w] {
+				changed = true
+				c.prevIn[in.prevOff+w] = t[in.off+w]
+			}
+		}
+		if changed {
+			for _, p := range in.consumers {
+				c.flags[p] = true
+			}
+			m.stats.Wakes += uint64(len(in.consumers))
+		}
+	}
+
+	// Walk the static partition schedule (singular execution).
+	for p := range c.parts {
+		part := &c.parts[p]
+		m.stats.PartChecks++
+		if !c.flags[p] && !part.alwaysOn {
+			continue
+		}
+		c.flags[p] = false
+		m.stats.PartEvals++
+		// Save old output values (Fig. 1: deactivate, save, compute).
+		for oi := range part.outputs {
+			o := &part.outputs[oi]
+			copy(c.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
+		}
+		for s := part.schedStart; s < part.schedEnd; {
+			s = m.runEntryAt(s)
+		}
+		// Change detection and push triggering.
+		for oi := range part.outputs {
+			o := &part.outputs[oi]
+			m.stats.OutputCompares++
+			changed := false
+			for w := int32(0); w < o.words; w++ {
+				if t[o.off+w] != c.oldVals[o.oldOff+w] {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				m.stats.SignalChanges++
+				for _, q := range o.consumers {
+					c.flags[q] = true
+				}
+				m.stats.Wakes += uint64(len(o.consumers))
+			}
+		}
+		// Non-elided registers written here must be committed and
+		// compared at the cycle boundary.
+		c.dirtyRegs = append(c.dirtyRegs, part.regs...)
+	}
+
+	err := m.evalErr
+	m.evalErr = nil
+
+	// Commit: dirty two-phase registers with change detection + wakeups.
+	for _, ri := range c.dirtyRegs {
+		no, oo := c.regNext[ri], c.regOut[ri]
+		changed := false
+		for w := int32(0); w < no.words(); w++ {
+			if t[oo.off+w] != t[no.off+w] {
+				t[oo.off+w] = t[no.off+w]
+				changed = true
+			}
+		}
+		m.stats.OutputCompares++
+		if changed {
+			m.stats.SignalChanges++
+			for _, q := range c.regReaderParts[ri] {
+				c.flags[q] = true
+			}
+			m.stats.Wakes += uint64(len(c.regReaderParts[ri]))
+		}
+	}
+	c.dirtyRegs = c.dirtyRegs[:0]
+
+	// Apply pending memory writes; wake reader-port partitions.
+	for i := range m.memWrites {
+		w := &m.memWrites[i]
+		if !w.pendValid {
+			continue
+		}
+		w.pendValid = false
+		ms := &m.mems[w.mem]
+		if w.pendAddr >= uint64(ms.depth) {
+			continue
+		}
+		base := int32(w.pendAddr) * ms.nw
+		changed := false
+		for k := int32(0); k < ms.nw; k++ {
+			var v uint64
+			if int(k) < len(w.pendData) {
+				v = w.pendData[k]
+			}
+			if ms.words[base+k] != v {
+				ms.words[base+k] = v
+				changed = true
+			}
+		}
+		if changed {
+			for _, q := range c.memReaderParts[w.mem] {
+				c.flags[q] = true
+			}
+			m.stats.Wakes += uint64(len(c.memReaderParts[w.mem]))
+		}
+	}
+
+	m.cycle++
+	m.stats.Cycles++
+	if err != nil {
+		m.stopErr = err
+	}
+	return err
+}
+
+// words returns the operand word count.
+func (o operand) words() int32 { return int32(bits.Words(int(o.w))) }
+
+// NumPartitions returns the partition count.
+func (c *CCSS) NumPartitions() int { return len(c.parts) }
+
+var _ Simulator = (*CCSS)(nil)

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+)
+
+// runEntryAt executes the schedule step at position i and returns the
+// next position (skip entries jump over inactive mux-arm cones).
+func (m *machine) runEntryAt(i int32) int32 {
+	e := &m.sched[i]
+	switch e.kind {
+	case seInstr:
+		m.exec(&m.instrs[e.idx])
+	case seDisplay:
+		m.runDisplay(e.idx)
+	case seCheck:
+		m.runCheck(e.idx)
+	case seMemWrite:
+		m.captureMemWrite(e.idx)
+	case seSkipIfZero:
+		if m.t[e.idx] == 0 {
+			return i + 1 + e.n
+		}
+	case seSkipIfNonzero:
+		if m.t[e.idx] != 0 {
+			return i + 1 + e.n
+		}
+	}
+	return i + 1
+}
+
+// evalAll walks the full static schedule (full-cycle execution).
+func (m *machine) evalAll() {
+	for i := int32(0); i < int32(len(m.sched)); {
+		i = m.runEntryAt(i)
+	}
+}
+
+func (m *machine) runDisplay(i int32) {
+	d := &m.displays[i]
+	if m.readOperand(d.en)&1 == 1 {
+		m.printFormatted(d)
+	}
+}
+
+func (m *machine) runCheck(i int32) {
+	c := &m.checks[i]
+	if m.readOperand(c.en)&1 == 0 || m.evalErr != nil {
+		return
+	}
+	if c.stop {
+		m.evalErr = &StopError{Code: c.code, Cycle: m.cycle}
+	} else if m.readOperand(c.pred)&1 == 0 {
+		m.evalErr = &AssertError{Msg: c.msg, Cycle: m.cycle}
+	}
+}
+
+// captureMemWrite buffers an enabled memory write for application at
+// commit (write latency 1: reads this cycle see the old contents).
+func (m *machine) captureMemWrite(i int32) {
+	w := &m.memWrites[i]
+	if m.readOperand(w.en)&1 == 0 || m.readOperand(w.mask)&1 == 0 {
+		w.pendValid = false
+		return
+	}
+	w.pendValid = true
+	w.pendAddr = m.readOperand(w.addr)
+	copy(w.pendData, m.view(w.data.off, w.data.w))
+}
+
+// commit advances state: two-phase register copies and pending memory
+// writes.
+func (m *machine) commit() {
+	for _, ri := range m.regCopy {
+		r := &m.d.Regs[ri]
+		no, oo := m.off[r.Next], m.off[r.Out]
+		for w := int32(0); w < m.nw[r.Out]; w++ {
+			m.t[oo+w] = m.t[no+w]
+		}
+	}
+	for i := range m.memWrites {
+		w := &m.memWrites[i]
+		if !w.pendValid {
+			continue
+		}
+		w.pendValid = false
+		ms := &m.mems[w.mem]
+		if w.pendAddr >= uint64(ms.depth) {
+			continue
+		}
+		base := int32(w.pendAddr) * ms.nw
+		for k := int32(0); k < ms.nw; k++ {
+			var v uint64
+			if int(k) < len(w.pendData) {
+				v = w.pendData[k]
+			}
+			ms.words[base+k] = v
+		}
+	}
+}
+
+// step runs one full-cycle iteration (engines embed and reuse).
+func (m *machine) step() error {
+	if m.stopErr != nil {
+		return m.stopErr
+	}
+	m.evalAll()
+	err := m.evalErr
+	m.evalErr = nil
+	m.commit()
+	m.cycle++
+	m.stats.Cycles++
+	if err != nil {
+		m.stopErr = err
+	}
+	return err
+}
+
+// --- Simulator interface plumbing shared by all machine-based engines ---
+
+// Design returns the design under simulation.
+func (m *machine) Design() *netlist.Design { return m.d }
+
+// Stats returns the accumulated work counters.
+func (m *machine) Stats() *Stats { return &m.stats }
+
+// SetOutput redirects printf output.
+func (m *machine) SetOutput(w io.Writer) { m.out = w }
+
+// Cycle returns the current cycle number.
+func (m *machine) Cycle() uint64 { return m.cycle }
+
+// NumSchedEntries returns the full-cycle schedule length (the per-cycle
+// work of an unconditional simulator; denominator of the effective
+// activity factor).
+func (m *machine) NumSchedEntries() int { return len(m.sched) }
+
+// NumInstrs returns the combinational instruction count.
+func (m *machine) NumInstrs() int { return len(m.instrs) }
+
+// Reset restores initial state: registers to init values, memories to
+// zero, stop state cleared. Inputs and computed signals retain their
+// values until the next Step.
+func (m *machine) Reset() {
+	for i := range m.mems {
+		for j := range m.mems[i].words {
+			m.mems[i].words[j] = 0
+		}
+	}
+	m.initState()
+	for i := range m.memWrites {
+		m.memWrites[i].pendValid = false
+	}
+	m.stopErr = nil
+	m.evalErr = nil
+	m.cycle = 0
+}
+
+// Poke sets an input signal's value (low 64 bits; wider inputs via
+// PokeWide).
+func (m *machine) Poke(id netlist.SignalID, v uint64) {
+	s := &m.d.Signals[id]
+	m.t[m.off[id]] = bits.Mask64(v, min(s.Width, 64))
+	for w := int32(1); w < m.nw[id]; w++ {
+		m.t[m.off[id]+w] = 0
+	}
+}
+
+// PokeWide sets an input from limb words.
+func (m *machine) PokeWide(id netlist.SignalID, words []uint64) {
+	dst := m.view(m.off[id], int32(m.d.Signals[id].Width))
+	bits.Copy(dst, words)
+	bits.MaskInto(dst, m.d.Signals[id].Width)
+}
+
+// Peek reads a signal's low 64 bits.
+func (m *machine) Peek(id netlist.SignalID) uint64 { return m.t[m.off[id]] }
+
+// PeekWide copies a signal's words into dst.
+func (m *machine) PeekWide(id netlist.SignalID, dst []uint64) []uint64 {
+	src := m.view(m.off[id], int32(m.d.Signals[id].Width))
+	if dst == nil {
+		dst = make([]uint64, len(src))
+	}
+	bits.Copy(dst, src)
+	return dst
+}
+
+// PeekMem reads the low word of a memory entry.
+func (m *machine) PeekMem(mem, addr int) uint64 {
+	ms := &m.mems[mem]
+	if addr < 0 || addr >= int(ms.depth) {
+		return 0
+	}
+	return ms.words[int32(addr)*ms.nw]
+}
+
+// PokeMem writes the low word of a memory entry (test/loader hook).
+func (m *machine) PokeMem(mem, addr int, v uint64) {
+	ms := &m.mems[mem]
+	if addr < 0 || addr >= int(ms.depth) {
+		return
+	}
+	base := int32(addr) * ms.nw
+	ms.words[base] = bits.Mask64(v, min(int(ms.width), 64))
+	for k := int32(1); k < ms.nw; k++ {
+		ms.words[base+k] = 0
+	}
+}
+
+// printFormatted renders a printf with FIRRTL format directives
+// (%d, %x, %b, %c, %%).
+func (m *machine) printFormatted(d *compiledDisplay) {
+	var b strings.Builder
+	argI := 0
+	f := d.format
+	for i := 0; i < len(f); i++ {
+		if f[i] != '%' || i+1 >= len(f) {
+			b.WriteByte(f[i])
+			continue
+		}
+		i++
+		verb := f[i]
+		if verb == '%' {
+			b.WriteByte('%')
+			continue
+		}
+		if argI >= len(d.args) {
+			b.WriteString("%!missing")
+			continue
+		}
+		o := d.args[argI]
+		argI++
+		v := m.operandBig(o)
+		switch verb {
+		case 'd':
+			fmt.Fprintf(&b, "%d", v)
+		case 'x':
+			fmt.Fprintf(&b, "%x", v)
+		case 'b':
+			fmt.Fprintf(&b, "%b", v)
+		case 'c':
+			b.WriteByte(byte(v.Uint64()))
+		default:
+			fmt.Fprintf(&b, "%%!%c", verb)
+		}
+	}
+	io.WriteString(m.out, b.String())
+}
+
+// operandBig converts an operand value to a big.Int respecting signedness.
+func (m *machine) operandBig(o operand) *big.Int {
+	words := m.view(o.off, o.w)
+	v := new(big.Int)
+	for i := len(words) - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(words[i]))
+	}
+	if o.signed && o.w > 0 && v.Bit(int(o.w)-1) == 1 {
+		v.Sub(v, new(big.Int).Lsh(big.NewInt(1), uint(o.w)))
+	}
+	return v
+}

@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"essent/internal/netlist"
+	"essent/internal/sched"
+)
+
+// EventDriven is a levelized event-driven simulator (the classic design
+// point of §II and Table IV row 2, e.g. Icarus Verilog; it stands in for
+// the commercial comparator). Signals are scheduled individually and
+// dynamically through a binary event heap ordered by level: each changed
+// signal queues its consumers, so evaluation effort is activity-
+// proportional but pays per-signal scheduling overhead — exactly the
+// trade the paper's coarsening eliminates. Matching Verilog semantics,
+// the clock edge is itself an event every flip-flop process is sensitive
+// to: all register processes evaluate every cycle regardless of
+// activity (the paper's §VI observation that prior work "incurs overhead
+// from unconditionally evaluating state elements").
+type EventDriven struct {
+	*machine
+
+	level     []int32   // level per instruction (longest-path depth)
+	consumers [][]int32 // instr index → consumer instr indices
+	wSinkOf   [][]int32
+	// heap is the event queue: instruction indices ordered by level (the
+	// classic dynamic scheduler the paper contrasts with static
+	// schedules).
+	heap     []int32
+	inQueue  []bool
+	maxLevel int32
+	// memwrite sinks marked for capture this cycle.
+	wMarked []bool
+	// seeds carried to the next cycle (register/memory commits).
+	pendingSeeds []int32
+	// input history for change detection.
+	inputs []ccssInput
+	prevIn []uint64
+	// memory read instrs per memory (wake on committed write).
+	memReadInstrs [][]int32
+	// regConsumers: consumer instrs (or negative write-sink codes) of
+	// each register's output.
+	regConsumers [][]int32
+	// oldBuf holds a signal's prior value during change detection.
+	oldBuf []uint64
+
+	first bool
+}
+
+// NewEventDriven compiles an event-driven simulator (no optimizations, no
+// elision: every register is two-phase, like classic event simulators).
+func NewEventDriven(d *netlist.Design) (*EventDriven, error) {
+	plan, err := sched.Build(d, false)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMachine(d, plan.DG, plan.Order, plan.Elided)
+	if err != nil {
+		return nil, err
+	}
+	e := &EventDriven{machine: m, first: true}
+
+	nInstr := len(m.instrs)
+	e.level = make([]int32, nInstr)
+	e.consumers = make([][]int32, nInstr)
+	e.wSinkOf = make([][]int32, nInstr)
+
+	// Levelize: process signals in topological order; an instruction's
+	// level is one more than the max level of its instruction producers.
+	levelOfSig := make([]int32, len(d.Signals))
+	for _, node := range plan.Order {
+		if node >= len(d.Signals) {
+			continue
+		}
+		ii := m.instrOf[node]
+		if ii < 0 {
+			continue // source
+		}
+		lvl := int32(0)
+		for _, u := range plan.DG.G.In(node) {
+			if u < len(d.Signals) && m.instrOf[u] >= 0 && levelOfSig[u]+1 > lvl {
+				lvl = levelOfSig[u] + 1
+			}
+		}
+		levelOfSig[node] = lvl
+		e.level[ii] = lvl
+		if lvl > e.maxLevel {
+			e.maxLevel = lvl
+		}
+	}
+	// Consumers: data edges between instructions; sinks recorded apart.
+	for node := 0; node < len(d.Signals); node++ {
+		srcInstr := int32(-1)
+		if m.instrOf[node] >= 0 {
+			srcInstr = m.instrOf[node]
+		}
+		if srcInstr < 0 {
+			continue
+		}
+		for _, v := range plan.DG.G.Out(node) {
+			if v < len(d.Signals) {
+				if ci := m.instrOf[v]; ci >= 0 {
+					e.consumers[srcInstr] = append(e.consumers[srcInstr], ci)
+				}
+			} else if plan.DG.Kind[v] == netlist.NodeMemWrite {
+				e.wSinkOf[srcInstr] = append(e.wSinkOf[srcInstr], int32(plan.DG.Index[v]))
+			}
+		}
+	}
+	e.inQueue = make([]bool, nInstr)
+	e.wMarked = make([]bool, len(d.MemWrites))
+
+	// Input change detection plumbing (consumer instrs of each input).
+	prevOff := int32(0)
+	for _, in := range d.Inputs {
+		var cs []int32
+		for _, v := range plan.DG.G.Out(int(in)) {
+			if v < len(d.Signals) {
+				if ci := m.instrOf[v]; ci >= 0 {
+					cs = append(cs, ci)
+				}
+			} else if plan.DG.Kind[v] == netlist.NodeMemWrite {
+				// Input feeding a write port directly: mark via a pseudo
+				// consumer list handled in seeding below.
+				cs = append(cs, -int32(plan.DG.Index[v])-1)
+			}
+		}
+		words := int32(len(m.view(m.off[in], int32(d.Signals[in].Width))))
+		e.inputs = append(e.inputs, ccssInput{
+			off: m.off[in], words: words, prevOff: prevOff, consumers: cs,
+		})
+		prevOff += words
+	}
+	e.prevIn = make([]uint64, prevOff)
+
+	// Register out-signal consumers (for commit wakes) reuse consumers of
+	// the out node, which has no instruction; store per register.
+	e.memReadInstrs = make([][]int32, len(d.Mems))
+	for mi := range d.Mems {
+		for _, rp := range d.Mems[mi].Readers {
+			if ii := m.instrOf[d.MemReads[rp].Data]; ii >= 0 {
+				e.memReadInstrs[mi] = append(e.memReadInstrs[mi], ii)
+			}
+		}
+	}
+	e.oldBuf = make([]uint64, len(m.scratch[0]))
+	e.regConsumers = make([][]int32, len(d.Regs))
+	for ri := range d.Regs {
+		out := int(d.Regs[ri].Out)
+		for _, v := range plan.DG.G.Out(out) {
+			if v < len(d.Signals) {
+				if ci := m.instrOf[v]; ci >= 0 {
+					e.regConsumers[ri] = append(e.regConsumers[ri], ci)
+				}
+			} else if plan.DG.Kind[v] == netlist.NodeMemWrite {
+				e.regConsumers[ri] = append(e.regConsumers[ri], -int32(plan.DG.Index[v])-1)
+			}
+		}
+	}
+	return e, nil
+}
+
+// push queues an instruction (or marks a write sink for negative codes)
+// onto the level-ordered event heap.
+func (e *EventDriven) push(ci int32) {
+	if ci < 0 {
+		e.wMarked[-ci-1] = true
+		return
+	}
+	if e.inQueue[ci] {
+		return
+	}
+	e.inQueue[ci] = true
+	e.stats.Events++
+	e.heap = append(e.heap, ci)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.level[e.heap[parent]] <= e.level[e.heap[i]] {
+			break
+		}
+		e.heap[parent], e.heap[i] = e.heap[i], e.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes the lowest-level queued instruction.
+func (e *EventDriven) pop() int32 {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && e.level[e.heap[l]] < e.level[e.heap[small]] {
+			small = l
+		}
+		if r < last && e.level[e.heap[r]] < e.level[e.heap[small]] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	return top
+}
+
+// PokeMem writes a memory word and queues the memory's read ports for
+// re-evaluation next cycle.
+func (e *EventDriven) PokeMem(mem, addr int, v uint64) {
+	e.machine.PokeMem(mem, addr, v)
+	e.pendingSeeds = append(e.pendingSeeds, e.memReadInstrs[mem]...)
+}
+
+// Reset restores initial state and forces full re-evaluation.
+func (e *EventDriven) Reset() {
+	e.machine.Reset()
+	e.first = true
+	e.pendingSeeds = e.pendingSeeds[:0]
+	for i := range e.wMarked {
+		e.wMarked[i] = false
+	}
+	e.heap = e.heap[:0]
+	for i := range e.inQueue {
+		e.inQueue[i] = false
+	}
+}
+
+// Step simulates n cycles.
+func (e *EventDriven) Step(n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.stepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *EventDriven) stepOne() error {
+	if e.stopErr != nil {
+		return e.stopErr
+	}
+	m := e.machine
+	t := m.t
+
+	// Seed: first cycle evaluates everything; afterwards, carried seeds
+	// (register/memory commits) plus changed inputs.
+	if e.first {
+		e.first = false
+		for i := range m.instrs {
+			e.push(int32(i))
+		}
+		for i := range e.wMarked {
+			e.wMarked[i] = true
+		}
+		for i := range e.inputs {
+			in := &e.inputs[i]
+			copy(e.prevIn[in.prevOff:in.prevOff+in.words], t[in.off:in.off+in.words])
+		}
+	} else {
+		for _, s := range e.pendingSeeds {
+			e.push(s)
+		}
+		e.pendingSeeds = e.pendingSeeds[:0]
+		for i := range e.inputs {
+			in := &e.inputs[i]
+			changed := false
+			for w := int32(0); w < in.words; w++ {
+				if t[in.off+w] != e.prevIn[in.prevOff+w] {
+					changed = true
+					e.prevIn[in.prevOff+w] = t[in.off+w]
+				}
+			}
+			if changed {
+				for _, ci := range in.consumers {
+					e.push(ci)
+				}
+			}
+		}
+	}
+
+	// Levelized event processing through the heap.
+	old := e.oldBuf
+	for len(e.heap) > 0 {
+		ci := e.pop()
+		e.inQueue[ci] = false
+		in := &m.instrs[ci]
+		nw := int32(len(m.view(in.dst, in.dw)))
+		copy(old[:nw], t[in.dst:in.dst+nw])
+		m.exec(in)
+		changed := false
+		for w := int32(0); w < nw; w++ {
+			if t[in.dst+w] != old[w] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		m.stats.SignalChanges++
+		for _, c := range e.consumers[ci] {
+			e.push(c)
+		}
+		for _, wi := range e.wSinkOf[ci] {
+			e.wMarked[wi] = true
+		}
+	}
+
+	// Effects run every cycle (level-sensitive semantics).
+	for i := range m.displays {
+		m.runDisplay(int32(i))
+	}
+	for i := range m.checks {
+		m.runCheck(int32(i))
+	}
+	err := m.evalErr
+	m.evalErr = nil
+
+	// Capture marked memory writes.
+	for wi := range e.wMarked {
+		if e.wMarked[wi] {
+			e.wMarked[wi] = false
+			m.captureMemWrite(int32(wi))
+		}
+	}
+
+	// Clock-edge sensitivity: every flip-flop process evaluates every
+	// cycle (compare D against Q and commit), the per-cycle state cost
+	// classic event-driven simulators pay regardless of activity.
+	for ri := range m.d.Regs {
+		r := &m.d.Regs[ri]
+		e.stats.Events++
+		no, oo := m.off[r.Next], m.off[r.Out]
+		changed := false
+		for w := int32(0); w < m.nw[r.Out]; w++ {
+			if t[oo+w] != t[no+w] {
+				t[oo+w] = t[no+w]
+				changed = true
+			}
+		}
+		if changed {
+			e.pendingSeeds = append(e.pendingSeeds, e.regConsumers[ri]...)
+		}
+	}
+
+	// Apply pending memory writes; content changes wake read ports.
+	for i := range m.memWrites {
+		w := &m.memWrites[i]
+		if !w.pendValid {
+			continue
+		}
+		w.pendValid = false
+		ms := &m.mems[w.mem]
+		if w.pendAddr >= uint64(ms.depth) {
+			continue
+		}
+		base := int32(w.pendAddr) * ms.nw
+		changed := false
+		for k := int32(0); k < ms.nw; k++ {
+			var v uint64
+			if int(k) < len(w.pendData) {
+				v = w.pendData[k]
+			}
+			if ms.words[base+k] != v {
+				ms.words[base+k] = v
+				changed = true
+			}
+		}
+		if changed {
+			e.pendingSeeds = append(e.pendingSeeds, e.memReadInstrs[w.mem]...)
+		}
+	}
+
+	m.cycle++
+	m.stats.Cycles++
+	if err != nil {
+		m.stopErr = err
+	}
+	return err
+}
+
+var _ Simulator = (*EventDriven)(nil)

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"essent/internal/bits"
+)
+
+// execWide evaluates an instruction with any operand or result wider than
+// 64 bits. Results are computed into scratch and copied out, so in-place
+// register updates (dst aliasing an operand) are safe.
+func (m *machine) execWide(in *instr) {
+	dst := m.view(in.dst, in.dw)
+	dwWords := len(dst)
+	s0 := m.scratch[0][:dwWords]
+	s1 := m.scratch[1][:dwWords]
+	res := m.scratch[3][:dwWords]
+
+	viewA := func() []uint64 { return m.view(in.a, in.aw) }
+	viewB := func() []uint64 { return m.view(in.b, in.bw) }
+	extA := func(buf []uint64) []uint64 {
+		bits.ExtendInto(buf, viewA(), int(in.aw), in.sa)
+		return buf
+	}
+	extB := func(buf []uint64) []uint64 {
+		bits.ExtendInto(buf, viewB(), int(in.bw), in.sb)
+		return buf
+	}
+	finish := func() {
+		bits.MaskInto(res, int(in.dw))
+		copy(dst, res)
+	}
+
+	switch in.code {
+	case ICopy:
+		bits.ExtendInto(res, viewA(), int(in.aw), in.sa)
+		finish()
+	case IMux:
+		if m.t[in.a] != 0 {
+			bits.ExtendInto(res, m.view(in.b, in.bw), int(in.bw), in.sb)
+		} else {
+			bits.ExtendInto(res, m.view(in.c, in.cw), int(in.cw), in.sc)
+		}
+		finish()
+	case IMemRead:
+		ms := &m.mems[in.mem]
+		addr := m.t[in.a]
+		if addr < uint64(ms.depth) {
+			base := int32(addr) * ms.nw
+			copy(dst, ms.words[base:base+ms.nw])
+		} else {
+			bits.Zero(dst)
+		}
+	case IAdd:
+		bits.AddInto(res, extA(s0), extB(s1))
+		finish()
+	case ISub:
+		bits.SubInto(res, extA(s0), extB(s1))
+		finish()
+	case IMul:
+		bits.MulInto(res, extA(s0), extB(s1))
+		finish()
+	case IDiv:
+		rem := m.scratch[2][:len(res)]
+		if in.sa {
+			bits.DivRemS(res, rem, viewA(), viewB(), int(in.aw), int(in.bw))
+		} else {
+			bits.DivRemU(res, rem, viewA(), viewB())
+		}
+		finish()
+	case IRem:
+		quo := m.scratch[2][:bits.Words(int(in.aw))+1]
+		if in.sa {
+			bits.DivRemS(quo, res, viewA(), viewB(), int(in.aw), int(in.bw))
+		} else {
+			bits.DivRemU(quo, res, viewA(), viewB())
+		}
+		finish()
+	case ILt:
+		m.t[in.dst] = b2u(m.cmpWide(in) < 0)
+	case ILeq:
+		m.t[in.dst] = b2u(m.cmpWide(in) <= 0)
+	case IGt:
+		m.t[in.dst] = b2u(m.cmpWide(in) > 0)
+	case IGeq:
+		m.t[in.dst] = b2u(m.cmpWide(in) >= 0)
+	case IEq:
+		m.t[in.dst] = b2u(m.cmpWide(in) == 0)
+	case INeq:
+		m.t[in.dst] = b2u(m.cmpWide(in) != 0)
+	case IShl:
+		bits.ShlInto(res, viewA(), int(in.p0), int(in.dw))
+		copy(dst, res)
+	case IShr:
+		bits.ShrInto(res, viewA(), int(in.p0), int(in.aw), in.sa, int(in.dw))
+		copy(dst, res)
+	case IDshl:
+		bits.ShlInto(res, viewA(), int(m.t[in.b]), int(in.dw))
+		copy(dst, res)
+	case IDshr:
+		sh := int(m.t[in.b])
+		bits.ShrInto(res, viewA(), sh, int(in.aw), in.sa, int(in.dw))
+		copy(dst, res)
+	case INeg:
+		bits.NegInto(res, extA(s0))
+		finish()
+	case INot:
+		bits.NotInto(res, viewA(), int(in.dw))
+		copy(dst, res)
+	case IAnd:
+		bits.AndInto(res, extA(s0), extB(s1))
+		finish()
+	case IOr:
+		bits.OrInto(res, extA(s0), extB(s1))
+		finish()
+	case IXor:
+		bits.XorInto(res, extA(s0), extB(s1))
+		finish()
+	case IAndr:
+		m.t[in.dst] = bits.AndR(viewA(), int(in.aw))
+	case IOrr:
+		m.t[in.dst] = bits.OrR(viewA())
+	case IXorr:
+		m.t[in.dst] = bits.XorR(viewA())
+	case ICat:
+		bits.CatInto(res, viewA(), viewB(), int(in.aw), int(in.bw))
+		copy(dst, res)
+	case IBits:
+		bits.ExtractInto(res, viewA(), int(in.p0), int(in.p1))
+		copy(dst, res)
+	case IHead:
+		bits.ExtractInto(res, viewA(), int(in.aw)-1, int(in.aw)-int(in.p0))
+		copy(dst, res)
+	case ITail:
+		src := viewA()
+		for i := range res {
+			if i < len(src) {
+				res[i] = src[i]
+			} else {
+				res[i] = 0
+			}
+		}
+		bits.MaskInto(res, int(in.dw))
+		copy(dst, res)
+	}
+}
+
+// cmpWide compares the two operands of a wide comparison instruction.
+func (m *machine) cmpWide(in *instr) int {
+	n := bits.Words(int(in.aw))
+	if w := bits.Words(int(in.bw)); w > n {
+		n = w
+	}
+	s0 := m.scratch[0][:n]
+	s1 := m.scratch[1][:n]
+	bits.ExtendInto(s0, m.view(in.a, in.aw), int(in.aw), in.sa)
+	bits.ExtendInto(s1, m.view(in.b, in.bw), int(in.bw), in.sb)
+	return bits.Cmp(s0, s1, in.sa)
+}

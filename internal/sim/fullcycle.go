@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"essent/internal/netlist"
+	"essent/internal/sched"
+)
+
+// FullCycle is a pure full-cycle simulator: the entire design evaluates
+// every cycle on a static schedule. With Optimized false it is the
+// paper's Baseline; with Optimized true it additionally applies netlist
+// optimizations and register update elision — the design point of
+// optimized full-cycle simulators like Verilator.
+type FullCycle struct {
+	*machine
+}
+
+// NewFullCycle compiles a full-cycle simulator. optimized enables
+// register update elision (the caller applies netlist-level optimization
+// passes before construction if desired).
+func NewFullCycle(d *netlist.Design, optimized bool) (*FullCycle, error) {
+	plan, err := sched.Build(d, optimized)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
+		machineConfig{shadows: plan.Shadows})
+	if err != nil {
+		return nil, err
+	}
+	return &FullCycle{machine: m}, nil
+}
+
+// Step simulates n cycles.
+func (f *FullCycle) Step(n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ Simulator = (*FullCycle)(nil)

@@ -1,0 +1,665 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"essent/internal/bits"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/sched"
+)
+
+// ICode is a specialized opcode for the compiled instruction stream.
+type ICode uint8
+
+const (
+	ICopy ICode = iota
+	IMux
+	IMemRead
+	IAdd
+	ISub
+	IMul
+	IDiv
+	IRem
+	ILt
+	ILeq
+	IGt
+	IGeq
+	IEq
+	INeq
+	IShl
+	IShr
+	IDshl
+	IDshr
+	INeg
+	INot
+	IAnd
+	IOr
+	IXor
+	IAndr
+	IOrr
+	IXorr
+	ICat
+	IBits
+	IHead
+	ITail
+)
+
+// instr is one compiled combinational operation. All operands are word
+// offsets into the machine's value table (constants are materialized into
+// the table at initialization).
+type instr struct {
+	code           ICode
+	wide           bool
+	sa, sb, sc     bool
+	a, b, c        int32
+	dst            int32
+	aw, bw, cw, dw int32
+	p0, p1         int32
+	mem            int32
+	out            netlist.SignalID
+}
+
+// memState is the backing store of one memory.
+type memState struct {
+	words []uint64
+	nw    int32 // words per entry
+	depth int32
+	width int32
+}
+
+// schedEntry is one step of the unified static schedule: a combinational
+// instruction, an in-stream sink (display, check, memory-write capture),
+// or a conditional skip implementing mux-way shadowing. Sinks are
+// scheduled like ESSENT schedules state updates: at their topological
+// position, after every producer and — thanks to the elision ordering
+// edges — before any in-place state write that would clobber their
+// operands.
+type schedEntry struct {
+	kind uint8
+	idx  int32
+	// n is the number of following entries to skip (skip kinds only).
+	n int32
+}
+
+// Schedule entry kinds.
+const (
+	seInstr uint8 = iota
+	seDisplay
+	seCheck
+	seMemWrite
+	// seSkipIfZero skips the next n entries when t[idx] == 0 (guards a
+	// mux's true-arm cone); seSkipIfNonzero guards the false arm.
+	seSkipIfZero
+	seSkipIfNonzero
+)
+
+// machine holds everything shared by the static-schedule engines.
+type machine struct {
+	d  *netlist.Design
+	dg *netlist.DesignGraph
+
+	t   []uint64 // value table
+	off []int32  // word offset per signal
+	nw  []int32  // words per signal
+
+	constOff []int32 // word offset per constant-pool entry
+
+	instrs  []instr
+	instrOf []int32 // SignalID → index into instrs (-1 for non-comb)
+	sched   []schedEntry
+	// schedPosOf maps design-graph node IDs to schedule positions (-1 for
+	// sources); used by the partitioner-driven engines.
+	schedPosOf []int32
+
+	mems []memState
+
+	// regCopy lists registers needing a two-phase next→out copy (those
+	// not update-elided).
+	regCopy []int
+	elided  []bool
+
+	// sink argument resolution, precomputed.
+	memWrites []compiledMemWrite
+	displays  []compiledDisplay
+	checks    []compiledCheck
+
+	out     io.Writer
+	stats   Stats
+	cycle   uint64
+	stopErr error
+	evalErr error
+
+	scratch [4][]uint64
+}
+
+type compiledMemWrite struct {
+	mem                  int32
+	addr, en, data, mask operand
+	// pending write buffer (captured at schedule position, applied at
+	// commit so reads always see pre-edge contents).
+	pendValid bool
+	pendAddr  uint64
+	pendData  []uint64
+}
+
+type compiledDisplay struct {
+	en     operand
+	format string
+	args   []operand
+}
+
+type compiledCheck struct {
+	en, pred operand
+	msg      string
+	stop     bool
+	code     int
+}
+
+// operand is a resolved sink operand.
+type operand struct {
+	off    int32
+	w      int32
+	signed bool
+}
+
+func (m *machine) operandOf(a netlist.Arg) operand {
+	if a.IsConst() {
+		c := m.d.Consts[a.Const]
+		return operand{off: m.constOff[a.Const], w: int32(c.Width), signed: c.Signed}
+	}
+	s := &m.d.Signals[a.Sig]
+	return operand{off: m.off[a.Sig], w: int32(s.Width), signed: s.Signed}
+}
+
+func (m *machine) view(off, w int32) []uint64 {
+	return m.t[off : off+int32(bits.Words(int(w)))]
+}
+
+// readU64 reads an operand's low word.
+func (m *machine) readOperand(o operand) uint64 { return m.t[o.off] }
+
+// machineConfig carries optional schedule transformations.
+type machineConfig struct {
+	// shadows enables conditional mux-way evaluation: arm cones are laid
+	// out behind skip entries (§III-B).
+	shadows *sched.MuxShadows
+	// groups partitions the order into contiguous schedule groups; the
+	// returned ranges give each group's [start, end) entry span. nil
+	// treats the whole order as one group.
+	groups [][]int
+}
+
+// newMachine compiles the design with the default (ungrouped, unshadowed)
+// schedule.
+func newMachine(d *netlist.Design, dg *netlist.DesignGraph, order []int, elided []bool) (*machine, error) {
+	m, _, err := newMachineCfg(d, dg, order, elided, machineConfig{})
+	return m, err
+}
+
+// newMachineCfg compiles the design. elided[i] true means register i's
+// next value writes register storage in place (no commit copy); order is
+// the topological node order (including sink nodes) to schedule.
+func newMachineCfg(d *netlist.Design, dg *netlist.DesignGraph, order []int,
+	elided []bool, cfg machineConfig) (*machine, [][2]int32, error) {
+	m := &machine{d: d, dg: dg, out: io.Discard, elided: elided}
+
+	// Layout: signals first, then constants.
+	m.off = make([]int32, len(d.Signals))
+	m.nw = make([]int32, len(d.Signals))
+	total := int32(0)
+	maxWords := 1
+	for i := range d.Signals {
+		w := bits.Words(d.Signals[i].Width)
+		if w > maxWords {
+			maxWords = w
+		}
+		m.off[i] = total
+		m.nw[i] = int32(w)
+		total += int32(w)
+	}
+	// Alias elided registers: next shares storage with out.
+	for ri := range d.Regs {
+		if elided != nil && elided[ri] {
+			m.off[d.Regs[ri].Next] = m.off[d.Regs[ri].Out]
+		}
+	}
+	m.constOff = make([]int32, len(d.Consts))
+	for i := range d.Consts {
+		w := bits.Words(d.Consts[i].Width)
+		if w > maxWords {
+			maxWords = w
+		}
+		m.constOff[i] = total
+		total += int32(w)
+	}
+	m.t = make([]uint64, total)
+	for i := range d.Consts {
+		copy(m.t[m.constOff[i]:], d.Consts[i].Words)
+	}
+	for i := range m.scratch {
+		m.scratch[i] = make([]uint64, maxWords+1)
+	}
+
+	// Memories.
+	m.mems = make([]memState, len(d.Mems))
+	for i := range d.Mems {
+		nw := bits.Words(d.Mems[i].Width)
+		m.mems[i] = memState{
+			words: make([]uint64, nw*d.Mems[i].Depth),
+			nw:    int32(nw),
+			depth: int32(d.Mems[i].Depth),
+			width: int32(d.Mems[i].Width),
+		}
+	}
+
+	// Compile sinks first so schedule construction can reference them.
+	for i := range d.MemWrites {
+		w := &d.MemWrites[i]
+		ao := m.operandOf(w.Addr)
+		if ao.w > 32 {
+			return nil, nil, fmt.Errorf("sim: mem %s: write address wider than 32 bits",
+				d.Mems[w.Mem].Name)
+		}
+		do := m.operandOf(w.Data)
+		m.memWrites = append(m.memWrites, compiledMemWrite{
+			mem:  int32(w.Mem),
+			addr: ao, en: m.operandOf(w.En),
+			data: do, mask: m.operandOf(w.Mask),
+			pendData: make([]uint64, bits.Words(int(do.w))),
+		})
+	}
+	for i := range d.Displays {
+		disp := &d.Displays[i]
+		cd := compiledDisplay{en: m.operandOf(disp.En), format: disp.Format}
+		for _, a := range disp.Args {
+			cd.args = append(cd.args, m.operandOf(a))
+		}
+		m.displays = append(m.displays, cd)
+	}
+	for i := range d.Checks {
+		c := &d.Checks[i]
+		m.checks = append(m.checks, compiledCheck{
+			en: m.operandOf(c.En), pred: m.operandOf(c.Pred),
+			msg: c.Msg, stop: c.Stop, code: c.Code,
+		})
+	}
+
+	// Unified schedule in topological order, group by group. Mux-arm
+	// cones (when shadows are enabled) are emitted behind skip entries at
+	// their owning mux's position.
+	m.instrOf = make([]int32, len(d.Signals))
+	for i := range m.instrOf {
+		m.instrOf[i] = -1
+	}
+	m.schedPosOf = make([]int32, dg.G.Len())
+	for i := range m.schedPosOf {
+		m.schedPosOf[i] = -1
+	}
+	groups := cfg.groups
+	if groups == nil {
+		groups = [][]int{order}
+	}
+	ranges := make([][2]int32, len(groups))
+	for gi, group := range groups {
+		ranges[gi][0] = int32(len(m.sched))
+		for _, node := range group {
+			if err := m.emitNode(node, cfg.shadows, false); err != nil {
+				return nil, nil, err
+			}
+		}
+		ranges[gi][1] = int32(len(m.sched))
+	}
+
+	// Registers needing a commit copy.
+	for ri := range d.Regs {
+		if elided == nil || !elided[ri] {
+			m.regCopy = append(m.regCopy, ri)
+		}
+	}
+
+	m.initState()
+	return m, ranges, nil
+}
+
+// emitNode appends the schedule entries for one design-graph node.
+// Shadowed nodes are skipped in the outer walk (force false) and emitted
+// within their owning mux's arm (force true). Muxes with claimed arms
+// expand into [skip-if-zero, T cone, skip-if-nonzero, F cone, mux].
+func (m *machine) emitNode(node int, shadows *sched.MuxShadows, force bool) error {
+	d := m.d
+	if node >= len(d.Signals) {
+		idx := int32(m.dg.Index[node])
+		var kind uint8
+		switch m.dg.Kind[node] {
+		case netlist.NodeMemWrite:
+			kind = seMemWrite
+		case netlist.NodeDisplay:
+			kind = seDisplay
+		case netlist.NodeCheck:
+			kind = seCheck
+		default:
+			return nil
+		}
+		m.schedPosOf[node] = int32(len(m.sched))
+		m.sched = append(m.sched, schedEntry{kind: kind, idx: idx})
+		return nil
+	}
+	s := &d.Signals[node]
+	if s.Kind != netlist.KComb && s.Kind != netlist.KMemRead {
+		return nil // inputs and reg outputs need no schedule step
+	}
+	if shadows != nil && !force && shadows.Shadowed[netlist.SignalID(node)] {
+		return nil // emitted inside its owning mux's arm
+	}
+	// Compile the instruction (once).
+	if m.instrOf[node] < 0 {
+		var in instr
+		var err error
+		switch s.Kind {
+		case netlist.KComb:
+			in, err = m.compileOp(s.Op)
+			if err != nil {
+				return err
+			}
+		case netlist.KMemRead:
+			r := &d.MemReads[s.MemRead]
+			ao := m.operandOf(r.Addr)
+			if ao.w > 32 {
+				return fmt.Errorf("sim: mem %s: address wider than 32 bits",
+					d.Mems[r.Mem].Name)
+			}
+			in = instr{
+				code: IMemRead, out: netlist.SignalID(node),
+				dst: m.off[node], dw: int32(s.Width),
+				a: ao.off, aw: ao.w,
+				mem:  int32(r.Mem),
+				wide: s.Width > 64,
+			}
+		}
+		m.instrOf[node] = int32(len(m.instrs))
+		m.instrs = append(m.instrs, in)
+	}
+	// Mux-way expansion.
+	if shadows != nil && s.Kind == netlist.KComb && s.Op.Kind == netlist.OMux {
+		if arms, ok := shadows.Arms[netlist.SignalID(node)]; ok {
+			selOff := m.operandOf(s.Op.Args[0]).off
+			emitArm := func(kind uint8, cone []netlist.SignalID) error {
+				ctl := len(m.sched)
+				m.sched = append(m.sched, schedEntry{kind: kind, idx: selOff})
+				for _, x := range cone {
+					if err := m.emitNode(int(x), shadows, true); err != nil {
+						return err
+					}
+				}
+				m.sched[ctl].n = int32(len(m.sched) - ctl - 1)
+				return nil
+			}
+			if len(arms.T) > 0 {
+				if err := emitArm(seSkipIfZero, arms.T); err != nil {
+					return err
+				}
+			}
+			if len(arms.F) > 0 {
+				if err := emitArm(seSkipIfNonzero, arms.F); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m.schedPosOf[node] = int32(len(m.sched))
+	m.sched = append(m.sched, schedEntry{kind: seInstr, idx: m.instrOf[node]})
+	return nil
+}
+
+// initState loads register initial values (memories start zeroed).
+func (m *machine) initState() {
+	for ri := range m.d.Regs {
+		r := &m.d.Regs[ri]
+		out := m.view(m.off[r.Out], int32(m.d.Signals[r.Out].Width))
+		bits.Copy(out, r.Init)
+	}
+}
+
+// compileOp lowers one netlist op to an instruction.
+func (m *machine) compileOp(op *netlist.Op) (instr, error) {
+	d := m.d
+	outSig := &d.Signals[op.Out]
+	in := instr{
+		out: op.Out,
+		dst: m.off[op.Out],
+		dw:  int32(outSig.Width),
+		p0:  int32(op.P0),
+		p1:  int32(op.P1),
+		a:   -1, b: -1, c: -1,
+	}
+	setArg := func(i int, a netlist.Arg) {
+		o := m.operandOf(a)
+		switch i {
+		case 0:
+			in.a, in.aw, in.sa = o.off, o.w, o.signed
+		case 1:
+			in.b, in.bw, in.sb = o.off, o.w, o.signed
+		case 2:
+			in.c, in.cw, in.sc = o.off, o.w, o.signed
+		}
+	}
+	for i, a := range op.Args {
+		setArg(i, a)
+	}
+	switch op.Kind {
+	case netlist.OCopy:
+		in.code = ICopy
+	case netlist.OMux:
+		in.code = IMux
+	case netlist.OPrim:
+		code, ok := primToICode[op.Prim]
+		if !ok {
+			return instr{}, fmt.Errorf("sim: unsupported primop %v", op.Prim)
+		}
+		in.code = code
+		if op.Prim == firrtl.OpDshl || op.Prim == firrtl.OpDshr {
+			if in.bw > 20 {
+				return instr{}, fmt.Errorf("sim: dynamic shift amount wider than 20 bits")
+			}
+		}
+	}
+	in.wide = in.dw > 64 || in.aw > 64 || in.bw > 64 || in.cw > 64
+	return in, nil
+}
+
+var primToICode = map[firrtl.PrimOp]ICode{
+	firrtl.OpAdd: IAdd, firrtl.OpSub: ISub, firrtl.OpMul: IMul,
+	firrtl.OpDiv: IDiv, firrtl.OpRem: IRem,
+	firrtl.OpLt: ILt, firrtl.OpLeq: ILeq, firrtl.OpGt: IGt, firrtl.OpGeq: IGeq,
+	firrtl.OpEq: IEq, firrtl.OpNeq: INeq,
+	firrtl.OpShl: IShl, firrtl.OpShr: IShr,
+	firrtl.OpDshl: IDshl, firrtl.OpDshr: IDshr,
+	firrtl.OpCvt: ICopy, firrtl.OpNeg: INeg, firrtl.OpNot: INot,
+	firrtl.OpAnd: IAnd, firrtl.OpOr: IOr, firrtl.OpXor: IXor,
+	firrtl.OpAndr: IAndr, firrtl.OpOrr: IOrr, firrtl.OpXorr: IXorr,
+	firrtl.OpCat: ICat, firrtl.OpBits: IBits,
+	firrtl.OpHead: IHead, firrtl.OpTail: ITail,
+}
+
+// ext sign- or zero-extends a stored (masked) narrow value to 64 bits.
+func ext(v uint64, w int32, signed bool) uint64 {
+	if signed {
+		return bits.Sext64(v, int(w))
+	}
+	return v
+}
+
+// exec evaluates one instruction.
+func (m *machine) exec(in *instr) {
+	m.stats.OpsEvaluated++
+	if in.wide {
+		m.execWide(in)
+		return
+	}
+	t := m.t
+	switch in.code {
+	case ICopy:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa), int(in.dw))
+	case IMux:
+		if t[in.a] != 0 {
+			t[in.dst] = bits.Mask64(ext(t[in.b], in.bw, in.sb), int(in.dw))
+		} else {
+			t[in.dst] = bits.Mask64(ext(t[in.c], in.cw, in.sc), int(in.dw))
+		}
+	case IMemRead:
+		ms := &m.mems[in.mem]
+		addr := t[in.a]
+		if addr < uint64(ms.depth) {
+			t[in.dst] = ms.words[int32(addr)*ms.nw]
+		} else {
+			t[in.dst] = 0
+		}
+	case IAdd:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)+ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case ISub:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)-ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case IMul:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)*ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case IDiv:
+		if in.sa {
+			a := int64(bits.Sext64(t[in.a], int(in.aw)))
+			b := int64(bits.Sext64(t[in.b], int(in.bw)))
+			var q int64
+			switch {
+			case b == 0:
+				q = 0
+			case a == math.MinInt64 && b == -1:
+				q = a // wraps, masked below
+			default:
+				q = a / b
+			}
+			t[in.dst] = bits.Mask64(uint64(q), int(in.dw))
+		} else {
+			b := t[in.b]
+			if b == 0 {
+				t[in.dst] = 0
+			} else {
+				t[in.dst] = bits.Mask64(t[in.a]/b, int(in.dw))
+			}
+		}
+	case IRem:
+		if in.sa {
+			a := int64(bits.Sext64(t[in.a], int(in.aw)))
+			b := int64(bits.Sext64(t[in.b], int(in.bw)))
+			var r int64
+			switch {
+			case b == 0:
+				r = a
+			case a == math.MinInt64 && b == -1:
+				r = 0
+			default:
+				r = a % b
+			}
+			t[in.dst] = bits.Mask64(uint64(r), int(in.dw))
+		} else {
+			b := t[in.b]
+			if b == 0 {
+				t[in.dst] = bits.Mask64(t[in.a], int(in.dw))
+			} else {
+				t[in.dst] = bits.Mask64(t[in.a]%b, int(in.dw))
+			}
+		}
+	case ILt:
+		t[in.dst] = b2u(cmp64(t[in.a], in.aw, t[in.b], in.bw, in.sa) < 0)
+	case ILeq:
+		t[in.dst] = b2u(cmp64(t[in.a], in.aw, t[in.b], in.bw, in.sa) <= 0)
+	case IGt:
+		t[in.dst] = b2u(cmp64(t[in.a], in.aw, t[in.b], in.bw, in.sa) > 0)
+	case IGeq:
+		t[in.dst] = b2u(cmp64(t[in.a], in.aw, t[in.b], in.bw, in.sa) >= 0)
+	case IEq:
+		t[in.dst] = b2u(ext(t[in.a], in.aw, in.sa) == ext(t[in.b], in.bw, in.sb))
+	case INeq:
+		t[in.dst] = b2u(ext(t[in.a], in.aw, in.sa) != ext(t[in.b], in.bw, in.sb))
+	case IShl:
+		t[in.dst] = bits.Mask64(t[in.a]<<uint(in.p0), int(in.dw))
+	case IShr:
+		t[in.dst] = shr64(t[in.a], in.aw, in.p0, in.sa, in.dw)
+	case IDshl:
+		t[in.dst] = bits.Mask64(t[in.a]<<uint(t[in.b]), int(in.dw))
+	case IDshr:
+		t[in.dst] = shr64(t[in.a], in.aw, int32(t[in.b]), in.sa, in.dw)
+	case INeg:
+		t[in.dst] = bits.Mask64(-ext(t[in.a], in.aw, in.sa), int(in.dw))
+	case INot:
+		t[in.dst] = bits.Mask64(^t[in.a], int(in.dw))
+	case IAnd:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)&ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case IOr:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)|ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case IXor:
+		t[in.dst] = bits.Mask64(ext(t[in.a], in.aw, in.sa)^ext(t[in.b], in.bw, in.sb), int(in.dw))
+	case IAndr:
+		t[in.dst] = b2u(t[in.a] == bits.Mask64(^uint64(0), int(in.aw)))
+	case IOrr:
+		t[in.dst] = b2u(t[in.a] != 0)
+	case IXorr:
+		t[in.dst] = uint64(popcount(t[in.a])) & 1
+	case ICat:
+		t[in.dst] = bits.Mask64(t[in.a]<<uint(in.bw)|t[in.b], int(in.dw))
+	case IBits:
+		t[in.dst] = bits.Mask64(t[in.a]>>uint(in.p1), int(in.p0-in.p1+1))
+	case IHead:
+		t[in.dst] = t[in.a] >> uint(in.aw-in.p0)
+	case ITail:
+		t[in.dst] = bits.Mask64(t[in.a], int(in.aw-in.p0))
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func cmp64(a uint64, aw int32, b uint64, bw int32, signed bool) int {
+	if signed {
+		ia, ib := int64(bits.Sext64(a, int(aw))), int64(bits.Sext64(b, int(bw)))
+		switch {
+		case ia < ib:
+			return -1
+		case ia > ib:
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func shr64(a uint64, aw, n int32, signed bool, dw int32) uint64 {
+	if n >= aw {
+		if signed && a>>(uint(aw)-1)&1 == 1 {
+			return bits.Mask64(^uint64(0), int(dw))
+		}
+		return 0
+	}
+	if signed {
+		v := int64(bits.Sext64(a, int(aw))) >> uint(n)
+		return bits.Mask64(uint64(v), int(dw))
+	}
+	return bits.Mask64(a>>uint(n), int(dw))
+}

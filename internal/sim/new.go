@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+
+	"essent/internal/netlist"
+)
+
+// Options selects and configures an engine.
+type Options struct {
+	Engine Engine
+	// Cp is the CCSS partitioning threshold (0 = paper default 8).
+	Cp int
+	// Workers selects the goroutine count for EngineCCSSParallel
+	// (0 = GOMAXPROCS capped at 8).
+	Workers int
+}
+
+// New constructs the requested simulation engine for a design. The caller
+// is responsible for applying netlist-level optimization passes first
+// when the engine's design point calls for them (see netlist.Optimize).
+func New(d *netlist.Design, opts Options) (Simulator, error) {
+	switch opts.Engine {
+	case EngineEventDriven:
+		return NewEventDriven(d)
+	case EngineFullCycle:
+		return NewFullCycle(d, false)
+	case EngineFullCycleOpt:
+		return NewFullCycle(d, true)
+	case EngineCCSS:
+		return NewCCSS(d, CCSSOptions{Cp: opts.Cp})
+	case EngineCCSSParallel:
+		return NewParallelCCSS(d, ParallelOptions{Cp: opts.Cp, Workers: opts.Workers})
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %v", opts.Engine)
+	}
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"essent/internal/netlist"
+)
+
+// ParallelCCSS evaluates active partitions concurrently, level by level
+// over the partition DAG. Partitions on the same level are mutually
+// independent (no data or ordering path connects them), so their
+// evaluations touch disjoint value-table regions; activity flags use
+// atomic stores because two same-level partitions may wake the same
+// consumer. This is the thread-parallel extension of the paper's CCSS
+// engine — the direction the authors' follow-on work on parallel RTL
+// simulation explores.
+//
+// Semantics match CCSS exactly except printf interleaving: printfs from
+// partitions on the same level may appear in any order.
+type ParallelCCSS struct {
+	*CCSS
+
+	// levels lists runtime partition IDs per level, ascending.
+	levels [][]int32
+	// flags32 replaces the sequential engine's bool flags (atomic access).
+	flags32 []uint32
+
+	workers int
+	// wm holds one machine view per worker: shared value table, memories,
+	// and instruction stream; private scratch, stats, and error slot.
+	wm []*machine
+	// wDirty collects non-elided register commits per worker.
+	wDirty [][]int32
+
+	outMu sync.Mutex
+	// mergedStats is the snapshot returned by Stats().
+	mergedStats Stats
+}
+
+// ParallelOptions configures the parallel engine.
+type ParallelOptions struct {
+	// Cp is the partitioning threshold (0 = 8).
+	Cp int
+	// Workers is the goroutine count (0 = GOMAXPROCS, capped at 8).
+	Workers int
+}
+
+// NewParallelCCSS compiles a parallel CCSS simulator.
+func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, error) {
+	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp})
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ParallelCCSS{CCSS: base, workers: workers}
+	plan := base.plan
+	p.levels = make([][]int32, plan.NumLevels)
+	for pi, lvl := range plan.PartLevels {
+		p.levels[lvl] = append(p.levels[lvl], int32(pi))
+	}
+	p.flags32 = make([]uint32, len(base.parts))
+	// Worker machine views: share table/memories/pending buffers, own
+	// scratch and counters. Display output serializes through a locked
+	// writer.
+	p.wm = make([]*machine, workers)
+	p.wDirty = make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		mc := *base.machine
+		maxWords := len(base.machine.scratch[0])
+		for i := range mc.scratch {
+			mc.scratch[i] = make([]uint64, maxWords)
+		}
+		mc.stats = Stats{}
+		mc.out = &lockedWriter{mu: &p.outMu, w: io.Discard}
+		p.wm[w] = &mc
+	}
+	p.wakeAll32()
+	return p, nil
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(b []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(b)
+}
+
+// SetOutput directs printf output (serialized across workers).
+func (p *ParallelCCSS) SetOutput(w io.Writer) {
+	for _, mc := range p.wm {
+		mc.out.(*lockedWriter).w = w
+	}
+	p.machine.out = w
+}
+
+func (p *ParallelCCSS) wakeAll32() {
+	for i := range p.flags32 {
+		p.flags32[i] = 1
+	}
+	for i := range p.prevIn {
+		p.prevIn[i] = ^uint64(0)
+	}
+}
+
+// Reset restores initial state and re-arms every partition.
+func (p *ParallelCCSS) Reset() {
+	p.machine.Reset()
+	for w := range p.wDirty {
+		p.wDirty[w] = p.wDirty[w][:0]
+	}
+	for _, mc := range p.wm {
+		mc.evalErr = nil
+	}
+	p.wakeAll32()
+}
+
+// PokeMem writes a memory word and wakes dependent read-port partitions.
+func (p *ParallelCCSS) PokeMem(mem, addr int, v uint64) {
+	p.machine.PokeMem(mem, addr, v)
+	for _, q := range p.memReaderParts[mem] {
+		p.flags32[q] = 1
+	}
+}
+
+// Stats returns merged counters across the dispatcher and all workers.
+func (p *ParallelCCSS) Stats() *Stats {
+	merged := p.machine.stats
+	for _, mc := range p.wm {
+		merged.OpsEvaluated += mc.stats.OpsEvaluated
+		merged.SignalChanges += mc.stats.SignalChanges
+		merged.PartEvals += mc.stats.PartEvals
+		merged.OutputCompares += mc.stats.OutputCompares
+		merged.Wakes += mc.stats.Wakes
+	}
+	p.mergedStats = merged
+	return &p.mergedStats
+}
+
+// Step simulates n cycles.
+func (p *ParallelCCSS) Step(n int) error {
+	for i := 0; i < n; i++ {
+		if err := p.stepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPartition runs one partition on a worker view, using atomic flag
+// stores for wakes.
+func (p *ParallelCCSS) evalPartition(wm *machine, worker int, pi int32) {
+	part := &p.parts[pi]
+	wm.stats.PartEvals++
+	t := wm.t
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		copy(p.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
+	}
+	for s := part.schedStart; s < part.schedEnd; {
+		s = wm.runEntryAt(s)
+	}
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		wm.stats.OutputCompares++
+		changed := false
+		for w := int32(0); w < o.words; w++ {
+			if t[o.off+w] != p.oldVals[o.oldOff+w] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			wm.stats.SignalChanges++
+			for _, q := range o.consumers {
+				atomic.StoreUint32(&p.flags32[q], 1)
+			}
+			wm.stats.Wakes += uint64(len(o.consumers))
+		}
+	}
+	if len(part.regs) > 0 {
+		p.wDirty[worker] = append(p.wDirty[worker], part.regs...)
+	}
+}
+
+func (p *ParallelCCSS) stepOne() error {
+	m := p.machine
+	if m.stopErr != nil {
+		return m.stopErr
+	}
+	t := m.t
+
+	// Keep worker views' cycle counters current (error reporting reads
+	// them).
+	for _, mc := range p.wm {
+		mc.cycle = m.cycle
+	}
+
+	// Serial preamble: input change detection.
+	for i := range p.inputs {
+		in := &p.inputs[i]
+		m.stats.InputChecks++
+		changed := false
+		for w := int32(0); w < in.words; w++ {
+			if t[in.off+w] != p.prevIn[in.prevOff+w] {
+				changed = true
+				p.prevIn[in.prevOff+w] = t[in.off+w]
+			}
+		}
+		if changed {
+			for _, q := range in.consumers {
+				p.flags32[q] = 1
+			}
+			m.stats.Wakes += uint64(len(in.consumers))
+		}
+	}
+
+	// Level-by-level parallel evaluation.
+	active := make([]int32, 0, 64)
+	for _, level := range p.levels {
+		active = active[:0]
+		for _, pi := range level {
+			m.stats.PartChecks++
+			if p.flags32[pi] != 0 || p.parts[pi].alwaysOn {
+				p.flags32[pi] = 0
+				active = append(active, pi)
+			}
+		}
+		switch {
+		case len(active) == 0:
+		case len(active) < 4 || p.workers == 1:
+			for _, pi := range active {
+				p.evalPartition(p.wm[0], 0, pi)
+			}
+		default:
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			nw := p.workers
+			if nw > len(active) {
+				nw = len(active)
+			}
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func(worker int) {
+					defer wg.Done()
+					wm := p.wm[worker]
+					for {
+						i := next.Add(1) - 1
+						if int(i) >= len(active) {
+							return
+						}
+						p.evalPartition(wm, worker, active[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+
+	// Collect worker errors (first non-nil; order across same-level
+	// partitions is nondeterministic by construction).
+	var err error
+	for _, mc := range p.wm {
+		if mc.evalErr != nil && err == nil {
+			err = mc.evalErr
+		}
+		mc.evalErr = nil
+	}
+
+	// Serial commit: non-elided registers, then pending memory writes.
+	for w := range p.wDirty {
+		for _, ri := range p.wDirty[w] {
+			no, oo := p.regNext[ri], p.regOut[ri]
+			changed := false
+			for k := int32(0); k < no.words(); k++ {
+				if t[oo.off+k] != t[no.off+k] {
+					t[oo.off+k] = t[no.off+k]
+					changed = true
+				}
+			}
+			m.stats.OutputCompares++
+			if changed {
+				m.stats.SignalChanges++
+				for _, q := range p.regReaderParts[ri] {
+					p.flags32[q] = 1
+				}
+				m.stats.Wakes += uint64(len(p.regReaderParts[ri]))
+			}
+		}
+		p.wDirty[w] = p.wDirty[w][:0]
+	}
+	for i := range m.memWrites {
+		w := &m.memWrites[i]
+		if !w.pendValid {
+			continue
+		}
+		w.pendValid = false
+		ms := &m.mems[w.mem]
+		if w.pendAddr >= uint64(ms.depth) {
+			continue
+		}
+		base := int32(w.pendAddr) * ms.nw
+		changed := false
+		for k := int32(0); k < ms.nw; k++ {
+			var v uint64
+			if int(k) < len(w.pendData) {
+				v = w.pendData[k]
+			}
+			if ms.words[base+k] != v {
+				ms.words[base+k] = v
+				changed = true
+			}
+		}
+		if changed {
+			for _, q := range p.memReaderParts[w.mem] {
+				p.flags32[q] = 1
+			}
+			m.stats.Wakes += uint64(len(p.memReaderParts[w.mem]))
+		}
+	}
+
+	m.cycle++
+	m.stats.Cycles++
+	if err != nil {
+		m.stopErr = err
+	}
+	return err
+}
+
+var _ Simulator = (*ParallelCCSS)(nil)

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+)
+
+func TestParallelCCSSEquivalenceFuzz(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		c := randckt.Generate(seed+2000, randckt.DefaultConfig())
+		d, err := netlist.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims := []Simulator{ref, par}
+		rng := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 100; cyc++ {
+			if cyc == 0 || rng.Intn(3) == 0 {
+				pokeRandom(rng, sims, d)
+			}
+			for _, s := range sims {
+				if err := s.Step(1); err != nil {
+					t.Fatalf("seed %d cyc %d: %v", seed, cyc, err)
+				}
+			}
+			if a, b := archState(ref), archState(par); a != b {
+				t.Fatalf("seed %d cyc %d: parallel diverged:\nseq: %s\npar: %s",
+					seed, cyc, a, b)
+			}
+		}
+	}
+}
+
+func TestParallelCCSSStop(t *testing.T) {
+	src := `
+circuit S :
+  module S :
+    input clock : Clock
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= tail(add(r, UInt<8>(1)), 1)
+    o <= r
+    stop(clock, eq(r, UInt<8>(20)), 5)
+`
+	d := compileSrc(t, src)
+	p, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Step(1000)
+	if err == nil {
+		t.Fatal("expected stop")
+	}
+	if p.Stats().Cycles != 21 {
+		t.Fatalf("stopped at cycle %d, want 21", p.Stats().Cycles)
+	}
+	// Reset and run again.
+	p.Reset()
+	if err := p.Step(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCCSSSkipsWork(t *testing.T) {
+	// The saturating counter from TestCCSSSkipsWork: parallel flags must
+	// also sleep once quiescent.
+	src := `
+circuit Q :
+  module Q :
+    input clock : Clock
+    input en : UInt<1>
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    node sat = eq(r, UInt<8>(200))
+    node inc = tail(add(r, UInt<8>(1)), 1)
+    r <= mux(and(en, not(sat)), inc, r)
+    o <= r
+`
+	d := compileSrc(t, src)
+	p, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, _ := d.SignalByName("en")
+	p.Poke(en, 1)
+	if err := p.Step(1000); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := d.SignalByName("r")
+	if p.Peek(r) != 200 {
+		t.Fatalf("r = %d", p.Peek(r))
+	}
+	st := p.Stats()
+	if st.PartEvals*3 > st.PartChecks {
+		t.Fatalf("parallel engine did not sleep: evals=%d checks=%d",
+			st.PartEvals, st.PartChecks)
+	}
+}
+
+func TestParallelCCSSWorkerCounts(t *testing.T) {
+	c := randckt.Generate(77, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	for _, workers := range []int{1, 2, 8} {
+		p, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for cyc := 0; cyc < 50; cyc++ {
+			if cyc%4 == 0 {
+				pokeRandom(rng, []Simulator{p}, d)
+			}
+			if err := p.Step(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		states = append(states, archState(p))
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] != states[0] {
+			t.Fatalf("worker count changed results")
+		}
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,151 @@
+// Package vcd writes Value Change Dump waveforms. VCD's format itself
+// exploits low activity factors (§II): a signal is recorded only on the
+// cycles where its value changes, so dump size is activity-proportional.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+// Writer incrementally dumps selected signals of a running simulation.
+type Writer struct {
+	w       io.Writer
+	s       sim.Simulator
+	ids     []netlist.SignalID
+	codes   []string
+	prev    [][]uint64
+	cur     []uint64
+	started bool
+	time    uint64
+}
+
+// New creates a VCD writer for the named signals (all outputs and
+// registers when names is nil).
+func New(w io.Writer, s sim.Simulator, names []string) (*Writer, error) {
+	d := s.Design()
+	vw := &Writer{w: w, s: s}
+	var ids []netlist.SignalID
+	if names == nil {
+		ids = append(ids, d.Outputs...)
+		for ri := range d.Regs {
+			ids = append(ids, d.Regs[ri].Out)
+		}
+	} else {
+		for _, n := range names {
+			id, ok := d.SignalByName(n)
+			if !ok {
+				return nil, fmt.Errorf("vcd: no signal %q", n)
+			}
+			ids = append(ids, id)
+		}
+	}
+	vw.ids = ids
+	for i, id := range ids {
+		vw.codes = append(vw.codes, idCode(i))
+		vw.prev = append(vw.prev, make([]uint64, bits.Words(d.Signals[id].Width)))
+	}
+	maxW := 1
+	for _, id := range ids {
+		if w := bits.Words(d.Signals[id].Width); w > maxW {
+			maxW = w
+		}
+	}
+	vw.cur = make([]uint64, maxW)
+	return vw, nil
+}
+
+// idCode generates short VCD identifier codes (printable ASCII).
+func idCode(i int) string {
+	const chars = 94
+	var b []byte
+	for {
+		b = append(b, byte('!'+i%chars))
+		i /= chars
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+// Header emits the declaration section.
+func (vw *Writer) Header(design string) error {
+	d := vw.s.Design()
+	var b strings.Builder
+	b.WriteString("$date\n  (essent-go)\n$end\n")
+	b.WriteString("$timescale 1ns $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", design)
+	for i, id := range vw.ids {
+		s := &d.Signals[id]
+		name := strings.NewReplacer(".", "_", "$", "_").Replace(s.Name)
+		fmt.Fprintf(&b, "$var wire %d %s %s $end\n", s.Width, vw.codes[i], name)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	_, err := io.WriteString(vw.w, b.String())
+	return err
+}
+
+// Sample records the current cycle, emitting only changed signals.
+func (vw *Writer) Sample() error {
+	d := vw.s.Design()
+	var b strings.Builder
+	wroteTime := false
+	for i, id := range vw.ids {
+		w := d.Signals[id].Width
+		cur := vw.cur[:bits.Words(w)]
+		vw.s.PeekWide(id, cur)
+		if vw.started && bits.Equal(cur, vw.prev[i]) {
+			continue
+		}
+		if !wroteTime {
+			fmt.Fprintf(&b, "#%d\n", vw.time)
+			wroteTime = true
+		}
+		copy(vw.prev[i], cur)
+		if w == 1 {
+			fmt.Fprintf(&b, "%d%s\n", cur[0]&1, vw.codes[i])
+		} else {
+			fmt.Fprintf(&b, "b%s %s\n", binStr(cur, w), vw.codes[i])
+		}
+	}
+	vw.started = true
+	vw.time++
+	_, err := io.WriteString(vw.w, b.String())
+	return err
+}
+
+func binStr(words []uint64, width int) string {
+	var b strings.Builder
+	started := false
+	for i := width - 1; i >= 0; i-- {
+		bit := bits.Bit(words, i)
+		if bit == 1 {
+			started = true
+		}
+		if started || i == 0 {
+			b.WriteByte('0' + byte(bit))
+		}
+	}
+	return b.String()
+}
+
+// Run steps the simulation n cycles, sampling after each.
+func (vw *Writer) Run(n int) error {
+	for i := 0; i < n; i++ {
+		stepErr := vw.s.Step(1)
+		if err := vw.Sample(); err != nil {
+			return err
+		}
+		if stepErr != nil {
+			return stepErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+const counterSrc = `
+circuit C :
+  module C :
+    input clock : Clock
+    input en : UInt<1>
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    when en :
+      r <= tail(add(r, UInt<4>(1)), 1)
+    o <= r
+`
+
+func buildSim(t *testing.T) sim.Simulator {
+	t.Helper()
+	c, err := firrtl.Parse(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d, sim.Options{Engine: sim.EngineFullCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVCDOutput(t *testing.T) {
+	s := buildSim(t)
+	var buf strings.Builder
+	vw, err := New(&buf, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Header("C"); err != nil {
+		t.Fatal(err)
+	}
+	en, _ := s.Design().SignalByName("en")
+	s.Poke(en, 1)
+	if err := vw.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$enddefinitions", "$var wire 4", "#0", "#5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in VCD:\n%s", want, out)
+		}
+	}
+}
+
+// Inactivity compression: with en low, later cycles emit nothing.
+func TestVCDSkipsQuietCycles(t *testing.T) {
+	s := buildSim(t)
+	var buf strings.Builder
+	vw, err := New(&buf, s, []string{"o", "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Header("C"); err != nil {
+		t.Fatal(err)
+	}
+	// en stays 0: r never changes; only cycle 0 dumps initial values.
+	if err := vw.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#0") {
+		t.Fatal("initial dump missing")
+	}
+	if strings.Contains(out, "#5") || strings.Contains(out, "#19") {
+		t.Fatalf("quiet cycles should not be dumped:\n%s", out)
+	}
+}
+
+func TestVCDUnknownSignal(t *testing.T) {
+	s := buildSim(t)
+	var buf strings.Builder
+	if _, err := New(&buf, s, []string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown signal")
+	}
+}
+
+func TestIDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate code %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,135 @@
+// Package verilog translates a synthesizable Verilog subset into FIRRTL,
+// giving the simulator a second frontend (§III-C: "it can take designs
+// from any language that produces FIRRTL"). The subset covers structural
+// and simple behavioral code: ANSI and classic port declarations,
+// wire/reg declarations with ranges, continuous assigns with the usual
+// operator set, always @(posedge clk) blocks with non-blocking
+// assignments and if/else, module instantiation with named connections,
+// and sized/based literals.
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+type vtokKind int
+
+const (
+	vEOF vtokKind = iota
+	vID
+	vNumber // raw literal text (123, 8'hFF, 'b0, ...)
+	vPunct  // operators and punctuation, text holds the exact symbol
+	vString
+)
+
+type vtok struct {
+	kind vtokKind
+	text string
+	line int
+}
+
+// vlex tokenizes Verilog source, dropping comments.
+func vlex(src string) ([]vtok, error) {
+	var toks []vtok
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("verilog: line %d: unterminated block comment", line)
+			}
+			i += 2
+		case isVIDStart(c):
+			j := i
+			for j < n && isVIDChar(src[j]) {
+				j++
+			}
+			toks = append(toks, vtok{vID, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9' || c == '\'':
+			j := i
+			// number [size] ['][sdbho] digits, allow underscores.
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '_') {
+				j++
+			}
+			if j < n && src[j] == '\'' {
+				j++
+				if j < n && (src[j] == 's' || src[j] == 'S') {
+					j++
+				}
+				if j < n {
+					j++ // base char
+				}
+				for j < n && (isHexDigit(src[j]) || src[j] == '_' ||
+					src[j] == 'x' || src[j] == 'z' || src[j] == 'X' || src[j] == 'Z') {
+					j++
+				}
+			}
+			toks = append(toks, vtok{vNumber, strings.ReplaceAll(src[i:j], "_", ""), line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("verilog: line %d: unterminated string", line)
+			}
+			toks = append(toks, vtok{vString, src[i+1 : j], line})
+			i = j + 1
+		default:
+			// Multi-character operators, longest first.
+			ops := []string{
+				"<<<", ">>>", "===", "!==",
+				"&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "**",
+			}
+			matched := ""
+			for _, op := range ops {
+				if strings.HasPrefix(src[i:], op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				matched = string(c)
+				if !strings.ContainsRune("()[]{}:;,.@#?~!&|^+-*/%<>=", rune(c)) {
+					return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+				}
+			}
+			toks = append(toks, vtok{vPunct, matched, line})
+			i += len(matched)
+		}
+	}
+	toks = append(toks, vtok{vEOF, "", line})
+	return toks, nil
+}
+
+func isVIDStart(c byte) bool {
+	return c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isVIDChar(c byte) bool { return isVIDStart(c) || c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,63 @@
+// A UART transmitter in the supported Verilog subset: a mostly-idle FSM
+// with a baud prescaler — the low-activity shape the paper targets.
+module uart_tx(
+  input clk,
+  input rst,
+  input start,
+  input [7:0] data,
+  output tx,
+  output busy
+);
+  reg [1:0] state;       // 0 idle, 1 start bit, 2 data bits, 3 stop bit
+  reg [7:0] shifter;
+  reg [2:0] bitidx;
+  reg [7:0] baud;
+  reg txr;
+
+  wire tick = baud == 8'd103;   // ~9600 baud at a notional 1 MHz
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      baud <= 8'd0;
+      txr <= 1'b1;
+      bitidx <= 3'd0;
+    end else begin
+      baud <= tick ? 8'd0 : baud + 8'd1;
+      case (state)
+        2'd0: begin
+          txr <= 1'b1;
+          if (start) begin
+            shifter <= data;
+            state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          if (tick) begin
+            txr <= 1'b0;      // start bit
+            state <= 2'd2;
+            bitidx <= 3'd0;
+          end
+        end
+        2'd2: begin
+          if (tick) begin
+            txr <= shifter[0];
+            shifter <= {1'b0, shifter[7:1]};
+            bitidx <= bitidx + 3'd1;
+            if (bitidx == 3'd7)
+              state <= 2'd3;
+          end
+        end
+        default: begin
+          if (tick) begin
+            txr <= 1'b1;      // stop bit
+            state <= 2'd0;
+          end
+        end
+      endcase
+    end
+  end
+
+  assign tx = txr;
+  assign busy = state != 2'd0;
+endmodule
