@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	benchall                # everything at full scale
-//	benchall -quick         # reduced workloads
-//	benchall -only table3   # one experiment
+//	benchall                      # everything at full scale
+//	benchall -quick               # reduced workloads
+//	benchall -only table3         # one experiment
+//	benchall -only table3 -json - # machine-readable records on stdout
+//	                              # (design, engine, cycles/sec, activity)
 package main
 
 import (
@@ -27,7 +29,9 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
 			"run one experiment: table1..4, fig5..7, ablation")
-		csvDir = flag.String("csv", "", "also write plot-ready CSV files to this directory")
+		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
+		jsonPath = flag.String("json", "",
+			`write Table III results as JSON records to this file ("-" for stdout)`)
 	)
 	flag.Parse()
 
@@ -94,6 +98,23 @@ func main() {
 		}
 		fmt.Printf("ESSENT vs Baseline speedup range: %.2fx – %.2fx\n\n", minS, maxS)
 		writeCSV("table3.csv", func(f *os.File) error { return exp.WriteTableIIICSV(f, rows) })
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WriteBenchJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
 	}
 	if want("table4") {
 		fmt.Println(exp.RenderTableIV(exp.TableIV()))

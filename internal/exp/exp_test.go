@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -103,6 +105,12 @@ func TestTableIII(t *testing.T) {
 		}
 		if r.Speedup <= 0 {
 			t.Fatalf("bad speedup: %+v", r)
+		}
+		if r.EffActivity <= 0 || r.EffActivity > 1 {
+			t.Fatalf("eff activity out of range: %+v", r)
+		}
+		if r.FusedPairs == 0 {
+			t.Fatalf("ESSENT column should report fused pairs: %+v", r)
 		}
 	}
 	out := RenderTableIII(rows)
@@ -277,5 +285,53 @@ func TestAblation(t *testing.T) {
 	out := RenderAblation(rows)
 	if !strings.Contains(out, "no mux shadowing") {
 		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	rows := []TableIIIRow{{
+		Design:      "r16",
+		Workload:    "dhrystone",
+		Seconds:     [4]float64{2.0, 1.0, 4.0, 0.5},
+		Speedup:     8.0,
+		Cycles:      100_000,
+		EffActivity: 0.25,
+		FusedPairs:  12,
+	}}
+	recs := BenchRecords(rows)
+	if len(recs) != 4 {
+		t.Fatalf("expected one record per engine, got %d", len(recs))
+	}
+	byEngine := map[string]BenchRecord{}
+	for _, r := range recs {
+		byEngine[r.Engine] = r
+	}
+	es, ok := byEngine["ESSENT"]
+	if !ok {
+		t.Fatal("no ESSENT record")
+	}
+	if es.CyclesPerSec != 200_000 {
+		t.Fatalf("ESSENT cycles/sec = %f, want 200000", es.CyclesPerSec)
+	}
+	if es.EffActivity != 0.25 || es.FusedPairs != 12 {
+		t.Fatalf("ESSENT activity fields wrong: %+v", es)
+	}
+	// Activity stats only attach to the activity-tracked engine.
+	if bl := byEngine["Baseline"]; bl.EffActivity != 0 || bl.FusedPairs != 0 {
+		t.Fatalf("Baseline should not carry activity fields: %+v", bl)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if len(back) != 4 || back[0].Design != "r16" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if !strings.Contains(buf.String(), `"cycles_per_sec"`) {
+		t.Fatalf("missing field in JSON:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"essent/internal/sim"
+)
+
+// BenchRecord is one design×workload×engine measurement in machine-
+// readable form — the unit cmd/benchall's -json mode emits. CyclesPerSec
+// is the headline throughput metric; EffActivity and FusedPairs are only
+// populated on engines that report them (ESSENT).
+type BenchRecord struct {
+	Design       string  `json:"design"`
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Cycles       uint64  `json:"cycles"`
+	Seconds      float64 `json:"seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// EffActivity is the effective activity factor (fraction of scheduled
+	// work actually evaluated); zero for engines without activity tracking.
+	EffActivity float64 `json:"eff_activity,omitempty"`
+	// FusedPairs counts interpreter superinstructions (compile-time).
+	FusedPairs uint64 `json:"fused_pairs,omitempty"`
+}
+
+// BenchRecords flattens Table III rows into one record per engine cell.
+func BenchRecords(rows []TableIIIRow) []BenchRecord {
+	specs := Engines()
+	var recs []BenchRecord
+	for _, r := range rows {
+		for ei, spec := range specs {
+			rec := BenchRecord{
+				Design:   r.Design,
+				Workload: r.Workload,
+				Engine:   spec.Name,
+				Cycles:   r.Cycles,
+				Seconds:  r.Seconds[ei],
+			}
+			if r.Seconds[ei] > 0 {
+				rec.CyclesPerSec = float64(r.Cycles) / r.Seconds[ei]
+			}
+			if spec.Options.Engine == sim.EngineCCSS {
+				rec.EffActivity = r.EffActivity
+				rec.FusedPairs = r.FusedPairs
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// WriteBenchJSON emits Table III results as an indented JSON array.
+func WriteBenchJSON(w io.Writer, rows []TableIIIRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchRecords(rows))
+}

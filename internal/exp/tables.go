@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"essent/internal/activity"
 	"essent/internal/firrtl"
 	"essent/internal/sim"
 )
@@ -91,6 +92,12 @@ type TableIIIRow struct {
 	// Cycles actually simulated (identical across engines by
 	// construction; verified).
 	Cycles uint64
+	// EffActivity is the ESSENT run's effective activity factor (fraction
+	// of scheduled work actually evaluated; Fig. 7 denominator).
+	EffActivity float64
+	// FusedPairs reports the ESSENT interpreter's superinstruction count
+	// (a compile-time property of the design, not the workload).
+	FusedPairs uint64
 }
 
 // TableIII times all four simulators over every design × workload cell.
@@ -102,11 +109,15 @@ func (ds *DesignSet) TableIII(scale Scale) ([]TableIIIRow, error) {
 			row := TableIIIRow{Design: cd.cfg.Name, Workload: w.Name}
 			var cycles uint64
 			for ei, spec := range specs {
-				elapsed, res, _, err := runOn(cd, spec, w, scale.MaxCycles)
+				elapsed, res, s, err := runOn(cd, spec, w, scale.MaxCycles)
 				if err != nil {
 					return nil, err
 				}
 				row.Seconds[ei] = elapsed.Seconds()
+				if cc, ok := s.(*sim.CCSS); ok {
+					row.EffActivity = activity.Effective(s.Stats(), cc.NumSchedEntries())
+					row.FusedPairs = s.Stats().FusedPairs
+				}
 				if cycles == 0 {
 					cycles = res.Cycles
 				} else if cycles != res.Cycles {

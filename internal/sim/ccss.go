@@ -16,6 +16,9 @@ type CCSSOptions struct {
 	// (ablation knobs; both default on).
 	NoElide     bool
 	NoMuxShadow bool
+	// NoFuse disables superinstruction fusion (interpreter peephole
+	// ablation knob; fusion defaults on and is bit-exact).
+	NoFuse bool
 	// PullTriggering replaces push-direction wakes with per-cycle input
 	// comparisons (the §III-A direction ablation; expected slower).
 	PullTriggering bool
@@ -107,7 +110,7 @@ func NewCCSS(d *netlist.Design, opts CCSSOptions) (*CCSS, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := newCCSSFromPlan(d, plan)
+	c, err := newCCSSFromPlan(d, plan, opts.NoFuse)
 	if err != nil {
 		return nil, err
 	}
@@ -119,13 +122,22 @@ func NewCCSS(d *netlist.Design, opts CCSSOptions) (*CCSS, error) {
 }
 
 // newCCSSFromPlan builds the runtime structures from a computed plan.
-func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan) (*CCSS, error) {
+func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan, noFuse bool) (*CCSS, error) {
 	groups := make([][]int, len(plan.Parts))
 	for pi := range plan.Parts {
 		groups[pi] = plan.Parts[pi].Members
 	}
+	// Partition outputs are compared for change detection outside the
+	// instruction stream; the fusion pass must keep their stores.
+	var keepLive []netlist.SignalID
+	for pi := range plan.Parts {
+		for _, op := range plan.Parts[pi].Outputs {
+			keepLive = append(keepLive, op.Sig)
+		}
+	}
 	m, ranges, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
-		machineConfig{shadows: plan.Shadows, groups: groups})
+		machineConfig{shadows: plan.Shadows, groups: groups,
+			fuse: !noFuse, keepLive: keepLive})
 	if err != nil {
 		return nil, err
 	}
@@ -272,9 +284,7 @@ func (c *CCSS) stepOne() error {
 			o := &part.outputs[oi]
 			copy(c.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
 		}
-		for s := part.schedStart; s < part.schedEnd; {
-			s = m.runEntryAt(s)
-		}
+		m.runRange(part.schedStart, part.schedEnd)
 		// Change detection and push triggering.
 		for oi := range part.outputs {
 			o := &part.outputs[oi]

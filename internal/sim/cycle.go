@@ -10,36 +10,97 @@ import (
 	"essent/internal/netlist"
 )
 
-// runEntryAt executes the schedule step at position i and returns the
-// next position (skip entries jump over inactive mux-arm cones).
-func (m *machine) runEntryAt(i int32) int32 {
-	e := &m.sched[i]
-	switch e.kind {
-	case seInstr:
-		m.exec(&m.instrs[e.idx])
-	case seDisplay:
-		m.runDisplay(e.idx)
-	case seCheck:
-		m.runCheck(e.idx)
-	case seMemWrite:
-		m.captureMemWrite(e.idx)
-	case seSkipIfZero:
-		if m.t[e.idx] == 0 {
-			return i + 1 + e.n
+// runRange executes schedule entries in [start, end), following skip
+// entries over inactive mux-arm cones. This is the interpreter's inner
+// loop: instruction dispatch is inlined and routed through the
+// compile-time kind tag (narrow / signed / wide / fused), and the ops
+// counter is accumulated locally and flushed once per call.
+func (m *machine) runRange(start, end int32) {
+	t := m.t
+	sched := m.sched
+	instrs := m.instrs
+	var ops uint64
+	for i := start; i < end; {
+		e := &sched[i]
+		if e.kind == seInstr {
+			in := &instrs[e.idx]
+			switch in.kind {
+			case kNarrow:
+				m.execNarrow(in)
+				ops++
+			case kSigned:
+				m.execSigned(in)
+				ops++
+			case kFused:
+				m.execFused(in)
+				ops += 2
+			default:
+				m.execWide(in)
+				ops++
+			}
+			i++
+			continue
 		}
-	case seSkipIfNonzero:
-		if m.t[e.idx] != 0 {
-			return i + 1 + e.n
+		switch e.kind {
+		case seSkipIfZero:
+			if t[e.idx] == 0 {
+				i += 1 + e.n
+				continue
+			}
+		case seSkipIfNonzero:
+			if t[e.idx] != 0 {
+				i += 1 + e.n
+				continue
+			}
+		case seSkipIfZeroF:
+			in := &instrs[e.idx]
+			switch in.kind {
+			case kNarrow:
+				m.execNarrow(in)
+				ops++
+			case kSigned:
+				m.execSigned(in)
+				ops++
+			default:
+				m.execFused(in)
+				ops += 2
+			}
+			if t[in.dst] == 0 {
+				i += 1 + e.n
+				continue
+			}
+		case seSkipIfNonzeroF:
+			in := &instrs[e.idx]
+			switch in.kind {
+			case kNarrow:
+				m.execNarrow(in)
+				ops++
+			case kSigned:
+				m.execSigned(in)
+				ops++
+			default:
+				m.execFused(in)
+				ops += 2
+			}
+			if t[in.dst] != 0 {
+				i += 1 + e.n
+				continue
+			}
+		case seDisplay:
+			m.runDisplay(e.idx)
+		case seCheck:
+			m.runCheck(e.idx)
+		case seMemWrite:
+			m.captureMemWrite(e.idx)
 		}
+		i++
 	}
-	return i + 1
+	m.stats.OpsEvaluated += ops
 }
 
 // evalAll walks the full static schedule (full-cycle execution).
 func (m *machine) evalAll() {
-	for i := int32(0); i < int32(len(m.sched)); {
-		i = m.runEntryAt(i)
-	}
+	m.runRange(0, int32(len(m.sched)))
 }
 
 func (m *machine) runDisplay(i int32) {
@@ -138,8 +199,11 @@ func (m *machine) Cycle() uint64 { return m.cycle }
 
 // NumSchedEntries returns the full-cycle schedule length (the per-cycle
 // work of an unconditional simulator; denominator of the effective
-// activity factor).
-func (m *machine) NumSchedEntries() int { return len(m.sched) }
+// activity factor). Entries removed by superinstruction fusion are added
+// back: a fused pair still represents two operations of per-cycle work,
+// and OpsEvaluated counts it as two, so the activity ratio stays
+// comparable across fused and unfused machines.
+func (m *machine) NumSchedEntries() int { return len(m.sched) + m.fusedEntries }
 
 // NumInstrs returns the combinational instruction count.
 func (m *machine) NumInstrs() int { return len(m.instrs) }

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	stdbits "math/bits"
+
+	"essent/internal/bits"
+)
+
+// execNarrow evaluates a single-word instruction whose operands carry no
+// sign flags: every ext() of the general path is a compile-time no-op
+// here, comparisons and shifts are plain unsigned machine ops, and the
+// result mask is the precomputed in.dmask. This is the hot path — on the
+// RISC-V SoC the overwhelming majority of instructions are narrow
+// unsigned (addresses, control, ALU datapath).
+//
+// Semantics must match execSigned with sa=sb=sc=false bit for bit; the
+// cross-engine equivalence fuzz and the ISA suite are the referee.
+func (m *machine) execNarrow(in *instr) {
+	t := m.t
+	switch in.code {
+	case ICopy:
+		t[in.dst] = t[in.a] & in.dmask
+	case IMux:
+		if t[in.a] != 0 {
+			t[in.dst] = t[in.b] & in.dmask
+		} else {
+			t[in.dst] = t[in.c] & in.dmask
+		}
+	case IMemRead:
+		ms := &m.mems[in.mem]
+		addr := t[in.a]
+		if addr < uint64(ms.depth) {
+			t[in.dst] = ms.words[int32(addr)*ms.nw]
+		} else {
+			t[in.dst] = 0
+		}
+	case IAdd:
+		t[in.dst] = (t[in.a] + t[in.b]) & in.dmask
+	case ISub:
+		t[in.dst] = (t[in.a] - t[in.b]) & in.dmask
+	case IMul:
+		t[in.dst] = (t[in.a] * t[in.b]) & in.dmask
+	case IDiv:
+		b := t[in.b]
+		if b == 0 {
+			t[in.dst] = 0
+		} else {
+			t[in.dst] = (t[in.a] / b) & in.dmask
+		}
+	case IRem:
+		b := t[in.b]
+		if b == 0 {
+			t[in.dst] = t[in.a] & in.dmask
+		} else {
+			t[in.dst] = (t[in.a] % b) & in.dmask
+		}
+	case ILt:
+		t[in.dst] = b2u(t[in.a] < t[in.b])
+	case ILeq:
+		t[in.dst] = b2u(t[in.a] <= t[in.b])
+	case IGt:
+		t[in.dst] = b2u(t[in.a] > t[in.b])
+	case IGeq:
+		t[in.dst] = b2u(t[in.a] >= t[in.b])
+	case IEq:
+		t[in.dst] = b2u(t[in.a] == t[in.b])
+	case INeq:
+		t[in.dst] = b2u(t[in.a] != t[in.b])
+	case IShl:
+		t[in.dst] = (t[in.a] << uint(in.p0)) & in.dmask
+	case IShr:
+		t[in.dst] = (t[in.a] >> uint(in.p0)) & in.dmask
+	case IDshl:
+		t[in.dst] = (t[in.a] << uint(t[in.b])) & in.dmask
+	case IDshr:
+		t[in.dst] = (t[in.a] >> uint(t[in.b])) & in.dmask
+	case INeg:
+		t[in.dst] = (-t[in.a]) & in.dmask
+	case INot:
+		t[in.dst] = (^t[in.a]) & in.dmask
+	case IAnd:
+		t[in.dst] = t[in.a] & t[in.b]
+	case IOr:
+		t[in.dst] = t[in.a] | t[in.b]
+	case IXor:
+		t[in.dst] = (t[in.a] ^ t[in.b]) & in.dmask
+	case IAndr:
+		t[in.dst] = b2u(t[in.a] == bits.Mask64(^uint64(0), int(in.aw)))
+	case IOrr:
+		t[in.dst] = b2u(t[in.a] != 0)
+	case IXorr:
+		t[in.dst] = uint64(stdbits.OnesCount64(t[in.a])) & 1
+	case ICat:
+		t[in.dst] = (t[in.a]<<uint(in.bw) | t[in.b]) & in.dmask
+	case IBits:
+		t[in.dst] = (t[in.a] >> uint(in.p1)) & in.dmask
+	case IHead:
+		t[in.dst] = t[in.a] >> uint(in.aw-in.p0)
+	case ITail:
+		t[in.dst] = t[in.a] & in.dmask
+	}
+}
+
+// execFused evaluates a superinstruction (two original operations per
+// dispatch; callers account OpsEvaluated accordingly). All fused forms
+// are narrow and unsigned by construction (fuse.go only pairs kNarrow
+// instructions).
+func (m *machine) execFused(in *instr) {
+	t := m.t
+	switch in.code {
+	case IFCmpMux:
+		var sel bool
+		switch ICode(in.p0) {
+		case IEq:
+			sel = t[in.a] == t[in.b]
+		case INeq:
+			sel = t[in.a] != t[in.b]
+		case ILt:
+			sel = t[in.a] < t[in.b]
+		case ILeq:
+			sel = t[in.a] <= t[in.b]
+		case IGt:
+			sel = t[in.a] > t[in.b]
+		default: // IGeq
+			sel = t[in.a] >= t[in.b]
+		}
+		if sel {
+			t[in.dst] = t[in.c] & in.dmask
+		} else {
+			t[in.dst] = t[in.mem] & in.dmask
+		}
+	case IFNotAnd:
+		t[in.dst] = ^t[in.a] & t[in.b] & in.dmask
+	case IFAddTail:
+		t[in.dst] = (t[in.a] + t[in.b]) & in.dmask
+	case IFSubTail:
+		t[in.dst] = (t[in.a] - t[in.b]) & in.dmask
+	}
+}

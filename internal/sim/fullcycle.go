@@ -18,12 +18,19 @@ type FullCycle struct {
 // register update elision (the caller applies netlist-level optimization
 // passes before construction if desired).
 func NewFullCycle(d *netlist.Design, optimized bool) (*FullCycle, error) {
+	return NewFullCycleOpts(d, optimized, false)
+}
+
+// NewFullCycleOpts is NewFullCycle with the superinstruction-fusion
+// ablation knob exposed (noFuse true reproduces the unfused interpreter
+// bit-exactly).
+func NewFullCycleOpts(d *netlist.Design, optimized, noFuse bool) (*FullCycle, error) {
 	plan, err := sched.Build(d, optimized)
 	if err != nil {
 		return nil, err
 	}
 	m, _, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
-		machineConfig{shadows: plan.Shadows})
+		machineConfig{shadows: plan.Shadows, fuse: !noFuse})
 	if err != nil {
 		return nil, err
 	}

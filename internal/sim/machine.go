@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	stdbits "math/bits"
 
 	"essent/internal/bits"
 	"essent/internal/firrtl"
@@ -45,6 +46,20 @@ const (
 	IBits
 	IHead
 	ITail
+	// Fused superinstructions (interpreter-only; produced by the peephole
+	// pass in fuse.go, never exported to the code generator).
+	//
+	// IFCmpMux folds a single-reader comparison into the mux it selects:
+	// a/b are the comparison operands, p0 carries the comparison ICode,
+	// c is the true-way offset and mem the false-way offset.
+	IFCmpMux
+	// IFNotAnd folds not(x) into and(not(x), y): a is x, b is y, and
+	// dmask combines the not's and the and's result masks.
+	IFNotAnd
+	// IFAddTail / IFSubTail fold an add/sub into the tail that truncates
+	// it: dmask is the tail's (narrower) result mask.
+	IFAddTail
+	IFSubTail
 )
 
 // instr is one compiled combinational operation. All operands are word
@@ -52,6 +67,7 @@ const (
 // the table at initialization).
 type instr struct {
 	code           ICode
+	kind           uint8 // dispatch class, precomputed (see k* constants)
 	wide           bool
 	sa, sb, sc     bool
 	a, b, c        int32
@@ -59,7 +75,46 @@ type instr struct {
 	aw, bw, cw, dw int32
 	p0, p1         int32
 	mem            int32
-	out            netlist.SignalID
+	// dmask is the precomputed result mask (the effective output width's
+	// low bits set; all ones for 64-bit-wide results).
+	dmask uint64
+	out   netlist.SignalID
+}
+
+// Dispatch kinds: the width/signedness class an instruction is routed to,
+// decided once at compile time instead of per-evaluation flag checks.
+const (
+	// kNarrow: every operand and the result fit in one word and carry no
+	// sign flag — extensions are compile-time no-ops and are hoisted.
+	kNarrow uint8 = iota
+	// kSigned: single-word but at least one operand is signed (the
+	// general narrow path with sign extensions).
+	kSigned
+	// kWide: any operand or the result exceeds 64 bits.
+	kWide
+	// kFused: a superinstruction from the fusion pass (always narrow).
+	kFused
+)
+
+// finishInstr precomputes the dispatch kind and result mask.
+func finishInstr(in *instr) {
+	in.wide = in.dw > 64 || in.aw > 64 || in.bw > 64 || in.cw > 64
+	effW := int(in.dw)
+	switch in.code {
+	case IBits:
+		effW = int(in.p0 - in.p1 + 1)
+	case ITail:
+		effW = int(in.aw - in.p0)
+	}
+	in.dmask = bits.Mask64(^uint64(0), effW)
+	switch {
+	case in.wide:
+		in.kind = kWide
+	case in.sa || in.sb || in.sc:
+		in.kind = kSigned
+	default:
+		in.kind = kNarrow
+	}
 }
 
 // memState is the backing store of one memory.
@@ -94,6 +149,11 @@ const (
 	// mux's true-arm cone); seSkipIfNonzero guards the false arm.
 	seSkipIfZero
 	seSkipIfNonzero
+	// seSkipIfZeroF / seSkipIfNonzeroF fuse a guard with the instruction
+	// producing its selector: idx is an instruction index (not a table
+	// offset); the instruction executes, then its dst decides the skip.
+	seSkipIfZeroF
+	seSkipIfNonzeroF
 )
 
 // machine holds everything shared by the static-schedule engines.
@@ -120,6 +180,13 @@ type machine struct {
 	// not update-elided).
 	regCopy []int
 	elided  []bool
+
+	// fusedPairs counts producer→consumer pairs merged by the fusion
+	// pass; fusedEntries counts schedule entries it removed (added back
+	// into NumSchedEntries so the effective-activity denominator keeps
+	// meaning "per-cycle work of an unconditional simulator").
+	fusedPairs   int
+	fusedEntries int
 
 	// sink argument resolution, precomputed.
 	memWrites []compiledMemWrite
@@ -190,6 +257,14 @@ type machineConfig struct {
 	// returned ranges give each group's [start, end) entry span. nil
 	// treats the whole order as one group.
 	groups [][]int
+	// fuse enables the superinstruction peephole pass (fuse.go).
+	// Engines that re-execute the instruction stream through their own
+	// dispatch (event-driven) or export it (codegen) must leave it off.
+	fuse bool
+	// keepLive names signals the engine reads outside the instruction
+	// stream (partition outputs compared for change detection); the
+	// fusion pass must not eliminate their stores.
+	keepLive []netlist.SignalID
 }
 
 // newMachine compiles the design with the default (ungrouped, unshadowed)
@@ -206,24 +281,84 @@ func newMachineCfg(d *netlist.Design, dg *netlist.DesignGraph, order []int,
 	elided []bool, cfg machineConfig) (*machine, [][2]int32, error) {
 	m := &machine{d: d, dg: dg, out: io.Discard, elided: elided}
 
-	// Layout: signals first, then constants.
+	// Value-table layout. Signals are placed in evaluation order, group by
+	// group, so each schedule group's (CCSS partition's) internal signals
+	// occupy a contiguous cache-friendly span: inputs first (stable
+	// prefix), then every group's members in schedule order with register
+	// storage placed beside its writer, then any remaining signals, then
+	// constants. Offsets are only ever read through m.off, so the
+	// reordering is invisible outside the machine.
 	m.off = make([]int32, len(d.Signals))
 	m.nw = make([]int32, len(d.Signals))
+	for i := range m.off {
+		m.off[i] = -1
+	}
+	regOfNext := make([]int32, len(d.Signals))
+	for i := range regOfNext {
+		regOfNext[i] = -1
+	}
+	for ri := range d.Regs {
+		regOfNext[d.Regs[ri].Next] = int32(ri)
+	}
 	total := int32(0)
 	maxWords := 1
-	for i := range d.Signals {
-		w := bits.Words(d.Signals[i].Width)
+	place := func(sig int) {
+		if m.off[sig] >= 0 {
+			return
+		}
+		w := bits.Words(d.Signals[sig].Width)
 		if w > maxWords {
 			maxWords = w
 		}
-		m.off[i] = total
-		m.nw[i] = int32(w)
+		m.off[sig] = total
+		m.nw[sig] = int32(w)
 		total += int32(w)
 	}
-	// Alias elided registers: next shares storage with out.
+	// Elided registers share storage: next aliases out, so next takes no
+	// slot of its own (marked placed here, aliased after layout).
 	for ri := range d.Regs {
 		if elided != nil && elided[ri] {
-			m.off[d.Regs[ri].Next] = m.off[d.Regs[ri].Out]
+			m.off[d.Regs[ri].Next] = 0
+		}
+	}
+	for _, in := range d.Inputs {
+		place(int(in))
+	}
+	layoutGroups := cfg.groups
+	if layoutGroups == nil {
+		layoutGroups = [][]int{order}
+	}
+	for _, group := range layoutGroups {
+		for _, node := range group {
+			if node >= len(d.Signals) {
+				continue
+			}
+			if ri := regOfNext[node]; ri >= 0 {
+				if elided != nil && elided[ri] {
+					// In-place update: lay the register's storage where its
+					// writer evaluates.
+					place(int(d.Regs[ri].Out))
+					continue
+				}
+				place(node)
+				place(int(d.Regs[ri].Out)) // two-phase copy stays local
+				continue
+			}
+			place(node)
+		}
+	}
+	for i := range d.Signals {
+		if ri := regOfNext[i]; ri >= 0 && elided != nil && elided[ri] {
+			continue
+		}
+		place(i)
+	}
+	// Resolve elided aliases now that every out has a slot.
+	for ri := range d.Regs {
+		if elided != nil && elided[ri] {
+			next, out := d.Regs[ri].Next, d.Regs[ri].Out
+			m.off[next] = m.off[out]
+			m.nw[next] = m.nw[out]
 		}
 	}
 	m.constOff = make([]int32, len(d.Consts))
@@ -320,6 +455,11 @@ func newMachineCfg(d *netlist.Design, dg *netlist.DesignGraph, order []int,
 		}
 	}
 
+	if cfg.fuse {
+		ranges = m.fuseSchedule(cfg.keepLive, ranges)
+		m.stats.FusedPairs = uint64(m.fusedPairs)
+	}
+
 	m.initState()
 	return m, ranges, nil
 }
@@ -375,9 +515,10 @@ func (m *machine) emitNode(node int, shadows *sched.MuxShadows, force bool) erro
 				code: IMemRead, out: netlist.SignalID(node),
 				dst: m.off[node], dw: int32(s.Width),
 				a: ao.off, aw: ao.w,
-				mem:  int32(r.Mem),
-				wide: s.Width > 64,
+				b: -1, c: -1,
+				mem: int32(r.Mem),
 			}
+			finishInstr(&in)
 		}
 		m.instrOf[node] = int32(len(m.instrs))
 		m.instrs = append(m.instrs, in)
@@ -466,7 +607,7 @@ func (m *machine) compileOp(op *netlist.Op) (instr, error) {
 			}
 		}
 	}
-	in.wide = in.dw > 64 || in.aw > 64 || in.bw > 64 || in.cw > 64
+	finishInstr(&in)
 	return in, nil
 }
 
@@ -492,13 +633,28 @@ func ext(v uint64, w int32, signed bool) uint64 {
 	return v
 }
 
-// exec evaluates one instruction.
+// exec evaluates one instruction through the compile-time dispatch kind.
+// It is the entry point for engines that execute instructions outside the
+// schedule walk (event-driven); the schedule engines inline the same
+// dispatch in runRange.
 func (m *machine) exec(in *instr) {
 	m.stats.OpsEvaluated++
-	if in.wide {
+	switch in.kind {
+	case kNarrow:
+		m.execNarrow(in)
+	case kSigned:
+		m.execSigned(in)
+	case kFused:
+		m.stats.OpsEvaluated++
+		m.execFused(in)
+	default:
 		m.execWide(in)
-		return
 	}
+}
+
+// execSigned evaluates a single-word instruction with at least one signed
+// operand: the general narrow path, with sign extensions applied.
+func (m *machine) execSigned(in *instr) {
 	t := m.t
 	switch in.code {
 	case ICopy:
@@ -621,14 +777,7 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount(x uint64) int { return stdbits.OnesCount64(x) }
 
 func cmp64(a uint64, aw int32, b uint64, bw int32, signed bool) int {
 	if signed {

@@ -11,9 +11,14 @@ type Options struct {
 	Engine Engine
 	// Cp is the CCSS partitioning threshold (0 = paper default 8).
 	Cp int
-	// Workers selects the goroutine count for EngineCCSSParallel
-	// (0 = GOMAXPROCS capped at 8).
+	// Workers selects the goroutine count for EngineCCSSParallel.
+	// Explicit values are honored exactly (no cap); 0 selects the
+	// default of GOMAXPROCS capped at 8.
 	Workers int
+	// NoFuse disables superinstruction fusion on the schedule-based
+	// engines (ablation knob; ignored by EngineEventDriven, which never
+	// fuses).
+	NoFuse bool
 }
 
 // New constructs the requested simulation engine for a design. The caller
@@ -24,13 +29,14 @@ func New(d *netlist.Design, opts Options) (Simulator, error) {
 	case EngineEventDriven:
 		return NewEventDriven(d)
 	case EngineFullCycle:
-		return NewFullCycle(d, false)
+		return NewFullCycleOpts(d, false, opts.NoFuse)
 	case EngineFullCycleOpt:
-		return NewFullCycle(d, true)
+		return NewFullCycleOpts(d, true, opts.NoFuse)
 	case EngineCCSS:
-		return NewCCSS(d, CCSSOptions{Cp: opts.Cp})
+		return NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse})
 	case EngineCCSSParallel:
-		return NewParallelCCSS(d, ParallelOptions{Cp: opts.Cp, Workers: opts.Workers})
+		return NewParallelCCSS(d, ParallelOptions{
+			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse})
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", opts.Engine)
 	}

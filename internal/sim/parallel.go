@@ -44,21 +44,32 @@ type ParallelCCSS struct {
 type ParallelOptions struct {
 	// Cp is the partitioning threshold (0 = 8).
 	Cp int
-	// Workers is the goroutine count (0 = GOMAXPROCS, capped at 8).
+	// Workers is the goroutine count. An explicit value is honored
+	// exactly, with no upper cap — hosts with more than 8 cores get more
+	// than 8 workers if they ask for them. Zero selects the default:
+	// GOMAXPROCS capped at 8, a conservative bound for the level-barrier
+	// synchronization cost on very wide hosts.
 	Workers int
+	// NoFuse disables superinstruction fusion (ablation knob).
+	NoFuse bool
 }
+
+// defaultWorkerCap bounds only the Workers=0 default, not explicit
+// requests: per-level work on the evaluation designs saturates around
+// eight workers, and the dispatch barrier costs grow past it.
+const defaultWorkerCap = 8
 
 // NewParallelCCSS compiles a parallel CCSS simulator.
 func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, error) {
-	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp})
+	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse})
 	if err != nil {
 		return nil, err
 	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
+		if workers > defaultWorkerCap {
+			workers = defaultWorkerCap
 		}
 	}
 	if workers < 1 {
@@ -172,9 +183,7 @@ func (p *ParallelCCSS) evalPartition(wm *machine, worker int, pi int32) {
 		o := &part.outputs[oi]
 		copy(p.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
 	}
-	for s := part.schedStart; s < part.schedEnd; {
-		s = wm.runEntryAt(s)
-	}
+	wm.runRange(part.schedStart, part.schedEnd)
 	for oi := range part.outputs {
 		o := &part.outputs[oi]
 		wm.stats.OutputCompares++

@@ -120,7 +120,7 @@ func TestParallelCCSSWorkerCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var states []string
-	for _, workers := range []int{1, 2, 8} {
+	for _, workers := range []int{1, 2, 8, 12} {
 		p, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -142,4 +142,51 @@ func TestParallelCCSSWorkerCounts(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint()
+}
+
+// TestParallelWorkersAboveDefaultCap pins the ParallelOptions contract:
+// an explicit Workers value beyond the Workers=0 default cap must be
+// honored exactly, not clamped to defaultWorkerCap.
+func TestParallelWorkersAboveDefaultCap(t *testing.T) {
+	c := randckt.Generate(78, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := defaultWorkerCap + 4
+	p, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.workers != want || len(p.wm) != want {
+		t.Fatalf("Workers=%d clamped: workers=%d views=%d", want, p.workers, len(p.wm))
+	}
+	// The default path still applies the cap.
+	p0, err := NewParallelCCSS(d, ParallelOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.workers > defaultWorkerCap {
+		t.Fatalf("default worker count %d exceeds cap %d", p0.workers, defaultWorkerCap)
+	}
+	// Oversubscribed workers must still agree with the sequential engine.
+	ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := []Simulator{ref, p}
+	rng := rand.New(rand.NewSource(78))
+	for cyc := 0; cyc < 60; cyc++ {
+		if cyc%3 == 0 {
+			pokeRandom(rng, sims, d)
+		}
+		for _, s := range sims {
+			if err := s.Step(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a, b := archState(ref), archState(p); a != b {
+			t.Fatalf("cyc %d: oversubscribed parallel diverged:\nref: %s\ngot: %s", cyc, a, b)
+		}
+	}
 }

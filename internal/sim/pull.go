@@ -144,9 +144,7 @@ func (c *CCSS) stepOnePull() error {
 			in := &c.pullIns[p][ii]
 			copy(c.pullSnap[in.snapOff:in.snapOff+in.words], t[in.off:in.off+in.words])
 		}
-		for s := part.schedStart; s < part.schedEnd; {
-			s = m.runEntryAt(s)
-		}
+		m.runRange(part.schedStart, part.schedEnd)
 		c.dirtyRegs = append(c.dirtyRegs, part.regs...)
 	}
 

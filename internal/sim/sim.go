@@ -132,6 +132,10 @@ type Stats struct {
 	Wakes uint64
 	// Events counts event-queue pushes (event-driven engine).
 	Events uint64
+	// FusedPairs counts producer→consumer pairs merged into
+	// superinstructions at compile time (schedule engines; set at
+	// construction, not per cycle).
+	FusedPairs uint64
 }
 
 // Simulator is the interface all engines implement.
