@@ -11,6 +11,8 @@
 //	benchall -only table3         # one experiment
 //	benchall -only table3 -json - # machine-readable records on stdout
 //	                              # (design, engine, cycles/sec, activity)
+//	benchall -workers 1,2,4,8     # parallel CCSS scaling sweep appended
+//	benchall -only scaling        # just the sweep (default worker list)
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,10 +31,13 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
-			"run one experiment: table1..4, fig5..7, ablation")
+			"run one experiment: table1..4, fig5..7, ablation, scaling")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
 		jsonPath = flag.String("json", "",
 			`write Table III results as JSON records to this file ("-" for stdout)`)
+		workersFlag = flag.String("workers", "",
+			`comma-separated worker counts for the parallel CCSS scaling sweep
+(e.g. "1,2,4,8"; implies the scaling experiment; default list with -only scaling)`)
 	)
 	flag.Parse()
 
@@ -168,9 +174,56 @@ func main() {
 		}
 		fmt.Println(exp.RenderAblation(rows))
 	}
-	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation", *only) {
+	if *workersFlag != "" || *only == "scaling" {
+		workers, err := parseWorkers(*workersFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("running parallel CCSS scaling sweep (workers %v)...\n", workers)
+		rows, err := ds.ScalingSweep(scale, workers,
+			[]string{"r16", "r18"}, []string{"dhrystone", "pchase"})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderScaling(rows))
+		writeCSV("scaling.csv", func(f *os.File) error { return exp.WriteScalingCSV(f, rows) })
+		if *jsonPath != "" && *only == "scaling" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WriteScalingJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
+	}
+	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation scaling", *only) {
 		fatal(fmt.Errorf("unknown experiment %q", *only))
 	}
+}
+
+// parseWorkers parses the -workers list ("" = the default 1,2,4,8).
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return []int{1, 2, 4, 8}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -335,3 +335,54 @@ func TestBenchJSON(t *testing.T) {
 		t.Fatalf("missing field in JSON:\n%s", buf.String())
 	}
 }
+
+func TestScalingSweep(t *testing.T) {
+	ds := testSet(t)
+	rows, err := ds.ScalingSweep(testScale(), []int{1, 2},
+		[]string{"tinyA"}, []string{"dhrystone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One baseline row (workers=0) plus one row per worker count.
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	if rows[0].Workers != 0 || rows[0].SpeedupVsSeq != 1 {
+		t.Fatalf("baseline row malformed: %+v", rows[0])
+	}
+	for i, r := range rows {
+		if r.Cycles == 0 || r.Seconds <= 0 || r.CyclesPerSec <= 0 {
+			t.Fatalf("row %d empty: %+v", i, r)
+		}
+		if r.Cycles != rows[0].Cycles {
+			t.Fatalf("cycle count diverged across worker counts: %+v", r)
+		}
+		if r.EffActivity <= 0 || r.EffActivity > 1 {
+			t.Fatalf("row %d activity out of range: %+v", i, r)
+		}
+	}
+	if rows[1].Workers != 1 || rows[2].Workers != 2 {
+		t.Fatalf("worker ordering wrong: %+v", rows)
+	}
+	out := RenderScaling(rows)
+	if !strings.Contains(out, "tinyA") || !strings.Contains(out, "dhrystone") {
+		t.Fatalf("render missing cells:\n%s", out)
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteScalingCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csvBuf.String()), "\n")); got != 4 {
+		t.Fatalf("csv rows = %d, want header+3", got)
+	}
+	if err := WriteScalingJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []ScalingRow
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("json round-trip lost rows: %d vs %d", len(back), len(rows))
+	}
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"essent/internal/randckt"
+)
+
+// TestNodeCostClasses pins the width-class routing: wide > signed >
+// narrow, and sinks carry the flat sink weight.
+func TestNodeCostClasses(t *testing.T) {
+	dg := srcDesign(t, `
+circuit C :
+  module C :
+    input clock : Clock
+    input a : UInt<8>
+    input s : SInt<8>
+    input w : UInt<100>
+    output o : UInt<8>
+    output os : SInt<9>
+    output ow : UInt<100>
+    node n = not(a)
+    node ns = neg(s)
+    node nw = not(w)
+    o <= n
+    os <= ns
+    ow <= nw
+    printf(clock, UInt<1>(1), "x\n")
+`)
+	byName := func(name string) int {
+		id, ok := dg.D.SignalByName(name)
+		if !ok {
+			t.Fatalf("no signal %s", name)
+		}
+		return int(id)
+	}
+	if got := NodeCost(dg, byName("n")); got != CostNarrow {
+		t.Fatalf("narrow node cost = %d, want %d", got, CostNarrow)
+	}
+	if got := NodeCost(dg, byName("ns")); got != CostSigned {
+		t.Fatalf("signed node cost = %d, want %d", got, CostSigned)
+	}
+	if got := NodeCost(dg, byName("nw")); got != CostWide {
+		t.Fatalf("wide node cost = %d, want %d", got, CostWide)
+	}
+	// Sink nodes live beyond the signal range.
+	sink := -1
+	for n := len(dg.D.Signals); n < dg.G.Len(); n++ {
+		sink = n
+		break
+	}
+	if sink < 0 {
+		t.Fatal("no sink node in graph")
+	}
+	if got := NodeCost(dg, sink); got != CostSink {
+		t.Fatalf("sink node cost = %d, want %d", got, CostSink)
+	}
+	if CostWide <= CostSigned || CostSigned <= CostNarrow {
+		t.Fatal("width-class weights not ordered")
+	}
+}
+
+// TestCostsCoverPartitions: every partition gets a positive cost, costs
+// are additive over members, and the totals match a direct node sum.
+func TestCostsCoverPartitions(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		dg := buildDesign(t, seed, randckt.DefaultConfig())
+		res, err := Partition(dg, Options{Cp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := Costs(dg, res.Parts)
+		if len(costs) != len(res.Parts) {
+			t.Fatalf("costs length %d, parts %d", len(costs), len(res.Parts))
+		}
+		var total, direct int64
+		for p, c := range costs {
+			if c <= 0 {
+				t.Fatalf("partition %d has non-positive cost %d", p, c)
+			}
+			if c != PartCost(dg, res.Parts[p]) {
+				t.Fatalf("partition %d cost mismatch", p)
+			}
+			total += c
+		}
+		for n := 0; n < dg.G.Len(); n++ {
+			if res.PartOf[n] >= 0 {
+				direct += NodeCost(dg, n)
+			}
+		}
+		if total != direct {
+			t.Fatalf("seed %d: summed partition costs %d != node total %d",
+				seed, total, direct)
+		}
+	}
+}

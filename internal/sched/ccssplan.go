@@ -37,6 +37,16 @@ type CCSSPlan struct {
 	PartLevels []int
 	// NumLevels is max(PartLevels)+1.
 	NumLevels int
+	// PartCosts estimates each partition's evaluation cost (runtime IDs;
+	// partition width-class weights, roughly ns of single-threaded
+	// interpretation). The parallel engine's compile-time chunking and
+	// the sparse-level fusion below consume it.
+	PartCosts []int64
+	// LevelSpecs is the barrier-level schedule: PartLevels grouped into
+	// specs, with runs of sparse levels fused into serial specs so the
+	// parallel engine pays at most one barrier crossing per level that
+	// is actually worth parallelism.
+	LevelSpecs []LevelSpec
 	// PartStats carries the partitioner's statistics.
 	PartStats partition.Stats
 	// Shadows holds the mux-arm cones for conditional multiplexor-way
@@ -64,6 +74,44 @@ type OutputPlan struct {
 	// Consumers are runtime partition IDs to wake on change.
 	Consumers []int
 }
+
+// LevelSpec is one barrier-to-barrier step of the parallel schedule.
+// A parallel spec holds exactly one partition-DAG level, whose members
+// are mutually independent. A serial spec holds one or more fused
+// sparse levels; its partitions may depend on each other across the
+// fused levels, so they must run in order on a single goroutine — which
+// is exactly how the engine executes serial specs, saving the barrier.
+type LevelSpec struct {
+	// Parts lists runtime partition IDs in execution order (ascending
+	// level, then ascending ID — a valid topological order).
+	Parts []int
+	// Cost is the summed static cost of Parts (CCSSPlan.PartCosts units).
+	Cost int64
+	// Serial marks fused sparse levels: never worth a barrier crossing.
+	Serial bool
+	// NumLevels counts the raw DAG levels collapsed into this spec.
+	NumLevels int
+}
+
+// SparseLevelCost is the static-cost threshold below which a DAG level
+// is too sparse to ever be worth a barrier crossing (cost units are
+// roughly ns; waking and draining a worker pool costs a few µs). Such
+// levels fuse with adjacent sparse levels into serial specs. Levels
+// with a single partition are serial regardless of cost — there is
+// nothing to split.
+const SparseLevelCost = 4096
+
+// SerialFuseCap bounds how much work fuses into one serial spec. Serial
+// specs are the engine's activity-skip granularity: a spec whose
+// partitions are all asleep is skipped without scanning a single flag,
+// so unbounded fusion (one giant spec) would forfeit skipping entirely
+// on designs where every level is sparse. The cap keeps serial chunks
+// small enough that idle design regions (quiescent peripherals,
+// untouched cache banks) turn into whole skipped specs. Tuned on the
+// r16/r18 evaluation SoCs (sweep over 128..1536): ~4 partitions per
+// spec at Cp=8 balances wasted flag checks in half-idle specs against
+// the dispatcher's per-spec scan.
+const SerialFuseCap = 256
 
 // PlanOptions configures CCSS planning (the ablation knobs of §III-B).
 type PlanOptions struct {
@@ -186,6 +234,22 @@ func PlanCCSSOpts(d *netlist.Design, opts PlanOptions) (*CCSSPlan, error) {
 	if !ok {
 		return nil, fmt.Errorf("sched: ccss partition graph became cyclic (internal error)")
 	}
+	// Longest-path level per partition, then re-sort the schedule
+	// level-major (stable, so topological order is kept within a level —
+	// and any per-level order is valid since every DAG edge crosses to a
+	// strictly higher level). Level-major runtime IDs make each barrier
+	// spec a contiguous ID range, so the engines scan flags linearly.
+	lvl := make([]int, np)
+	for _, p := range partOrder {
+		for q := range psucc[p] {
+			if lvl[p]+1 > lvl[q] {
+				lvl[q] = lvl[p] + 1
+			}
+		}
+	}
+	sort.SliceStable(partOrder, func(a, b int) bool {
+		return lvl[partOrder[a]] < lvl[partOrder[b]]
+	})
 	nodeOrder, err := dg.G.TopoSort()
 	if err != nil {
 		return nil, fmt.Errorf("sched: node graph cyclic after ordering edges: %w", err)
@@ -295,22 +359,22 @@ func PlanCCSSOpts(d *netlist.Design, opts PlanOptions) (*CCSSPlan, error) {
 		plan.InputConsumers[i] = consumersOf(int(in))
 	}
 
-	// Partition levels (longest path over the partition DAG, walking in
-	// the already-computed topological order).
+	// Partition levels (computed above, before the level-major re-sort).
 	plan.PartLevels = make([]int, np)
-	for _, p := range partOrder {
-		lvl := plan.PartLevels[rt[p]]
-		for q := range psucc[p] {
-			if lvl+1 > plan.PartLevels[rt[q]] {
-				plan.PartLevels[rt[q]] = lvl + 1
-			}
-		}
-	}
-	for _, l := range plan.PartLevels {
+	for p, l := range lvl {
+		plan.PartLevels[rt[p]] = l
 		if l+1 > plan.NumLevels {
 			plan.NumLevels = l + 1
 		}
 	}
+
+	// Static cost model and the barrier-level schedule with sparse-level
+	// fusion.
+	plan.PartCosts = make([]int64, np)
+	for pi := range plan.Parts {
+		plan.PartCosts[pi] = partition.PartCost(dg, plan.Parts[pi].Members)
+	}
+	plan.buildLevelSpecs()
 
 	// Mux-arm cones, scoped to partitions.
 	scope := make([]int, dg.G.Len())
@@ -330,6 +394,51 @@ func PlanCCSSOpts(d *netlist.Design, opts PlanOptions) (*CCSSPlan, error) {
 		plan.Shadows = ComputeMuxShadows(d, dg, scope, orderPos)
 	}
 	return plan, nil
+}
+
+// buildLevelSpecs groups partitions by DAG level (runtime IDs ascending
+// within each level) and fuses consecutive sparse levels into serial
+// specs. Longest-path leveling guarantees no level is empty, and runtime
+// IDs are themselves topologically ordered, so the concatenated
+// per-level blocks of a serial spec form a valid execution order.
+func (plan *CCSSPlan) buildLevelSpecs() {
+	levelParts := make([][]int, plan.NumLevels)
+	levelCost := make([]int64, plan.NumLevels)
+	for pi := range plan.Parts {
+		l := plan.PartLevels[pi]
+		levelParts[l] = append(levelParts[l], pi)
+		levelCost[l] += plan.PartCosts[pi]
+	}
+	for l := 0; l < plan.NumLevels; l++ {
+		sparse := levelCost[l] < SparseLevelCost || len(levelParts[l]) < 2
+		if !sparse {
+			plan.LevelSpecs = append(plan.LevelSpecs, LevelSpec{
+				Parts: levelParts[l], Cost: levelCost[l], NumLevels: 1,
+			})
+			continue
+		}
+		// Sparse levels stream into serial specs capped at SerialFuseCap.
+		// A level may split across specs: same-level partitions are
+		// mutually independent, so any sequential order is valid, and
+		// cross-level order is preserved by construction. NumLevels is
+		// charged to the spec where the level starts.
+		newLevel := true
+		for _, pi := range levelParts[l] {
+			last := len(plan.LevelSpecs) - 1
+			if last < 0 || !plan.LevelSpecs[last].Serial ||
+				plan.LevelSpecs[last].Cost >= SerialFuseCap {
+				plan.LevelSpecs = append(plan.LevelSpecs, LevelSpec{Serial: true})
+				last++
+			}
+			spec := &plan.LevelSpecs[last]
+			spec.Parts = append(spec.Parts, pi)
+			spec.Cost += plan.PartCosts[pi]
+			if newLevel {
+				spec.NumLevels++
+				newLevel = false
+			}
+		}
+	}
 }
 
 func reachParts(psucc []map[int]bool, src int) map[int]bool {

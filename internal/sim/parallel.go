@@ -9,55 +9,138 @@ import (
 	"essent/internal/netlist"
 )
 
-// ParallelCCSS evaluates active partitions concurrently, level by level
-// over the partition DAG. Partitions on the same level are mutually
-// independent (no data or ordering path connects them), so their
-// evaluations touch disjoint value-table regions; activity flags use
-// atomic stores because two same-level partitions may wake the same
-// consumer. This is the thread-parallel extension of the paper's CCSS
-// engine — the direction the authors' follow-on work on parallel RTL
-// simulation explores.
+// ParallelCCSS evaluates active partitions concurrently, walking the
+// barrier-level schedule computed by the planner (sched.CCSSPlan
+// LevelSpecs). Partitions on the same DAG level are mutually independent
+// (no data or ordering path connects them), so their evaluations touch
+// disjoint value-table regions. This is the thread-parallel extension of
+// the paper's CCSS engine, shaped by the static bulk-synchronous style of
+// Manticore/GSIM: all load balancing happens at compile time.
+//
+// Execution model:
+//
+//   - A persistent pool of workers-1 goroutines lives for the simulator's
+//     lifetime, parked on a phase barrier. Dispatching a level is one
+//     barrier release + one completion wait — no goroutine spawning and
+//     no WaitGroup churn per level per cycle.
+//   - Each parallel level is pre-chunked at construction into per-worker
+//     spans of roughly equal static cost (internal/partition cost model),
+//     plus a small work-stealing tail dispensed by an atomic counter for
+//     residual imbalance. The common case touches no shared cacheline.
+//   - Wakes from concurrently evaluated partitions go to per-worker wake
+//     buffers, merged serially at the level boundary. Consumers of a
+//     partition's outputs are never on the producer's own level (the
+//     planner guarantees it; see sched levels_test), so deferring the
+//     flag writes to the boundary is semantics-preserving — and it
+//     removes the shared atomic flag array entirely.
+//   - Per-level activity counters let the dispatcher skip whole inactive
+//     levels without scanning any flags, and route low-cost levels
+//     through an inline serial path that skips the barrier: parking the
+//     pool is only worth it when a level has enough active work.
 //
 // Semantics match CCSS exactly except printf interleaving: printfs from
-// partitions on the same level may appear in any order.
+// partitions on the same level may appear in any order. Merged Stats are
+// deterministic across worker counts (every counter is a sum of
+// per-partition quantities, and the dispatch decisions depend only on
+// deterministic activity state).
 type ParallelCCSS struct {
 	*CCSS
 
-	// levels lists runtime partition IDs per level, ascending.
-	levels [][]int32
-	// flags32 replaces the sequential engine's bool flags (atomic access).
-	flags32 []uint32
-
 	workers int
+	// serialCutoff is the active-cost threshold below which a level runs
+	// inline on the dispatcher instead of crossing the barrier. It is
+	// applied per level as a precomputed minimum active count
+	// (levelRun.minActive), never as runtime cost arithmetic.
+	serialCutoff int64
+
+	// levels is the barrier schedule (one entry per plan LevelSpec).
+	levels []levelRun
+	// lvlOf maps runtime partition ID -> levels index.
+	lvlOf []int32
+	// levelActive counts flagged partitions per level; maintained only by
+	// the dispatcher (wake merges are serial), so a plain int32 suffices.
+	// Keeping it to a single counter keeps wakePart — the hottest
+	// bookkeeping op — to one branch and one increment.
+	levelActive []int32
+
 	// wm holds one machine view per worker: shared value table, memories,
 	// and instruction stream; private scratch, stats, and error slot.
+	// wm[0] is the dispatcher's own view.
 	wm []*machine
 	// wDirty collects non-elided register commits per worker.
 	wDirty [][]int32
+	// wakeBuf collects consumer wakes per worker during a parallel level.
+	wakeBuf [][]int32
+
+	bar      *phaseBarrier
+	curLevel int32
+	tailNext atomic.Int64
+	started  bool
+	closed   bool
+	quit     atomic.Bool
 
 	outMu sync.Mutex
 	// mergedStats is the snapshot returned by Stats().
 	mergedStats Stats
 }
 
+// levelRun is the runtime form of one sched.LevelSpec.
+type levelRun struct {
+	// parts lists runtime partition IDs in execution order.
+	parts []int32
+	// [start,end) equals parts when the IDs are one contiguous range —
+	// always true with the planner's level-major numbering. The inline
+	// path then scans flags linearly, exactly like the sequential engine.
+	start, end int32
+	contig     bool
+	// bounds[w]:bounds[w+1] is worker w's pre-chunked span (parallel
+	// specs only); parts[tail:] is the shared work-stealing pool.
+	bounds []int32
+	tail   int32
+	serial bool
+	// alwaysOn partitions run even when unflagged; their count feeds the
+	// skip / inline decisions.
+	alwaysOn int
+	// aoBias is a constant added to the spec's levelActive counter when it
+	// contains always-on partitions, so the dispatcher's skip test is a
+	// bare levelActive[li] == 0 compare on a dense array — idle specs
+	// never load this struct at all.
+	aoBias int32
+	cost   int64
+	// minActive is the active-partition count at which crossing the
+	// barrier beats running inline: SerialCutoff divided by the level's
+	// mean partition cost, precomputed so the per-cycle dispatch decision
+	// is a single integer compare (no runtime cost accounting).
+	minActive int32
+}
+
 // ParallelOptions configures the parallel engine.
 type ParallelOptions struct {
 	// Cp is the partitioning threshold (0 = 8).
 	Cp int
-	// Workers is the goroutine count. An explicit value is honored
-	// exactly, with no upper cap — hosts with more than 8 cores get more
-	// than 8 workers if they ask for them. Zero selects the default:
-	// GOMAXPROCS capped at 8, a conservative bound for the level-barrier
-	// synchronization cost on very wide hosts.
+	// Workers is the total worker count including the dispatcher. An
+	// explicit value is honored exactly, with no upper cap — hosts with
+	// more than 8 cores get more than 8 workers if they ask for them.
+	// Zero selects the default: GOMAXPROCS capped at 8, a conservative
+	// bound for the level-barrier synchronization cost on very wide
+	// hosts.
 	Workers int
 	// NoFuse disables superinstruction fusion (ablation knob).
 	NoFuse bool
+	// SerialCutoff overrides the active-cost threshold below which a
+	// level is evaluated inline on the dispatcher (0 = default). Tests
+	// set 1 to force every active level through the worker pool.
+	SerialCutoff int64
 }
 
 // defaultWorkerCap bounds only the Workers=0 default, not explicit
 // requests: per-level work on the evaluation designs saturates around
-// eight workers, and the dispatch barrier costs grow past it.
+// eight workers, and the barrier cost grows past it.
 const defaultWorkerCap = 8
+
+// defaultSerialCutoff is the active static cost (≈ns of single-threaded
+// evaluation) below which crossing the barrier costs more than it saves.
+const defaultSerialCutoff = 8192
 
 // NewParallelCCSS compiles a parallel CCSS simulator.
 func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, error) {
@@ -75,18 +158,59 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 	if workers < 1 {
 		workers = 1
 	}
-	p := &ParallelCCSS{CCSS: base, workers: workers}
-	plan := base.plan
-	p.levels = make([][]int32, plan.NumLevels)
-	for pi, lvl := range plan.PartLevels {
-		p.levels[lvl] = append(p.levels[lvl], int32(pi))
+	cutoff := opts.SerialCutoff
+	if cutoff <= 0 {
+		cutoff = defaultSerialCutoff
 	}
-	p.flags32 = make([]uint32, len(base.parts))
+	p := &ParallelCCSS{CCSS: base, workers: workers, serialCutoff: cutoff}
+	plan := base.plan
+	p.lvlOf = make([]int32, len(base.parts))
+	p.levels = make([]levelRun, len(plan.LevelSpecs))
+	for li, spec := range plan.LevelSpecs {
+		lv := levelRun{parts: toInt32s(spec.Parts), serial: spec.Serial,
+			cost: spec.Cost}
+		lv.contig = true
+		for i, pi := range lv.parts {
+			if pi != lv.parts[0]+int32(i) {
+				lv.contig = false
+				break
+			}
+		}
+		if lv.contig {
+			lv.start = lv.parts[0]
+			lv.end = lv.start + int32(len(lv.parts))
+		}
+		for _, pi := range lv.parts {
+			p.lvlOf[pi] = int32(li)
+			if base.parts[pi].alwaysOn {
+				lv.alwaysOn++
+			}
+		}
+		if lv.alwaysOn > 0 {
+			lv.aoBias = 1 << 20
+		}
+		if !lv.serial {
+			lv.bounds, lv.tail = chunkLevel(lv.parts, plan.PartCosts, workers)
+			avg := lv.cost / int64(len(lv.parts))
+			if avg < 1 {
+				avg = 1
+			}
+			lv.minActive = int32((cutoff + avg - 1) / avg)
+			if lv.minActive < 2 {
+				lv.minActive = 2
+			}
+		}
+		p.levels[li] = lv
+	}
+	p.levelActive = make([]int32, len(p.levels))
+
 	// Worker machine views: share table/memories/pending buffers, own
 	// scratch and counters. Display output serializes through a locked
-	// writer.
+	// writer that follows the engine's current sink, so the default
+	// matches the sequential engine and SetOutput needs no fan-out.
 	p.wm = make([]*machine, workers)
 	p.wDirty = make([][]int32, workers)
+	p.wakeBuf = make([][]int32, workers)
 	for w := 0; w < workers; w++ {
 		mc := *base.machine
 		maxWords := len(base.machine.scratch[0])
@@ -94,67 +218,239 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 			mc.scratch[i] = make([]uint64, maxWords)
 		}
 		mc.stats = Stats{}
-		mc.out = &lockedWriter{mu: &p.outMu, w: io.Discard}
+		mc.out = &lockedWriter{p: p}
 		p.wm[w] = &mc
 	}
-	p.wakeAll32()
+	p.bar = newPhaseBarrier(workers - 1)
+	p.wakeAllPar()
 	return p, nil
 }
 
-type lockedWriter struct {
-	mu *sync.Mutex
-	w  io.Writer
+// chunkLevel splits a level's partitions into nw spans of roughly equal
+// static cost, reserving a trailing ~1/8-cost pool for work stealing.
+// Tiny levels (fewer than 4 partitions per worker) skip the static split
+// entirely: everything goes through the stealing counter.
+func chunkLevel(parts []int32, cost []int64, nw int) ([]int32, int32) {
+	bounds := make([]int32, nw+1)
+	if len(parts) < 4*nw {
+		return bounds, 0
+	}
+	var total int64
+	for _, pi := range parts {
+		total += cost[pi]
+	}
+	// Trailing steal pool: at least nw items, roughly total/8 cost.
+	tail := len(parts)
+	var stealCost int64
+	for tail > 0 && (stealCost < total/8 || len(parts)-tail < nw) {
+		tail--
+		stealCost += cost[parts[tail]]
+	}
+	prefixCost := total - stealCost
+	var acc int64
+	w := 1
+	for i := 0; i < tail && w < nw; i++ {
+		acc += cost[parts[i]]
+		if acc*int64(nw) >= prefixCost*int64(w) {
+			bounds[w] = int32(i + 1)
+			w++
+		}
+	}
+	for ; w <= nw; w++ {
+		bounds[w] = int32(tail)
+	}
+	return bounds, int32(tail)
 }
 
+// lockedWriter serializes printf output across workers and delegates to
+// the engine's current output sink.
+type lockedWriter struct{ p *ParallelCCSS }
+
 func (lw *lockedWriter) Write(b []byte) (int, error) {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	return lw.w.Write(b)
+	lw.p.outMu.Lock()
+	defer lw.p.outMu.Unlock()
+	return lw.p.machine.out.Write(b)
 }
 
 // SetOutput directs printf output (serialized across workers).
 func (p *ParallelCCSS) SetOutput(w io.Writer) {
-	for _, mc := range p.wm {
-		mc.out.(*lockedWriter).w = w
-	}
+	p.outMu.Lock()
 	p.machine.out = w
+	p.outMu.Unlock()
 }
 
-func (p *ParallelCCSS) wakeAll32() {
-	for i := range p.flags32 {
-		p.flags32[i] = 1
+// --- phase barrier ---
+
+// phaseBarrier is the park point for the persistent pool. The dispatcher
+// opens a phase by bumping a monotone counter (the generalization of a
+// sense-reversing barrier: followers compare against a locally tracked
+// epoch, so no flag ever needs resetting); followers spin briefly on the
+// counter and park on a buffered channel when the gap between levels is
+// long. Completion is a single atomic countdown with one channel send by
+// the last arriver — at most one barrier crossing per dispatched level.
+type phaseBarrier struct {
+	phase   atomic.Uint64
+	pending atomic.Int64
+	done    chan struct{}
+	asleep  []atomic.Uint32
+	wake    []chan struct{}
+}
+
+func newPhaseBarrier(followers int) *phaseBarrier {
+	b := &phaseBarrier{done: make(chan struct{}, 1)}
+	b.asleep = make([]atomic.Uint32, followers)
+	b.wake = make([]chan struct{}, followers)
+	for i := range b.wake {
+		b.wake[i] = make(chan struct{}, 1)
 	}
-	for i := range p.prevIn {
-		p.prevIn[i] = ^uint64(0)
+	return b
+}
+
+// release opens the next phase. Only parked followers get a channel
+// send; spinners observe the counter alone, so back-to-back levels stay
+// wait-free.
+func (b *phaseBarrier) release() {
+	b.pending.Store(int64(len(b.wake)) + 1)
+	b.phase.Add(1)
+	for w := range b.wake {
+		if b.asleep[w].Swap(0) == 1 {
+			select {
+			case b.wake[w] <- struct{}{}:
+			default:
+			}
+		}
 	}
 }
 
-// Reset restores initial state and re-arms every partition.
+// await blocks follower w until the phase counter reaches target.
+// Tokens in the wake channel are pure hints — only the counter decides —
+// so stale tokens from racing parks cost one spurious loop, never
+// correctness.
+func (b *phaseBarrier) await(w int, target uint64) {
+	for spins := 0; ; spins++ {
+		if b.phase.Load() >= target {
+			return
+		}
+		switch {
+		case spins < 64:
+			// Busy-spin: the dispatcher is usually between two adjacent
+			// active levels.
+		case spins < 192:
+			runtime.Gosched()
+		default:
+			b.asleep[w].Store(1)
+			if b.phase.Load() >= target {
+				b.asleep[w].Store(0)
+				return
+			}
+			<-b.wake[w]
+		}
+	}
+}
+
+// arrive reports a follower's span completion.
+func (b *phaseBarrier) arrive() {
+	if b.pending.Add(-1) == 0 {
+		b.done <- struct{}{}
+	}
+}
+
+// waitDone is the dispatcher's own arrival plus the completion wait.
+func (b *phaseBarrier) waitDone() {
+	if b.pending.Add(-1) == 0 {
+		return
+	}
+	<-b.done
+}
+
+func (p *ParallelCCSS) startPool() {
+	p.started = true
+	for w := 1; w < p.workers; w++ {
+		go p.workerLoop(w)
+	}
+}
+
+func (p *ParallelCCSS) workerLoop(wid int) {
+	var epoch uint64
+	for {
+		epoch++
+		p.bar.await(wid-1, epoch)
+		if p.quit.Load() {
+			return
+		}
+		p.runSpans(wid)
+		p.bar.arrive()
+	}
+}
+
+// Close retires the worker pool. The engine stays usable — subsequent
+// steps take the inline path — so deferred Close in tests and the
+// experiment harness is always safe.
+func (p *ParallelCCSS) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if !p.started {
+		return
+	}
+	p.quit.Store(true)
+	p.bar.release()
+}
+
+// --- per-cycle evaluation ---
+
+// wakePart flags a partition and maintains the per-level activity
+// counters. Dispatcher-only: parallel-phase wakes go through wakeBuf.
+func (p *ParallelCCSS) wakePart(q int32) {
+	if !p.flags[q] {
+		p.flags[q] = true
+		p.levelActive[p.lvlOf[q]]++
+	}
+}
+
+// wakeAllPar flags every partition and saturates the level counters.
+func (p *ParallelCCSS) wakeAllPar() {
+	p.CCSS.wakeAll()
+	for li := range p.levels {
+		p.levelActive[li] = int32(len(p.levels[li].parts)) + p.levels[li].aoBias
+	}
+}
+
+// Reset restores initial state, clears all counter snapshots (merged and
+// per-worker), and re-arms every partition.
 func (p *ParallelCCSS) Reset() {
 	p.machine.Reset()
-	for w := range p.wDirty {
+	fused := p.machine.stats.FusedPairs
+	p.machine.stats = Stats{FusedPairs: fused}
+	for w := range p.wm {
+		p.wm[w].stats = Stats{}
+		p.wm[w].evalErr = nil
 		p.wDirty[w] = p.wDirty[w][:0]
+		p.wakeBuf[w] = p.wakeBuf[w][:0]
 	}
-	for _, mc := range p.wm {
-		mc.evalErr = nil
-	}
-	p.wakeAll32()
+	p.mergedStats = Stats{}
+	p.wakeAllPar()
 }
 
 // PokeMem writes a memory word and wakes dependent read-port partitions.
 func (p *ParallelCCSS) PokeMem(mem, addr int, v uint64) {
 	p.machine.PokeMem(mem, addr, v)
 	for _, q := range p.memReaderParts[mem] {
-		p.flags32[q] = 1
+		p.wakePart(q)
 	}
 }
 
 // Stats returns merged counters across the dispatcher and all workers.
+// The merge is deterministic across worker counts: every counter is a
+// sum of per-partition quantities and the level dispatch decisions
+// depend only on deterministic activity state.
 func (p *ParallelCCSS) Stats() *Stats {
 	merged := p.machine.stats
 	for _, mc := range p.wm {
 		merged.OpsEvaluated += mc.stats.OpsEvaluated
 		merged.SignalChanges += mc.stats.SignalChanges
+		merged.PartChecks += mc.stats.PartChecks
 		merged.PartEvals += mc.stats.PartEvals
 		merged.OutputCompares += mc.stats.OutputCompares
 		merged.Wakes += mc.stats.Wakes
@@ -173,9 +469,13 @@ func (p *ParallelCCSS) Step(n int) error {
 	return nil
 }
 
-// evalPartition runs one partition on a worker view, using atomic flag
-// stores for wakes.
-func (p *ParallelCCSS) evalPartition(wm *machine, worker int, pi int32) {
+// evalPart runs one partition on a worker view during a parallel phase.
+// Wakes are buffered: consumers append to the worker's wake buffer for
+// the serial merge at the level boundary. (The inline serial path uses
+// evalDirect, whose wakes apply immediately — required inside fused
+// serial specs where a consumer at a later level must still run this
+// cycle.)
+func (p *ParallelCCSS) evalPart(wm *machine, wid int, pi int32) {
 	part := &p.parts[pi]
 	wm.stats.PartEvals++
 	t := wm.t
@@ -196,14 +496,139 @@ func (p *ParallelCCSS) evalPartition(wm *machine, worker int, pi int32) {
 		}
 		if changed {
 			wm.stats.SignalChanges++
+			p.wakeBuf[wid] = append(p.wakeBuf[wid], o.consumers...)
+			wm.stats.Wakes += uint64(len(o.consumers))
+		}
+	}
+	if len(part.regs) > 0 {
+		p.wDirty[wid] = append(p.wDirty[wid], part.regs...)
+	}
+}
+
+// runSpans evaluates worker wid's share of the current parallel level:
+// its pre-chunked span, then whatever remains in the steal pool. Flag
+// reads/writes here are plain (not atomic): each partition is visited by
+// exactly one worker (disjoint spans; the tail counter dispenses each
+// index once), and no flag of the running level is concurrently written
+// (wakes are buffered, and the planner forbids same-level consumers).
+func (p *ParallelCCSS) runSpans(wid int) {
+	lv := &p.levels[p.curLevel]
+	wm := p.wm[wid]
+	for _, pi := range lv.parts[lv.bounds[wid]:lv.bounds[wid+1]] {
+		p.runPart(wm, wid, pi)
+	}
+	n := int64(len(lv.parts))
+	base := int64(lv.tail)
+	for {
+		i := base + p.tailNext.Add(1) - 1
+		if i >= n {
+			return
+		}
+		p.runPart(wm, wid, lv.parts[i])
+	}
+}
+
+func (p *ParallelCCSS) runPart(wm *machine, wid int, pi int32) {
+	wm.stats.PartChecks++
+	if p.flags[pi] {
+		p.flags[pi] = false
+	} else if !p.parts[pi].alwaysOn {
+		return
+	}
+	p.evalPart(wm, wid, pi)
+}
+
+// runInline evaluates a level serially on the dispatcher, with direct
+// wakes (so fused serial specs preserve the sequential engine's
+// same-cycle forward triggering) and incremental counter maintenance.
+func (p *ParallelCCSS) runInline(li int) {
+	lv := &p.levels[li]
+	wm := p.wm[0]
+	flags := p.flags
+	if lv.contig {
+		for pi := lv.start; pi < lv.end; pi++ {
+			wm.stats.PartChecks++
+			if flags[pi] {
+				flags[pi] = false
+				p.levelActive[li]--
+			} else if !p.parts[pi].alwaysOn {
+				continue
+			}
+			p.evalDirect(wm, pi)
+		}
+		return
+	}
+	for _, pi := range lv.parts {
+		wm.stats.PartChecks++
+		if flags[pi] {
+			flags[pi] = false
+			p.levelActive[li]--
+		} else if !p.parts[pi].alwaysOn {
+			continue
+		}
+		p.evalDirect(wm, pi)
+	}
+}
+
+// evalDirect is evalPart specialized for the inline serial path: direct
+// wakes, dispatcher buffers. Kept separate from the buffered variant so
+// the per-eval hot path carries no mode branch and no worker index.
+func (p *ParallelCCSS) evalDirect(wm *machine, pi int32) {
+	part := &p.parts[pi]
+	wm.stats.PartEvals++
+	t := wm.t
+	oldVals := p.oldVals
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		copy(oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
+	}
+	wm.runRange(part.schedStart, part.schedEnd)
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		wm.stats.OutputCompares++
+		changed := false
+		for w := int32(0); w < o.words; w++ {
+			if t[o.off+w] != oldVals[o.oldOff+w] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			wm.stats.SignalChanges++
 			for _, q := range o.consumers {
-				atomic.StoreUint32(&p.flags32[q], 1)
+				p.wakePart(q)
 			}
 			wm.stats.Wakes += uint64(len(o.consumers))
 		}
 	}
 	if len(part.regs) > 0 {
-		p.wDirty[worker] = append(p.wDirty[worker], part.regs...)
+		p.wDirty[0] = append(p.wDirty[0], part.regs...)
+	}
+}
+
+// runParallel dispatches one level across the pool: a single barrier
+// release, the dispatcher working its own span, one completion wait,
+// then the serial wake-buffer merge.
+func (p *ParallelCCSS) runParallel(li int) {
+	if !p.started {
+		p.startPool()
+	}
+	for _, mc := range p.wm[1:] {
+		mc.cycle = p.machine.cycle
+	}
+	p.curLevel = int32(li)
+	p.tailNext.Store(0)
+	p.bar.release()
+	p.runSpans(0)
+	p.bar.waitDone()
+	// Every flag in the level was consumed by some worker; feedback
+	// wakes (including self-wakes) re-arm below during the merge.
+	p.levelActive[li] = p.levels[li].aoBias
+	for w := range p.wakeBuf {
+		for _, q := range p.wakeBuf[w] {
+			p.wakePart(q)
+		}
+		p.wakeBuf[w] = p.wakeBuf[w][:0]
 	}
 }
 
@@ -214,11 +639,10 @@ func (p *ParallelCCSS) stepOne() error {
 	}
 	t := m.t
 
-	// Keep worker views' cycle counters current (error reporting reads
-	// them).
-	for _, mc := range p.wm {
-		mc.cycle = m.cycle
-	}
+	// Keep the dispatcher view's cycle counter current (error reporting
+	// reads it); the other worker views sync lazily in runParallel, so an
+	// all-inline cycle touches no extra machine structs.
+	p.wm[0].cycle = m.cycle
 
 	// Serial preamble: input change detection.
 	for i := range p.inputs {
@@ -233,56 +657,35 @@ func (p *ParallelCCSS) stepOne() error {
 		}
 		if changed {
 			for _, q := range in.consumers {
-				p.flags32[q] = 1
+				p.wakePart(q)
 			}
 			m.stats.Wakes += uint64(len(in.consumers))
 		}
 	}
 
-	// Level-by-level parallel evaluation.
-	active := make([]int32, 0, 64)
-	for _, level := range p.levels {
-		active = active[:0]
-		for _, pi := range level {
-			m.stats.PartChecks++
-			if p.flags32[pi] != 0 || p.parts[pi].alwaysOn {
-				p.flags32[pi] = 0
-				active = append(active, pi)
-			}
+	// Walk the barrier-level schedule. Levels with no flagged and no
+	// always-on partitions are skipped without touching a single flag —
+	// the low-activity fast path the whole layout exists for. The skip
+	// test is one compare on a dense counter array (always-on specs carry
+	// a permanent bias, so they never read as idle).
+	la := p.levelActive
+	for li := range la {
+		active := la[li]
+		if active == 0 {
+			continue
 		}
-		switch {
-		case len(active) == 0:
-		case len(active) < 4 || p.workers == 1:
-			for _, pi := range active {
-				p.evalPartition(p.wm[0], 0, pi)
-			}
-		default:
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			nw := p.workers
-			if nw > len(active) {
-				nw = len(active)
-			}
-			wg.Add(nw)
-			for w := 0; w < nw; w++ {
-				go func(worker int) {
-					defer wg.Done()
-					wm := p.wm[worker]
-					for {
-						i := next.Add(1) - 1
-						if int(i) >= len(active) {
-							return
-						}
-						p.evalPartition(wm, worker, active[i])
-					}
-				}(w)
-			}
-			wg.Wait()
+		lv := &p.levels[li]
+		if lv.serial || p.workers == 1 || p.closed ||
+			int(active-lv.aoBias)+lv.alwaysOn < int(lv.minActive) {
+			p.runInline(li)
+		} else {
+			p.runParallel(li)
 		}
 	}
 
-	// Collect worker errors (first non-nil; order across same-level
-	// partitions is nondeterministic by construction).
+	// Collect worker errors (first non-nil by worker index; which error
+	// surfaces when several partitions fail in one cycle is
+	// nondeterministic by construction).
 	var err error
 	for _, mc := range p.wm {
 		if mc.evalErr != nil && err == nil {
@@ -306,7 +709,7 @@ func (p *ParallelCCSS) stepOne() error {
 			if changed {
 				m.stats.SignalChanges++
 				for _, q := range p.regReaderParts[ri] {
-					p.flags32[q] = 1
+					p.wakePart(q)
 				}
 				m.stats.Wakes += uint64(len(p.regReaderParts[ri]))
 			}
@@ -337,7 +740,7 @@ func (p *ParallelCCSS) stepOne() error {
 		}
 		if changed {
 			for _, q := range p.memReaderParts[w.mem] {
-				p.flags32[q] = 1
+				p.wakePart(q)
 			}
 			m.stats.Wakes += uint64(len(p.memReaderParts[w.mem]))
 		}

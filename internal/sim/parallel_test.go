@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"essent/internal/netlist"
@@ -78,8 +79,9 @@ circuit S :
 }
 
 func TestParallelCCSSSkipsWork(t *testing.T) {
-	// The saturating counter from TestCCSSSkipsWork: parallel flags must
-	// also sleep once quiescent.
+	// The saturating counter from TestCCSSSkipsWork: once the design is
+	// quiescent, the level-activity counters must skip every level
+	// outright — not just the evaluations, the flag scans too.
 	src := `
 circuit Q :
   module Q :
@@ -106,10 +108,17 @@ circuit Q :
 	if p.Peek(r) != 200 {
 		t.Fatalf("r = %d", p.Peek(r))
 	}
-	st := p.Stats()
-	if st.PartEvals*3 > st.PartChecks {
-		t.Fatalf("parallel engine did not sleep: evals=%d checks=%d",
-			st.PartEvals, st.PartChecks)
+	before := *p.Stats()
+	if err := p.Step(500); err != nil {
+		t.Fatal(err)
+	}
+	after := *p.Stats()
+	if after.PartChecks != before.PartChecks || after.PartEvals != before.PartEvals {
+		t.Fatalf("quiescent design still scanned: checks %d→%d evals %d→%d",
+			before.PartChecks, after.PartChecks, before.PartEvals, after.PartEvals)
+	}
+	if after.Cycles != before.Cycles+500 {
+		t.Fatalf("cycles %d→%d", before.Cycles, after.Cycles)
 	}
 }
 
@@ -187,6 +196,202 @@ func TestParallelWorkersAboveDefaultCap(t *testing.T) {
 		}
 		if a, b := archState(ref), archState(p); a != b {
 			t.Fatalf("cyc %d: oversubscribed parallel diverged:\nref: %s\ngot: %s", cyc, a, b)
+		}
+	}
+}
+
+// TestParallelPoolStressRace hammers the persistent pool under the race
+// detector: SerialCutoff 1 forces every active multi-partition level
+// through the barrier, with worker counts both far above GOMAXPROCS and
+// at the degenerate single-worker setting.
+func TestParallelPoolStressRace(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)*2 + 3} {
+		for seed := int64(0); seed < 3; seed++ {
+			c := randckt.Generate(seed+4000, randckt.DefaultConfig())
+			d, err := netlist.Compile(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := NewParallelCCSS(d, ParallelOptions{
+				Cp: 8, Workers: workers, SerialCutoff: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer par.Close()
+			sims := []Simulator{ref, par}
+			rng := rand.New(rand.NewSource(seed))
+			for cyc := 0; cyc < 120; cyc++ {
+				if cyc == 0 || rng.Intn(3) == 0 {
+					pokeRandom(rng, sims, d)
+				}
+				for _, s := range sims {
+					if err := s.Step(1); err != nil {
+						t.Fatalf("workers %d seed %d cyc %d: %v", workers, seed, cyc, err)
+					}
+				}
+				if a, b := archState(ref), archState(par); a != b {
+					t.Fatalf("workers %d seed %d cyc %d: diverged:\nseq: %s\npar: %s",
+						workers, seed, cyc, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCloseKeepsStepping: Close retires the pool but the engine
+// must keep simulating correctly on the inline path.
+func TestParallelCloseKeepsStepping(t *testing.T) {
+	c := randckt.Generate(4100, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 4, SerialCutoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := []Simulator{ref, par}
+	rng := rand.New(rand.NewSource(41))
+	for cyc := 0; cyc < 80; cyc++ {
+		if cyc == 40 {
+			par.Close()
+			par.Close() // idempotent
+		}
+		if cyc%3 == 0 {
+			pokeRandom(rng, sims, d)
+		}
+		for _, s := range sims {
+			if err := s.Step(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a, b := archState(ref), archState(par); a != b {
+			t.Fatalf("cyc %d: diverged after Close:\nseq: %s\npar: %s", cyc, a, b)
+		}
+	}
+}
+
+// TestParallelPrintfDefaultMatchesSequential pins the satellite fix: the
+// parallel engine's default printf sink must behave like the sequential
+// engine's (discard), and SetOutput must route worker printfs to the new
+// sink — including printfs emitted from pool workers.
+func TestParallelPrintfDefaultMatchesSequential(t *testing.T) {
+	src := `
+circuit P :
+  module P :
+    input clock : Clock
+    input en : UInt<1>
+    output o : UInt<1>
+    o <= en
+    printf(clock, en, "tick\n")
+`
+	d := compileSrc(t, src)
+	par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 2, SerialCutoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	par.Poke(sigID(t, par, "en"), 1)
+	// Default sink: firing printfs must not panic and must not write.
+	if err := par.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf countingWriter
+	par.SetOutput(&buf)
+	if err := par.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if buf.n != 10*5 { // "tick\n" = 5 bytes × 10 cycles
+		t.Fatalf("printf after SetOutput wrote %d bytes, want 50", buf.n)
+	}
+}
+
+// TestParallelResetClearsStats pins the satellite fix: a reused engine
+// must not report counters from the previous run; the compile-time
+// fusion counter survives.
+func TestParallelResetClearsStats(t *testing.T) {
+	c := randckt.Generate(4200, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	rng := rand.New(rand.NewSource(42))
+	pokeRandom(rng, []Simulator{par}, d)
+	if err := par.Step(50); err != nil {
+		t.Fatal(err)
+	}
+	before := *par.Stats()
+	if before.Cycles == 0 || before.PartEvals == 0 {
+		t.Fatal("no work recorded before reset")
+	}
+	par.Reset()
+	got := *par.Stats()
+	want := Stats{FusedPairs: before.FusedPairs}
+	if got != want {
+		t.Fatalf("Reset left stale counters: %+v", got)
+	}
+	if err := par.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats().Cycles != 5 {
+		t.Fatalf("cycles after reset = %d, want 5", par.Stats().Cycles)
+	}
+}
+
+// TestParallelStatsDeterministic: merged Stats must be identical across
+// worker counts, with the pool forced on (SerialCutoff 1) and at the
+// default cutoff.
+func TestParallelStatsDeterministic(t *testing.T) {
+	c := randckt.Generate(4300, randckt.DefaultConfig())
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cutoff := range []int64{0, 1} {
+		var ref *Stats
+		var refState string
+		for _, workers := range []int{1, 2, 4, 8} {
+			par, err := NewParallelCCSS(d, ParallelOptions{
+				Cp: 8, Workers: workers, SerialCutoff: cutoff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(43))
+			for cyc := 0; cyc < 60; cyc++ {
+				if cyc%4 == 0 {
+					pokeRandom(rng, []Simulator{par}, d)
+				}
+				if err := par.Step(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := *par.Stats()
+			state := archState(par)
+			par.Close()
+			if ref == nil {
+				ref, refState = &st, state
+				continue
+			}
+			if st != *ref {
+				t.Fatalf("cutoff %d workers %d: stats diverged:\nwant %+v\ngot  %+v",
+					cutoff, workers, *ref, st)
+			}
+			if state != refState {
+				t.Fatalf("cutoff %d workers %d: state diverged", cutoff, workers)
+			}
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package essent
+
+import (
+	"testing"
+
+	"essent/internal/designs"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// TestSoCParallelDeterminism pins the parallel engine's determinism
+// contract on a real design: on the r16 RISC-V SoC, every worker count
+// must produce bit-identical architectural state AND identical merged
+// Stats — the dispatch decisions and all counters depend only on
+// deterministic activity state, never on thread scheduling. The 1-worker
+// run is also compared against the sequential CCSS engine.
+func TestSoCParallelDeterminism(t *testing.T) {
+	circ, err := designs.Build(designs.R16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, err = opt.Optimize(d); err != nil {
+		t.Fatal(err)
+	}
+	rst, ok := d.SignalByName("reset")
+	if !ok {
+		t.Fatal("no reset signal")
+	}
+	cycles := 300
+	workerCounts := []int{1, 2, 4}
+	if !testing.Short() {
+		workerCounts = append(workerCounts, 8)
+	}
+
+	regState := func(s sim.Simulator) [][]uint64 {
+		var out [][]uint64
+		for ri := range d.Regs {
+			out = append(out, s.PeekWide(d.Regs[ri].Out, nil))
+		}
+		return out
+	}
+
+	seq, err := sim.New(d, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Poke(rst, 1)
+	if err := seq.Step(4); err != nil {
+		t.Fatal(err)
+	}
+	seq.Poke(rst, 0)
+	if err := seq.Step(cycles); err != nil {
+		t.Fatal(err)
+	}
+	seqRegs := regState(seq)
+
+	var refStats *sim.Stats
+	var refRegs [][]uint64
+	for _, workers := range workerCounts {
+		p, err := sim.NewParallelCCSS(d, sim.ParallelOptions{Cp: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Poke(rst, 1)
+		if err := p.Step(4); err != nil {
+			t.Fatal(err)
+		}
+		p.Poke(rst, 0)
+		if err := p.Step(cycles); err != nil {
+			t.Fatal(err)
+		}
+		st := *p.Stats()
+		regs := regState(p)
+		p.Close()
+
+		for ri := range regs {
+			for w := range regs[ri] {
+				if regs[ri][w] != seqRegs[ri][w] {
+					t.Fatalf("workers=%d: reg %s word %d: par=%#x seq=%#x",
+						workers, d.Regs[ri].Name, w, regs[ri][w], seqRegs[ri][w])
+				}
+			}
+		}
+		if refStats == nil {
+			stCopy := st
+			refStats, refRegs = &stCopy, regs
+			continue
+		}
+		if st != *refStats {
+			t.Fatalf("workers=%d: merged Stats diverged:\nwant %+v\ngot  %+v",
+				workers, *refStats, st)
+		}
+		for ri := range regs {
+			for w := range regs[ri] {
+				if regs[ri][w] != refRegs[ri][w] {
+					t.Fatalf("workers=%d: reg state diverged at %s", workers, d.Regs[ri].Name)
+				}
+			}
+		}
+	}
+}
+
+// benchSoC measures steady-state cycles/sec of one engine on the r16 SoC
+// running the dhrystone workload (go test -bench SoCEngine).
+func benchSoC(b *testing.B, opts sim.Options) {
+	circ, err := designs.Build(designs.R16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if d, _, err = opt.Optimize(d); err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := designs.NewRunner(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := riscv.Workloads(riscv.DefaultWorkloadConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Load(w[0].Program); err != nil { // dhrystone
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// The workload terminates via stop(); restart it (off the clock) as
+	// often as the benchmark budget requires.
+	for done := 0; done < b.N; {
+		n := b.N - done
+		if n > 50_000 {
+			n = 50_000
+		}
+		c0 := s.Stats().Cycles
+		err := s.Step(n)
+		done += int(s.Stats().Cycles - c0)
+		if err != nil {
+			b.StopTimer()
+			s.Reset()
+			if err := r.Load(w[0].Program); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	if pc, ok := s.(*sim.ParallelCCSS); ok {
+		pc.Close()
+	}
+}
+
+func BenchmarkSoCEngineSeq(b *testing.B) {
+	benchSoC(b, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+}
+
+func BenchmarkSoCEnginePar1(b *testing.B) {
+	benchSoC(b, sim.Options{Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 1})
+}
+
+func BenchmarkSoCEnginePar4(b *testing.B) {
+	benchSoC(b, sim.Options{Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 4})
+}
