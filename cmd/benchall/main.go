@@ -13,6 +13,9 @@
 //	                              # (design, engine, cycles/sec, activity)
 //	benchall -workers 1,2,4,8     # parallel CCSS scaling sweep appended
 //	benchall -only scaling        # just the sweep (default worker list)
+//	benchall -lanes 1,4,16,64     # batched CCSS lane sweep appended
+//	benchall -only lanes -lanes 4 -cycles 20000 -designs r16
+//	                              # CI-sized smoke of the lane sweep
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"essent/internal/designs"
 	"essent/internal/exp"
 )
 
@@ -38,6 +42,15 @@ func main() {
 		workersFlag = flag.String("workers", "",
 			`comma-separated worker counts for the parallel CCSS scaling sweep
 (e.g. "1,2,4,8"; implies the scaling experiment; default list with -only scaling)`)
+		lanesFlag = flag.String("lanes", "",
+			`comma-separated lane counts for the batched CCSS lane sweep
+(e.g. "1,4,16,64"; implies the lanes experiment; default list with -only lanes)`)
+		laneWorkers = flag.Int("laneworkers", 1,
+			"worker pool size for the batched lane sweep (1 = single-threaded)")
+		cyclesFlag = flag.Int("cycles", 0,
+			"override the cycle cap (0 = scale default; lane-sweep runs tolerate the cap)")
+		designsFlag = flag.String("designs", "",
+			`comma-separated design subset to compile and evaluate (e.g. "r16")`)
 	)
 	flag.Parse()
 
@@ -63,11 +76,18 @@ func main() {
 	if *quick {
 		scale = exp.QuickScale()
 	}
+	if *cyclesFlag > 0 {
+		scale.MaxCycles = *cyclesFlag
+	}
 	want := func(name string) bool { return *only == "" || *only == name }
 
-	fmt.Printf("building evaluation designs (r16, r18, boom)...\n")
+	cfgs, names, err := selectConfigs(*designsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("building evaluation designs (%s)...\n", strings.Join(names, ", "))
 	start := time.Now()
-	ds, err := exp.NewDesignSet(scale, nil)
+	ds, err := exp.NewDesignSet(scale, cfgs)
 	if err != nil {
 		fatal(err)
 	}
@@ -175,7 +195,7 @@ func main() {
 		fmt.Println(exp.RenderAblation(rows))
 	}
 	if *workersFlag != "" || *only == "scaling" {
-		workers, err := parseWorkers(*workersFlag)
+		workers, err := parseCounts(*workersFlag, []int{1, 2, 4, 8})
 		if err != nil {
 			fatal(err)
 		}
@@ -205,21 +225,90 @@ func main() {
 			}
 		}
 	}
-	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation scaling", *only) {
+	if *lanesFlag != "" || *only == "lanes" {
+		lanes, err := parseCounts(*lanesFlag, []int{1, 4, 16, 64})
+		if err != nil {
+			fatal(err)
+		}
+		// Default the sweep to r16 unless -designs narrowed the set
+		// explicitly (boom at 64 lanes is a very long run).
+		var designFilter []string
+		if *designsFlag == "" {
+			designFilter = []string{"r16"}
+		}
+		fmt.Printf("running batched CCSS lane sweep (lanes %v, %d worker(s))...\n",
+			lanes, *laneWorkers)
+		rows, err := ds.LaneSweep(scale, lanes, *laneWorkers,
+			designFilter, []string{"dhrystone"})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderLanes(rows))
+		writeCSV("lanes.csv", func(f *os.File) error { return exp.WriteLanesCSV(f, rows) })
+		if *jsonPath != "" && *only == "lanes" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WriteLanesJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
+	}
+	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation scaling lanes", *only) {
 		fatal(fmt.Errorf("unknown experiment %q", *only))
 	}
 }
 
-// parseWorkers parses the -workers list ("" = the default 1,2,4,8).
-func parseWorkers(s string) ([]int, error) {
+// selectConfigs resolves the -designs subset ("" = all evaluation
+// designs), returning the configs and their names for the banner.
+func selectConfigs(filter string) ([]designs.Config, []string, error) {
+	all := designs.Configs()
+	var names []string
+	if filter == "" {
+		for _, c := range all {
+			names = append(names, c.Name)
+		}
+		return nil, names, nil
+	}
+	var cfgs []designs.Config
+	for _, part := range strings.Split(filter, ",") {
+		name := strings.TrimSpace(part)
+		found := false
+		for _, c := range all {
+			if c.Name == name {
+				cfgs = append(cfgs, c)
+				names = append(names, name)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("unknown design %q", name)
+		}
+	}
+	return cfgs, names, nil
+}
+
+// parseCounts parses a comma-separated list of positive counts ("" =
+// the given default list).
+func parseCounts(s string, def []int) ([]int, error) {
 	if s == "" {
-		return []int{1, 2, 4, 8}, nil
+		return def, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -workers entry %q", part)
+			return nil, fmt.Errorf("bad count entry %q", part)
 		}
 		out = append(out, n)
 	}

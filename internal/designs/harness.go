@@ -14,7 +14,12 @@ import (
 type Runner struct {
 	Sim    sim.Simulator
 	design *netlist.Design
+	socHooks
+}
 
+// socHooks are the resolved testbench access points of a SoC design,
+// shared by the scalar Runner and the batched BatchRunner.
+type socHooks struct {
 	imem, dmem       int
 	reset            netlist.SignalID
 	done, tohost     netlist.SignalID
@@ -32,16 +37,15 @@ func MemIndexByName(d *netlist.Design, name string) (int, bool) {
 	return -1, false
 }
 
-// NewRunner wraps a simulator built from a SoC design.
-func NewRunner(s sim.Simulator) (*Runner, error) {
-	d := s.Design()
-	r := &Runner{Sim: s, design: d}
+// resolveSoC looks up the well-known memories and signals of a SoC.
+func resolveSoC(d *netlist.Design) (socHooks, error) {
+	var h socHooks
 	var ok bool
-	if r.imem, ok = MemIndexByName(d, ImemName); !ok {
-		return nil, fmt.Errorf("designs: no %s memory in design", ImemName)
+	if h.imem, ok = MemIndexByName(d, ImemName); !ok {
+		return h, fmt.Errorf("designs: no %s memory in design", ImemName)
 	}
-	if r.dmem, ok = MemIndexByName(d, DmemName); !ok {
-		return nil, fmt.Errorf("designs: no %s memory in design", DmemName)
+	if h.dmem, ok = MemIndexByName(d, DmemName); !ok {
+		return h, fmt.Errorf("designs: no %s memory in design", DmemName)
 	}
 	sig := func(name string) (netlist.SignalID, error) {
 		id, ok := d.SignalByName(name)
@@ -51,24 +55,34 @@ func NewRunner(s sim.Simulator) (*Runner, error) {
 		return id, nil
 	}
 	var err error
-	if r.reset, err = sig("reset"); err != nil {
+	if h.reset, err = sig("reset"); err != nil {
+		return h, err
+	}
+	if h.done, err = sig(DoneSignal); err != nil {
+		return h, err
+	}
+	if h.tohost, err = sig(TohostSig); err != nil {
+		return h, err
+	}
+	if h.instret, err = sig(InstretSig); err != nil {
+		return h, err
+	}
+	if h.pcSig, err = sig(PCSig); err != nil {
+		return h, err
+	}
+	h.imemW = d.Mems[h.imem].Depth
+	h.dmemWords = d.Mems[h.dmem].Depth
+	return h, nil
+}
+
+// NewRunner wraps a simulator built from a SoC design.
+func NewRunner(s sim.Simulator) (*Runner, error) {
+	d := s.Design()
+	h, err := resolveSoC(d)
+	if err != nil {
 		return nil, err
 	}
-	if r.done, err = sig(DoneSignal); err != nil {
-		return nil, err
-	}
-	if r.tohost, err = sig(TohostSig); err != nil {
-		return nil, err
-	}
-	if r.instret, err = sig(InstretSig); err != nil {
-		return nil, err
-	}
-	if r.pcSig, err = sig(PCSig); err != nil {
-		return nil, err
-	}
-	r.imemW = d.Mems[r.imem].Depth
-	r.dmemWords = d.Mems[r.dmem].Depth
-	return r, nil
+	return &Runner{Sim: s, design: d, socHooks: h}, nil
 }
 
 // Load writes the program into instruction memory and applies reset for

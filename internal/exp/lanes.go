@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// LaneRow is one design×workload×lanes measurement of the batched CCSS
+// lane sweep. Lanes 0 denotes the sequential CCSS baseline the
+// amortization factors are computed against (its lane-cycles/sec is
+// plain cycles/sec).
+type LaneRow struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Lanes    int    `json:"lanes"`
+	Workers  int    `json:"workers"`
+	// Cycles is the per-lane cycle count (every lane runs the same
+	// program, so all lanes retire the same count).
+	Cycles  uint64  `json:"cycles"`
+	Seconds float64 `json:"seconds"`
+	// LaneCyclesPerSec is the headline batching metric: aggregate
+	// lane-cycles retired per wall-clock second (lanes × cycles / time).
+	LaneCyclesPerSec float64 `json:"lane_cycles_per_sec"`
+	// SpeedupVsSeq is this row's lane-cycles/sec over the sequential
+	// baseline's cycles/sec — the factor won by amortizing one compiled
+	// schedule (fetch, decode, activity bookkeeping) across the batch.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	// Halted is false when the run hit the cycle cap before the workload
+	// finished (expected for CI smoke runs with small caps).
+	Halted bool `json:"halted"`
+}
+
+// laneReps mirrors scalingReps' interleaved min-of estimator at a lower
+// repetition count (a 64-lane cell does ~64 sequential runs' work per
+// sample).
+const laneReps = 3
+
+// LaneSweep times sequential CCSS and the batched engine at each lane
+// count over the selected design × workload cells. Nil filters select
+// everything in the set. All lanes run the same program, so throughput
+// compares one schedule driving N stimuli against N independent runs.
+func (ds *DesignSet) LaneSweep(scale Scale, lanes []int, workers int,
+	designFilter, workloadFilter []string) ([]LaneRow, error) {
+	keep := func(name string, filter []string) bool {
+		if len(filter) == 0 {
+			return true
+		}
+		for _, f := range filter {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	var rows []LaneRow
+	for _, cd := range ds.Designs {
+		if !keep(cd.cfg.Name, designFilter) {
+			continue
+		}
+		for _, w := range ds.Workloads {
+			if !keep(w.Name, workloadFilter) {
+				continue
+			}
+			cellRows := make([]LaneRow, 1+len(lanes))
+			times := make([][]float64, 1+len(lanes))
+			for rep := 0; rep < laneReps; rep++ {
+				elapsed, cycles, halted, err := runSeqCapped(cd, w, scale.MaxCycles)
+				if err != nil {
+					return nil, err
+				}
+				times[0] = append(times[0], elapsed.Seconds())
+				cellRows[0] = LaneRow{Design: cd.cfg.Name, Workload: w.Name,
+					Cycles: cycles, Halted: halted}
+				for i, L := range lanes {
+					elapsed, cycles, halted, err := runBatchCapped(
+						cd, w, L, workers, scale.MaxCycles)
+					if err != nil {
+						return nil, err
+					}
+					times[1+i] = append(times[1+i], elapsed.Seconds())
+					cellRows[1+i] = LaneRow{Design: cd.cfg.Name, Workload: w.Name,
+						Lanes: L, Workers: workers, Cycles: cycles, Halted: halted}
+					if cycles != cellRows[0].Cycles {
+						return nil, fmt.Errorf(
+							"exp: batch run cycle count diverged on %s/%s lanes=%d: %d vs %d",
+							cd.cfg.Name, w.Name, L, cycles, cellRows[0].Cycles)
+					}
+				}
+			}
+			for si := range cellRows {
+				row := &cellRows[si]
+				row.Seconds = minOf(times[si])
+				if row.Seconds > 0 {
+					nl := max(row.Lanes, 1)
+					row.LaneCyclesPerSec = float64(row.Cycles) * float64(nl) / row.Seconds
+					row.SpeedupVsSeq = row.LaneCyclesPerSec / cellRows[0].LaneCyclesPerSec
+				}
+			}
+			rows = append(rows, cellRows...)
+		}
+	}
+	return rows, nil
+}
+
+// runSeqCapped times a sequential CCSS run of the workload, tolerating
+// the cycle cap: a capped run reports the cycles it retired instead of
+// failing, so short CI smoke caps still produce throughput samples.
+func runSeqCapped(cd *compiledDesign, w riscv.Workload,
+	maxCycles int) (time.Duration, uint64, bool, error) {
+	s, err := sim.NewCCSS(cd.optim, sim.CCSSOptions{Cp: 8})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	r, err := designs.NewRunner(s)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := r.Load(w.Program); err != nil {
+		return 0, 0, false, err
+	}
+	c0 := s.Stats().Cycles
+	halted := false
+	start := time.Now()
+	const chunk = 1024
+	for int(s.Stats().Cycles-c0) < maxCycles {
+		if err := s.Step(chunk); err != nil {
+			var stop *sim.StopError
+			if !errors.As(err, &stop) {
+				return 0, 0, false, fmt.Errorf("%s/seq/%s: %w", cd.cfg.Name, w.Name, err)
+			}
+			halted = true
+			break
+		}
+	}
+	return time.Since(start), s.Stats().Cycles - c0, halted, nil
+}
+
+// runBatchCapped times a batched run with the workload on every lane and
+// returns the per-lane cycle count (identical across lanes by
+// construction; the lock-step walk retires lanes together).
+func runBatchCapped(cd *compiledDesign, w riscv.Workload, lanes, workers,
+	maxCycles int) (time.Duration, uint64, bool, error) {
+	b, err := sim.NewBatchCCSS(cd.optim, sim.BatchOptions{
+		Lanes: lanes, Cp: 8, Workers: workers})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer b.Close()
+	br, err := designs.NewBatchRunner(b)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := br.Load(w.Program); err != nil {
+		return 0, 0, false, err
+	}
+	start := time.Now()
+	res, err := br.Run(maxCycles)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("%s/batch%d/%s: %w",
+			cd.cfg.Name, lanes, w.Name, err)
+	}
+	halted := true
+	for l := range res {
+		if res[l].Cycles != res[0].Cycles {
+			return 0, 0, false, fmt.Errorf(
+				"exp: %s/batch%d/%s: lane %d retired %d cycles, lane 0 %d",
+				cd.cfg.Name, lanes, w.Name, l, res[l].Cycles, res[0].Cycles)
+		}
+		halted = halted && res[l].Halted
+	}
+	return elapsed, res[0].Cycles, halted, nil
+}
+
+// RenderLanes formats the lane sweep.
+func RenderLanes(rows []LaneRow) string {
+	var b strings.Builder
+	b.WriteString("Batched CCSS lane sweep (lanes=0 is sequential CCSS)\n")
+	b.WriteString("  Design Workload     Lanes Workers    Seconds  LaneCyc/sec  Speedup\n")
+	for _, r := range rows {
+		note := ""
+		if !r.Halted {
+			note = "  (capped)"
+		}
+		fmt.Fprintf(&b, "  %s %s %7d %7d %10.3f %12.0f %7.2fx%s\n",
+			pad(r.Design, 6), pad(r.Workload, 10), r.Lanes, r.Workers,
+			r.Seconds, r.LaneCyclesPerSec, r.SpeedupVsSeq, note)
+	}
+	return b.String()
+}
+
+// WriteLanesCSV emits design,workload,lanes,workers,cycles,seconds,
+// lane_cycles_per_sec,speedup_vs_seq,halted.
+func WriteLanesCSV(w io.Writer, rows []LaneRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "workload", "lanes", "workers",
+		"cycles", "seconds", "lane_cycles_per_sec", "speedup_vs_seq",
+		"halted"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, r.Workload, strconv.Itoa(r.Lanes), strconv.Itoa(r.Workers),
+			strconv.FormatUint(r.Cycles, 10),
+			fmt.Sprintf("%.4f", r.Seconds),
+			fmt.Sprintf("%.0f", r.LaneCyclesPerSec),
+			fmt.Sprintf("%.4f", r.SpeedupVsSeq),
+			strconv.FormatBool(r.Halted),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLanesJSON emits the sweep as an indented JSON array.
+func WriteLanesJSON(w io.Writer, rows []LaneRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"essent/internal/designs"
+	"essent/internal/riscv"
+)
+
+func TestLaneSweep(t *testing.T) {
+	ds := testSet(t)
+	scale := testScale()
+	rows, err := ds.LaneSweep(scale, []int{1, 2}, 1,
+		[]string{"tinyA"}, []string{"dhrystone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // baseline + 2 lane counts
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	if rows[0].Lanes != 0 || rows[1].Lanes != 1 || rows[2].Lanes != 2 {
+		t.Fatalf("lane ordering wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Cycles != rows[0].Cycles {
+			t.Fatalf("cycle divergence: %+v", rows)
+		}
+		if !r.Halted {
+			t.Fatalf("tiny dhrystone should halt: %+v", r)
+		}
+		if r.Seconds <= 0 || r.LaneCyclesPerSec <= 0 || r.SpeedupVsSeq <= 0 {
+			t.Fatalf("empty measurement: %+v", r)
+		}
+	}
+	out := RenderLanes(rows)
+	if !strings.Contains(out, "tinyA") || !strings.Contains(out, "dhrystone") {
+		t.Fatalf("render missing cell:\n%s", out)
+	}
+	var csvb, jsonb bytes.Buffer
+	if err := WriteLanesCSV(&csvb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csvb.String()), "\n")); got != 4 {
+		t.Fatalf("CSV rows = %d, want 4", got)
+	}
+	var back []LaneRow
+	if err := WriteLanesJSON(&jsonb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(jsonb.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("JSON round-trip lost rows")
+	}
+}
+
+// TestLaneSweepCapTolerated: a cap far below the workload's halt point
+// must produce capped (Halted=false) rows, not errors — the CI smoke
+// path.
+func TestLaneSweepCapTolerated(t *testing.T) {
+	ds := testSet(t)
+	scale := testScale()
+	scale.MaxCycles = 2000
+	rows, err := ds.LaneSweep(scale, []int{2}, 1,
+		[]string{"tinyA"}, []string{"dhrystone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Halted {
+			t.Fatalf("run under a 2k cap should be capped: %+v", r)
+		}
+		if r.Cycles == 0 || r.Seconds <= 0 {
+			t.Fatalf("capped run lost its measurement: %+v", r)
+		}
+	}
+}
+
+// BenchmarkBatchLanes profiles the batched engine on the r16 SoC —
+// `go test -bench BatchLanes -cpuprofile` is the tuning loop for the
+// lane-major kernels.
+func BenchmarkBatchLanes(b *testing.B) {
+	cd, err := compileSoC(designs.R16())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := riscv.Workloads(riscv.WorkloadConfig{
+		MatmulN: 6, PchaseNodes: 128, PchaseHops: 600, DhrystoneIters: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dhry riscv.Workload
+	for _, w := range ws {
+		if w.Name == "dhrystone" {
+			dhry = w
+		}
+	}
+	for _, lanes := range []int{1, 16} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, cycles, _, err := runBatchCapped(cd, dhry, lanes, 1, 50_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cycles)*float64(lanes), "lane-cycles/op")
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"essent/internal/bits"
+	"essent/internal/firrtl"
 	"essent/internal/netlist"
 	"essent/internal/sim"
 )
@@ -22,9 +23,12 @@ type Stats struct {
 	ConstFolded int
 	CSEMerged   int
 	CopiesProp  int
-	DeadSignals int
-	DeadRegs    int
-	DeadMems    int
+	// IdentityFolds counts ops reduced to copies by algebraic identities
+	// (shift by zero, mux with identical arms).
+	IdentityFolds int
+	DeadSignals   int
+	DeadRegs      int
+	DeadMems      int
 }
 
 // Optimize returns an optimized copy of the design (the input is not
@@ -35,6 +39,9 @@ func Optimize(d *netlist.Design) (*netlist.Design, Stats, error) {
 	if err := constFold(work, &st); err != nil {
 		return nil, st, err
 	}
+	// Identity folding runs after constant folding so shift amounts that
+	// just became constant zeros are caught too.
+	foldIdentities(work, &st)
 	copyProp(work, &st)
 	cse(work, &st)
 	copyProp(work, &st)
@@ -219,6 +226,32 @@ func copyProp(d *netlist.Design, st *Stats) {
 	})
 }
 
+// cseKey identifies a combinational operation up to value equivalence:
+// kind, primop, static parameters, result type, and operands. netlist
+// ops carry at most three operands (mux), so a fixed array suffices and
+// the whole key is comparable — no string formatting or hashing of
+// per-signal allocations on the map's hot path.
+type cseKey struct {
+	kind   netlist.OpKind
+	prim   firrtl.PrimOp
+	p0, p1 int
+	width  int
+	signed bool
+	nargs  uint8
+	args   [3]netlist.Arg
+}
+
+func opKey(s *netlist.Signal) (cseKey, bool) {
+	op := s.Op
+	if len(op.Args) > len(cseKey{}.args) {
+		return cseKey{}, false
+	}
+	k := cseKey{kind: op.Kind, prim: op.Prim, p0: op.P0, p1: op.P1,
+		width: s.Width, signed: s.Signed, nargs: uint8(len(op.Args))}
+	copy(k.args[:], op.Args)
+	return k, true
+}
+
 // cse merges combinational signals computing identical operations on
 // identical operands: later definitions become copies of the first, which
 // copyProp then bypasses.
@@ -228,7 +261,7 @@ func cse(d *netlist.Design, st *Stats) {
 	if err != nil {
 		return
 	}
-	seen := map[string]netlist.SignalID{}
+	seen := map[cseKey]netlist.SignalID{}
 	for _, n := range order {
 		if n >= len(d.Signals) {
 			continue
@@ -237,7 +270,10 @@ func cse(d *netlist.Design, st *Stats) {
 		if s.Kind != netlist.KComb || s.Op == nil || s.Op.Kind == netlist.OCopy {
 			continue
 		}
-		key := opKey(d, s)
+		key, ok := opKey(s)
+		if !ok {
+			continue
+		}
 		if prev, ok := seen[key]; ok {
 			s.Op = &netlist.Op{
 				Kind: netlist.OCopy, Out: netlist.SignalID(n),
@@ -250,17 +286,56 @@ func cse(d *netlist.Design, st *Stats) {
 	}
 }
 
-func opKey(d *netlist.Design, s *netlist.Signal) string {
-	op := s.Op
-	key := fmt.Sprintf("%d|%d|%d|%d|%d|%v|", op.Kind, op.Prim, op.P0, op.P1, s.Width, s.Signed)
-	for _, a := range op.Args {
-		if a.IsConst() {
-			key += fmt.Sprintf("c%d;", a.Const)
-		} else {
-			key += fmt.Sprintf("s%d;", a.Sig)
+// foldIdentities rewrites trivially reducible operations into copies,
+// which copyProp then bypasses entirely:
+//
+//   - static shifts by zero (shl/shr with amount 0);
+//   - dynamic shifts by a constant zero — restricted to unsigned
+//     operands, where OCopy's zero-extension matches the shift exactly;
+//   - muxes whose arms are the same operand.
+//
+// OCopy extends/truncates to the destination width with the engine's
+// ICopy semantics, which is exactly what each folded op computes on its
+// surviving operand, so the rewrites are width- and sign-exact.
+func foldIdentities(d *netlist.Design, st *Stats) {
+	zeroConst := func(a netlist.Arg) bool {
+		if !a.IsConst() {
+			return false
 		}
+		for _, w := range d.Consts[a.Const].Words {
+			if w != 0 {
+				return false
+			}
+		}
+		return true
 	}
-	return key
+	for i := range d.Signals {
+		s := &d.Signals[i]
+		if s.Kind != netlist.KComb || s.Op == nil {
+			continue
+		}
+		op := s.Op
+		var src netlist.Arg
+		switch {
+		case op.Kind == netlist.OPrim && op.P0 == 0 &&
+			(op.Prim == firrtl.OpShl || op.Prim == firrtl.OpShr):
+			src = op.Args[0]
+		case op.Kind == netlist.OPrim &&
+			(op.Prim == firrtl.OpDshl || op.Prim == firrtl.OpDshr) &&
+			zeroConst(op.Args[1]):
+			if aw, signed := d.ArgWidth(op.Args[0]); signed || aw > s.Width {
+				continue
+			}
+			src = op.Args[0]
+		case op.Kind == netlist.OMux && op.Args[1] == op.Args[2]:
+			src = op.Args[1]
+		default:
+			continue
+		}
+		s.Op = &netlist.Op{Kind: netlist.OCopy, Out: netlist.SignalID(i),
+			Args: []netlist.Arg{src}}
+		st.IdentityFolds++
+	}
 }
 
 // dce removes signals, registers, memories, and write ports that cannot

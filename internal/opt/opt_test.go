@@ -82,6 +82,72 @@ circuit C :
 	}
 }
 
+func TestIdentityFolds(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input a : UInt<8>
+    input sel : UInt<1>
+    output o1 : UInt<8>
+    output o2 : UInt<8>
+    output o3 : UInt<8>
+    node z1 = shr(a, 0)
+    node z2 = dshl(a, UInt<2>(0))
+    node z3 = mux(sel, a, a)
+    o1 <= z1
+    o2 <= bits(z2, 7, 0)
+    o3 <= z3
+`
+	d := compile(t, src)
+	od, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdentityFolds < 3 {
+		t.Fatalf("expected ≥3 identity folds, got %+v", st)
+	}
+	s, err := sim.NewFullCycle(od, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := od.SignalByName("a")
+	sel, _ := od.SignalByName("sel")
+	s.Poke(a, 0xA5)
+	s.Poke(sel, 0)
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"o1", "o2", "o3"} {
+		o, _ := od.SignalByName(name)
+		if got := s.Peek(o); got != 0xA5 {
+			t.Fatalf("%s = %#x, want 0xa5", name, got)
+		}
+	}
+}
+
+// Folding a signed dynamic shift by constant zero to a copy would change
+// semantics (the engine's dshl does not sign-extend into the widened
+// result), so it must be left alone.
+func TestIdentityFoldSkipsSignedDshl(t *testing.T) {
+	src := `
+circuit C :
+  module C :
+    input a : SInt<8>
+    output o : SInt<11>
+    node z = dshl(a, UInt<2>(0))
+    o <= z
+`
+	d := compile(t, src)
+	od, st, err := Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdentityFolds != 0 {
+		t.Fatalf("signed dshl must not fold, got %+v", st)
+	}
+	_ = od
+}
+
 func TestDCERemovesDeadLogic(t *testing.T) {
 	src := `
 circuit C :

@@ -47,6 +47,13 @@ type CCSSPlan struct {
 	// parallel engine pays at most one barrier crossing per level that
 	// is actually worth parallelism.
 	LevelSpecs []LevelSpec
+	// SpecOf maps each runtime partition ID to its LevelSpecs index. It
+	// is the wake plumbing shared by every engine that keeps per-spec
+	// activity state (the parallel engine's level counters, the batch
+	// engine's per-spec lane masks): waking partition p means marking
+	// spec SpecOf[p] active, so the per-cycle walk can skip idle specs
+	// without scanning their partitions.
+	SpecOf []int32
 	// PartStats carries the partitioner's statistics.
 	PartStats partition.Stats
 	// Shadows holds the mux-arm cones for conditional multiplexor-way
@@ -437,6 +444,12 @@ func (plan *CCSSPlan) buildLevelSpecs() {
 				spec.NumLevels++
 				newLevel = false
 			}
+		}
+	}
+	plan.SpecOf = make([]int32, len(plan.Parts))
+	for si := range plan.LevelSpecs {
+		for _, pi := range plan.LevelSpecs[si].Parts {
+			plan.SpecOf[pi] = int32(si)
 		}
 	}
 }

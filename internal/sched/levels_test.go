@@ -76,6 +76,18 @@ func TestLevelSpecsInvariants(t *testing.T) {
 				t.Fatalf("seed %d: partition %d missing from level specs", seed, pi)
 			}
 		}
+		// SpecOf is the exported form of the mapping just derived; the
+		// engines' wake plumbing depends on it matching exactly.
+		if len(plan.SpecOf) != len(plan.Parts) {
+			t.Fatalf("seed %d: SpecOf length %d, parts %d",
+				seed, len(plan.SpecOf), len(plan.Parts))
+		}
+		for pi := range plan.Parts {
+			if int(plan.SpecOf[pi]) != specOf[pi] {
+				t.Fatalf("seed %d: SpecOf[%d] = %d, want %d",
+					seed, pi, plan.SpecOf[pi], specOf[pi])
+			}
+		}
 		// Output wakes either run forward (consumer at a strictly later
 		// level, evaluated later this cycle) or are feedback wakes from
 		// an elided register to a strictly earlier level (deferred to the

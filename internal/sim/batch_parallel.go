@@ -1,0 +1,133 @@
+package sim
+
+import "essent/pkg/simrt"
+
+// Pool composition: BatchCCSS reuses the parallel engine's persistent
+// phase barrier (parallel.go) to split one level spec's work across
+// workers as (partition-chunk × lane-group) items. Chunks are the
+// static cost-balanced spans from chunkSpans; lane groups are fixed
+// contiguous slices of the batch. Items are dispensed by an atomic
+// counter, so a worker that drew a cheap item (an idle lane group, a
+// low-activity chunk) immediately pulls the next one.
+//
+// During a pooled phase partition masks are read-only (workers read the
+// pre-scanned emBuf), wakes and register marks go to per-context
+// buffers, and every written location — value-table rows, old-value
+// rows, per-lane counters — is owned by exactly one (partition, lane)
+// pair, with lanes partitioned by group and partitions by chunk. The
+// serial merge at the spec boundary restores the single-threaded
+// engine's semantics except printf interleaving and which of several
+// same-cycle check errors a lane reports (both already nondeterministic
+// in ParallelCCSS).
+
+// runSpecPooled pre-scans one parallel spec's activity and routes it:
+// cheap specs run inline on the dispatcher, expensive ones cross the
+// barrier. The lane-weighted active cost (Σ cost(p) × active lanes)
+// decides, so a spec where one lane limps along does not pay the
+// barrier.
+func (b *BatchCCSS) runSpecPooled(si int32, sp *batchSpec, live simrt.LaneMask) {
+	costs := b.base.plan.PartCosts
+	var effort int64
+	active := 0
+	for _, pi := range sp.parts {
+		em := b.pmask[pi]
+		if b.base.parts[pi].alwaysOn {
+			em = live
+		} else {
+			em &= live
+		}
+		b.emBuf[pi] = em
+		if em != 0 {
+			effort += costs[pi] * int64(em.Count())
+			active++
+		}
+	}
+	if active == 0 {
+		for _, pi := range sp.parts {
+			b.pmask[pi] = 0
+		}
+		return
+	}
+	if active < 2 || effort < b.parCutoff {
+		for _, pi := range sp.parts {
+			b.pmask[pi] = 0
+			if em := b.emBuf[pi]; em != 0 {
+				b.evalPartBatch(b.ctx[0], pi, em, true)
+			}
+		}
+		return
+	}
+
+	if !b.started {
+		b.startBatchPool()
+	}
+	b.curSpec = si
+	b.curLive = live
+	b.itemNext.Store(0)
+	b.bar.release()
+	b.runItems(0)
+	b.bar.waitDone()
+
+	for _, pi := range sp.parts {
+		b.pmask[pi] = 0
+	}
+	// Serial merge of buffered side effects.
+	for _, c := range b.ctx {
+		for _, wk := range c.wakes {
+			b.wake(wk.q, wk.m)
+		}
+		c.wakes = c.wakes[:0]
+		for _, r := range c.regs {
+			if b.regMask[r.ri] == 0 {
+				b.dirtyRegs = append(b.dirtyRegs, r.ri)
+			}
+			b.regMask[r.ri] |= r.m
+		}
+		c.regs = c.regs[:0]
+	}
+}
+
+// runItems drains the current spec's item pool on one agent.
+func (b *BatchCCSS) runItems(wid int) {
+	c := b.ctx[wid]
+	sp := &b.specs[b.curSpec]
+	ng := len(b.groups)
+	n := int64((len(sp.bounds) - 1) * ng)
+	for {
+		it := b.itemNext.Add(1) - 1
+		if it >= n {
+			return
+		}
+		chunk := int(it) / ng
+		g := int(it) % ng
+		gm := b.groups[g] & b.curLive
+		if gm == 0 {
+			continue
+		}
+		for _, pi := range sp.parts[sp.bounds[chunk]:sp.bounds[chunk+1]] {
+			if em := b.emBuf[pi] & gm; em != 0 {
+				b.evalPartBatch(c, pi, em, false)
+			}
+		}
+	}
+}
+
+func (b *BatchCCSS) startBatchPool() {
+	b.started = true
+	for w := 1; w < b.workers; w++ {
+		go b.batchWorkerLoop(w)
+	}
+}
+
+func (b *BatchCCSS) batchWorkerLoop(wid int) {
+	var epoch uint64
+	for {
+		epoch++
+		b.bar.await(wid-1, epoch)
+		if b.quit.Load() {
+			return
+		}
+		b.runItems(wid)
+		b.bar.arrive()
+	}
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+)
+
+// batchLaneState renders lane l's architectural state in the same form
+// as archState, so batch lanes compare directly against scalar engines.
+func batchLaneState(b *BatchCCSS, l int) string {
+	d := b.Design()
+	out := ""
+	for _, o := range d.Outputs {
+		out += fmt.Sprintf("o:%s=%x;", d.Signals[o].Name, b.PeekWideLane(l, o, nil))
+	}
+	for ri := range d.Regs {
+		out += fmt.Sprintf("r:%s=%x;", d.Regs[ri].Name, b.PeekWideLane(l, d.Regs[ri].Out, nil))
+	}
+	for mi := range d.Mems {
+		for a := 0; a < d.Mems[mi].Depth; a++ {
+			if v := b.PeekMemLane(l, mi, a); v != 0 {
+				out += fmt.Sprintf("m:%d[%d]=%x;", mi, a, v)
+			}
+		}
+	}
+	return out
+}
+
+// TestBatchLaneEquivalenceFuzz drives every batch lane with its own
+// stimulus stream and checks each lane bit-exact — state and Stats —
+// against a sequential CCSS fed the identical stream.
+func TestBatchLaneEquivalenceFuzz(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	const lanes = 5
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		c := randckt.Generate(seed+6000, randckt.DefaultConfig())
+		d, err := netlist.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBatchCCSS(d, BatchOptions{Lanes: lanes, Cp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*CCSS, lanes)
+		for l := range refs {
+			if refs[l], err = NewCCSS(d, CCSSOptions{Cp: 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 80; cyc++ {
+			// Divergent per-lane stimulus: each cycle a random subset of
+			// lanes gets its own random value on a random input, so lane
+			// activity (and input-scan arming) genuinely differs.
+			if len(d.Inputs) > 0 && (cyc == 0 || rng.Intn(2) == 0) {
+				in := d.Inputs[rng.Intn(len(d.Inputs))]
+				w := d.Signals[in].Width
+				for l := 0; l < lanes; l++ {
+					if cyc > 0 && rng.Intn(3) == 0 {
+						continue // this lane skips the poke
+					}
+					words := make([]uint64, bits.Words(w))
+					for i := range words {
+						words[i] = rng.Uint64()
+					}
+					bits.MaskInto(words, w)
+					b.PokeWideLane(l, in, words)
+					refs[l].PokeWide(in, words)
+				}
+			}
+			if err := b.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < lanes; l++ {
+				refs[l].Step(1)
+				if got, want := batchLaneState(b, l), archState(refs[l]); got != want {
+					t.Fatalf("seed %d cyc %d lane %d diverged:\nbatch: %s\nseq:   %s",
+						seed, cyc, l, got, want)
+				}
+				if got, want := b.LaneStats(l), *refs[l].Stats(); got != want {
+					t.Fatalf("seed %d cyc %d lane %d stats diverged:\nbatch: %+v\nseq:   %+v",
+						seed, cyc, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchLaneStopFreeze: lanes hit stop() at different cycles (the
+// stop threshold is poked per lane); each frozen lane must retain its
+// final state and error while the rest keep running.
+func TestBatchLaneStopFreeze(t *testing.T) {
+	src := `
+circuit S :
+  module S :
+    input clock : Clock
+    input limit : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= tail(add(r, UInt<8>(1)), 1)
+    o <= r
+    stop(clock, eq(r, limit), 3)
+`
+	d := compileSrc(t, src)
+	const lanes = 4
+	b, err := NewBatchCCSS(d, BatchOptions{Lanes: lanes, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, _ := d.SignalByName("limit")
+	for l := 0; l < lanes; l++ {
+		b.PokeLane(l, limit, uint64(10+5*l)) // stops at cycles 11, 16, 21, 26
+	}
+	if err := b.Step(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Done() {
+		t.Fatal("batch not done after all lanes stopped")
+	}
+	for l := 0; l < lanes; l++ {
+		wantCycles := uint64(10 + 5*l + 1)
+		if got := b.LaneStats(l).Cycles; got != wantCycles {
+			t.Fatalf("lane %d ran %d cycles, want %d", l, got, wantCycles)
+		}
+		se, ok := b.LaneErr(l).(*StopError)
+		if !ok || se.Code != 3 {
+			t.Fatalf("lane %d error = %v", l, b.LaneErr(l))
+		}
+		// Frozen state: r holds the stop value.
+		r, _ := d.SignalByName("r")
+		if got := b.PeekLane(l, r); got != uint64(10+5*l)+1 {
+			t.Fatalf("lane %d r = %d", l, got)
+		}
+	}
+	// Reset revives every lane.
+	b.Reset()
+	if b.Done() {
+		t.Fatal("Reset did not revive lanes")
+	}
+	if err := b.Step(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPooledEquivalence runs the batched engine through the worker
+// pool (ParCutoff 1 forces every parallel spec across the barrier) and
+// checks lane state against the single-threaded batch engine. Run with
+// -race this doubles as the pool's data-race test.
+func TestBatchPooledEquivalence(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	const lanes = 9
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		c := randckt.Generate(seed+7000, randckt.DefaultConfig())
+		d, err := netlist.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := NewBatchCCSS(d, BatchOptions{Lanes: lanes, Cp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := NewBatchCCSS(d, BatchOptions{Lanes: lanes, Cp: 8,
+			Workers: 4, ParCutoff: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pooled.Close()
+		rng := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 60; cyc++ {
+			if len(d.Inputs) > 0 && (cyc == 0 || rng.Intn(2) == 0) {
+				in := d.Inputs[rng.Intn(len(d.Inputs))]
+				w := d.Signals[in].Width
+				for l := 0; l < lanes; l++ {
+					words := make([]uint64, bits.Words(w))
+					for i := range words {
+						words[i] = rng.Uint64()
+					}
+					bits.MaskInto(words, w)
+					serial.PokeWideLane(l, in, words)
+					pooled.PokeWideLane(l, in, words)
+				}
+			}
+			serial.Step(1)
+			pooled.Step(1)
+			for l := 0; l < lanes; l++ {
+				if got, want := batchLaneState(pooled, l), batchLaneState(serial, l); got != want {
+					t.Fatalf("seed %d cyc %d lane %d pooled diverged:\npool: %s\nser:  %s",
+						seed, cyc, l, got, want)
+				}
+				if got, want := pooled.LaneStats(l), serial.LaneStats(l); got != want {
+					t.Fatalf("seed %d cyc %d lane %d pooled stats diverged:\npool: %+v\nser:  %+v",
+						seed, cyc, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPokeMemLane: divergent per-lane memory contents must stay
+// lane-local and wake only the poked lane's read ports.
+func TestBatchPokeMemLane(t *testing.T) {
+	src := `
+circuit M :
+  module M :
+    input clock : Clock
+    input addr : UInt<2>
+    output o : UInt<8>
+    mem m :
+      data-type => UInt<8>
+      depth => 4
+      read-latency => 0
+      write-latency => 1
+      reader => rd
+    m.rd.addr <= addr
+    m.rd.en <= UInt<1>(1)
+    m.rd.clk <= clock
+    o <= m.rd.data
+`
+	d := compileSrc(t, src)
+	const lanes = 3
+	b, err := NewBatchCCSS(d, BatchOptions{Lanes: lanes, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < lanes; l++ {
+		b.PokeMemLane(l, 0, 2, uint64(0x40+l))
+	}
+	addr, _ := d.SignalByName("addr")
+	b.Poke(addr, 2)
+	if err := b.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := d.SignalByName("o")
+	for l := 0; l < lanes; l++ {
+		if got := b.PeekLane(l, o); got != uint64(0x40+l) {
+			t.Fatalf("lane %d o = %#x, want %#x", l, got, 0x40+l)
+		}
+	}
+}
+
+// TestBatchPrintfMatchesSequential: a single-lane batch must produce
+// byte-identical printf output to the sequential engine.
+func TestBatchPrintfMatchesSequential(t *testing.T) {
+	src := `
+circuit P :
+  module P :
+    input clock : Clock
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= tail(add(r, UInt<8>(1)), 1)
+    o <= r
+    printf(clock, gt(r, UInt<8>(3)), "r=%d\n", r)
+`
+	d := compileSrc(t, src)
+	ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatchCCSS(d, BatchOptions{Lanes: 1, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refOut, batchOut bytes.Buffer
+	ref.SetOutput(&refOut)
+	b.SetOutput(&batchOut)
+	ref.Step(10)
+	b.Step(10)
+	if refOut.String() == "" || refOut.String() != batchOut.String() {
+		t.Fatalf("printf diverged:\nseq:   %q\nbatch: %q", refOut.String(), batchOut.String())
+	}
+}

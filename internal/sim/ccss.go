@@ -53,6 +53,12 @@ type CCSS struct {
 	// this cycle (commit must compare-and-wake them).
 	dirtyRegs []int32
 
+	// poked is set by Poke/PokeWide/PokeMem and cleared by the per-cycle
+	// input scan: inputs only ever change through pokes, so a step with
+	// poked clear skips the external-input rescan entirely instead of
+	// comparing every input word against its history.
+	poked bool
+
 	// oldVals buffers pre-evaluation output values for change detection.
 	oldVals []uint64
 
@@ -202,6 +208,7 @@ func (c *CCSS) wakeAll() {
 		c.flags[i] = true
 	}
 	// Invalidate input history so the first Step re-seeds it.
+	c.poked = true
 	for i := range c.prevIn {
 		c.prevIn[i] = ^uint64(0)
 	}
@@ -210,10 +217,23 @@ func (c *CCSS) wakeAll() {
 	}
 }
 
+// Poke sets an input and arms the next step's input rescan.
+func (c *CCSS) Poke(id netlist.SignalID, v uint64) {
+	c.machine.Poke(id, v)
+	c.poked = true
+}
+
+// PokeWide sets a wide input and arms the next step's input rescan.
+func (c *CCSS) PokeWide(id netlist.SignalID, words []uint64) {
+	c.machine.PokeWide(id, words)
+	c.poked = true
+}
+
 // PokeMem writes a memory word and wakes the memory's read-port
 // partitions so stale read data is recomputed.
 func (c *CCSS) PokeMem(mem, addr int, v uint64) {
 	c.machine.PokeMem(mem, addr, v)
+	c.poked = true
 	for _, q := range c.memReaderParts[mem] {
 		c.flags[q] = true
 	}
@@ -252,21 +272,26 @@ func (c *CCSS) stepOne() error {
 	t := m.t
 
 	// Detect external input changes and wake dependent partitions.
-	for i := range c.inputs {
-		in := &c.inputs[i]
-		m.stats.InputChecks++
-		changed := false
-		for w := int32(0); w < in.words; w++ {
-			if t[in.off+w] != c.prevIn[in.prevOff+w] {
-				changed = true
-				c.prevIn[in.prevOff+w] = t[in.off+w]
+	// Inputs only change through pokes, so the scan runs only on steps
+	// following one (poked also covers Reset via wakeAll).
+	if c.poked {
+		c.poked = false
+		for i := range c.inputs {
+			in := &c.inputs[i]
+			m.stats.InputChecks++
+			changed := false
+			for w := int32(0); w < in.words; w++ {
+				if t[in.off+w] != c.prevIn[in.prevOff+w] {
+					changed = true
+					c.prevIn[in.prevOff+w] = t[in.off+w]
+				}
 			}
-		}
-		if changed {
-			for _, p := range in.consumers {
-				c.flags[p] = true
+			if changed {
+				for _, p := range in.consumers {
+					c.flags[p] = true
+				}
+				m.stats.Wakes += uint64(len(in.consumers))
 			}
-			m.stats.Wakes += uint64(len(in.consumers))
 		}
 	}
 

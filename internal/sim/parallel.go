@@ -55,7 +55,7 @@ type ParallelCCSS struct {
 
 	// levels is the barrier schedule (one entry per plan LevelSpec).
 	levels []levelRun
-	// lvlOf maps runtime partition ID -> levels index.
+	// lvlOf maps runtime partition ID -> levels index (plan.SpecOf).
 	lvlOf []int32
 	// levelActive counts flagged partitions per level; maintained only by
 	// the dispatcher (wake merges are serial), so a plain int32 suffices.
@@ -164,7 +164,7 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 	}
 	p := &ParallelCCSS{CCSS: base, workers: workers, serialCutoff: cutoff}
 	plan := base.plan
-	p.lvlOf = make([]int32, len(base.parts))
+	p.lvlOf = plan.SpecOf
 	p.levels = make([]levelRun, len(plan.LevelSpecs))
 	for li, spec := range plan.LevelSpecs {
 		lv := levelRun{parts: toInt32s(spec.Parts), serial: spec.Serial,
@@ -181,7 +181,6 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 			lv.end = lv.start + int32(len(lv.parts))
 		}
 		for _, pi := range lv.parts {
-			p.lvlOf[pi] = int32(li)
 			if base.parts[pi].alwaysOn {
 				lv.alwaysOn++
 			}
@@ -436,6 +435,7 @@ func (p *ParallelCCSS) Reset() {
 // PokeMem writes a memory word and wakes dependent read-port partitions.
 func (p *ParallelCCSS) PokeMem(mem, addr int, v uint64) {
 	p.machine.PokeMem(mem, addr, v)
+	p.poked = true
 	for _, q := range p.memReaderParts[mem] {
 		p.wakePart(q)
 	}
@@ -644,22 +644,26 @@ func (p *ParallelCCSS) stepOne() error {
 	// all-inline cycle touches no extra machine structs.
 	p.wm[0].cycle = m.cycle
 
-	// Serial preamble: input change detection.
-	for i := range p.inputs {
-		in := &p.inputs[i]
-		m.stats.InputChecks++
-		changed := false
-		for w := int32(0); w < in.words; w++ {
-			if t[in.off+w] != p.prevIn[in.prevOff+w] {
-				changed = true
-				p.prevIn[in.prevOff+w] = t[in.off+w]
+	// Serial preamble: input change detection, skipped entirely when no
+	// poke armed it (mirrors the sequential engine's poked gating).
+	if p.poked {
+		p.poked = false
+		for i := range p.inputs {
+			in := &p.inputs[i]
+			m.stats.InputChecks++
+			changed := false
+			for w := int32(0); w < in.words; w++ {
+				if t[in.off+w] != p.prevIn[in.prevOff+w] {
+					changed = true
+					p.prevIn[in.prevOff+w] = t[in.off+w]
+				}
 			}
-		}
-		if changed {
-			for _, q := range in.consumers {
-				p.wakePart(q)
+			if changed {
+				for _, q := range in.consumers {
+					p.wakePart(q)
+				}
+				m.stats.Wakes += uint64(len(in.consumers))
 			}
-			m.stats.Wakes += uint64(len(in.consumers))
 		}
 	}
 

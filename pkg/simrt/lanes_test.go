@@ -1,0 +1,77 @@
+package simrt
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLaneMask(t *testing.T) {
+	if FullMask(0) != 0 {
+		t.Fatalf("FullMask(0) = %x", FullMask(0))
+	}
+	if FullMask(3) != 0b111 {
+		t.Fatalf("FullMask(3) = %x", FullMask(3))
+	}
+	if FullMask(64) != ^LaneMask(0) {
+		t.Fatalf("FullMask(64) = %x", FullMask(64))
+	}
+	m := LaneMask(0b101001)
+	if m.Count() != 3 || !m.Has(0) || m.Has(1) || !m.Has(3) || !m.Has(5) {
+		t.Fatalf("membership wrong for %b", m)
+	}
+	if got := m.Lanes(make([]int, 0, 64)); !reflect.DeepEqual(got, []int{0, 3, 5}) {
+		t.Fatalf("Lanes = %v", got)
+	}
+	if LaneMask(0).Lowest() != 64 {
+		t.Fatalf("empty Lowest = %d", LaneMask(0).Lowest())
+	}
+	if m.Drop() != 0b101000 {
+		t.Fatalf("Drop = %b", m.Drop())
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const lanes, slots = 4, 5
+	tab := make([]uint64, lanes*slots)
+	for i := range tab {
+		tab[i] = uint64(i) * 3
+	}
+	// Gather lane 2, words [1,4) into a contiguous shadow.
+	shadow := make([]uint64, slots)
+	GatherLane(shadow, tab, 1, 3, lanes, 2)
+	for w := 1; w < 4; w++ {
+		if shadow[w] != tab[w*lanes+2] {
+			t.Fatalf("shadow[%d] = %d, want %d", w, shadow[w], tab[w*lanes+2])
+		}
+	}
+	// Mutate and scatter back; only lane 2 of slots 1..3 may change.
+	orig := append([]uint64(nil), tab...)
+	for w := 1; w < 4; w++ {
+		shadow[w] += 1000
+	}
+	ScatterLane(tab, shadow, 1, 3, lanes, 2)
+	for i := range tab {
+		w, l := i/lanes, i%lanes
+		want := orig[i]
+		if l == 2 && w >= 1 && w < 4 {
+			want += 1000
+		}
+		if tab[i] != want {
+			t.Fatalf("tab[%d] = %d, want %d", i, tab[i], want)
+		}
+	}
+}
+
+func TestBroadcastLanes(t *testing.T) {
+	const lanes = 3
+	src := []uint64{7, 8, 9}
+	tab := make([]uint64, lanes*len(src))
+	BroadcastLanes(tab, src, lanes)
+	for w := range src {
+		for l := 0; l < lanes; l++ {
+			if tab[w*lanes+l] != src[w] {
+				t.Fatalf("tab[%d][%d] = %d, want %d", w, l, tab[w*lanes+l], src[w])
+			}
+		}
+	}
+}
