@@ -16,6 +16,8 @@
 //	benchall -lanes 1,4,16,64     # batched CCSS lane sweep appended
 //	benchall -only lanes -lanes 4 -cycles 20000 -designs r16
 //	                              # CI-sized smoke of the lane sweep
+//	benchall -only verifycost -designs r16
+//	                              # static-verification compile overhead
 package main
 
 import (
@@ -35,7 +37,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
-			"run one experiment: table1..4, fig5..7, ablation, scaling")
+			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
 		jsonPath = flag.String("json", "",
 			`write Table III results as JSON records to this file ("-" for stdout)`)
@@ -53,6 +55,11 @@ func main() {
 			`comma-separated design subset to compile and evaluate (e.g. "r16")`)
 	)
 	flag.Parse()
+	if err := validateFlags(*only); err != nil {
+		fmt.Fprintln(os.Stderr, "benchall:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	writeCSV := func(name string, emit func(f *os.File) error) {
 		if *csvDir == "" {
@@ -263,9 +270,78 @@ func main() {
 			}
 		}
 	}
-	if *only != "" && !strings.Contains("table1 table2 table3 table4 fig5 fig6 fig7 ablation scaling lanes", *only) {
-		fatal(fmt.Errorf("unknown experiment %q", *only))
+	if *only == "verifycost" {
+		// Default to r16 (the acceptance budget's design) unless -designs
+		// narrowed the set explicitly.
+		var designFilter []string
+		if *designsFlag == "" {
+			designFilter = []string{"r16"}
+		}
+		fmt.Println("measuring static-verification compile overhead (strict vs off)...")
+		rows, err := ds.VerifyCostSweep(designFilter)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderVerifyCost(rows))
+		writeCSV("verifycost.csv", func(f *os.File) error { return exp.WriteVerifyCostCSV(f, rows) })
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WriteVerifyCostJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
 	}
+}
+
+// experiments are the valid -only values.
+var experiments = []string{"table1", "table2", "table3", "table4",
+	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost"}
+
+// validateFlags rejects contradictory flag combinations up front, before
+// any design compiles — previously `-only lanes -workers 4` silently ran
+// the parallel-scaling sweep too, benchmarking an engine the user never
+// asked for.
+func validateFlags(only string) error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if only != "" {
+		found := false
+		for _, e := range experiments {
+			if only == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q (want one of %s)",
+				only, strings.Join(experiments, ", "))
+		}
+	}
+	wantScaling := only == "scaling" || (only == "" && set["workers"])
+	wantLanes := only == "lanes" || (only == "" && set["lanes"])
+	if set["workers"] && !wantScaling {
+		return fmt.Errorf("-workers selects the parallel scaling sweep and contradicts -only %s"+
+			" (for the lane sweep's worker pool use -laneworkers)", only)
+	}
+	if set["lanes"] && !wantLanes {
+		return fmt.Errorf("-lanes selects the batched lane sweep and contradicts -only %s", only)
+	}
+	if set["laneworkers"] && !wantLanes {
+		return fmt.Errorf("-laneworkers only applies to the lane sweep (use with -only lanes or -lanes)")
+	}
+	return nil
 }
 
 // selectConfigs resolves the -designs subset ("" = all evaluation

@@ -29,10 +29,18 @@ func main() {
 		verbose    = flag.Bool("v", false, "print design printf output")
 		stats      = flag.Bool("stats", true, "print work statistics")
 		vcdFile    = flag.String("vcd", "", "dump a VCD waveform of outputs and registers")
+		verifyFlag = flag.String("verify", "strict",
+			"static verification: strict (fail compile on violations), warn, off")
+		lint = flag.Bool("lint", false,
+			"lint the design (including advisory rules) and exit; nonzero on errors")
 	)
 	flag.Parse()
 
 	engine, err := essent.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	vmode, err := essent.ParseVerifyMode(*verifyFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,7 +67,25 @@ func main() {
 		fatal(errors.New("need -design <file> or -soc <name>"))
 	}
 
-	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp})
+	if *lint {
+		diags, err := essent.Lint(src)
+		if err != nil {
+			fatal(err)
+		}
+		bad := false
+		for _, d := range diags {
+			fmt.Println(d)
+			bad = bad || d.Severity == "error"
+		}
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Printf("lint: %d finding(s), no errors\n", len(diags))
+		return
+	}
+
+	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp,
+		Verify: vmode})
 	if err != nil {
 		fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"essent/internal/opt"
 	"essent/internal/sim"
 	"essent/internal/vcd"
+	"essent/internal/verify"
 )
 
 // Engine selects a simulation strategy.
@@ -81,6 +82,33 @@ func ParseEngine(name string) (Engine, error) {
 	}
 }
 
+// VerifyMode selects how the static verifier (netlist lint, CCSS plan
+// verification, machine-schedule checks) is enforced during compilation.
+// The zero value is VerifyStrict: every compile path proves its artifacts
+// safe before the first cycle runs.
+type VerifyMode int
+
+// Verify modes.
+const (
+	// VerifyStrict fails compilation on any proven violation (default).
+	VerifyStrict VerifyMode = iota
+	// VerifyWarn prints every finding to stderr and continues.
+	VerifyWarn
+	// VerifyOff skips verification.
+	VerifyOff
+)
+
+// ParseVerifyMode resolves a -verify flag value ("strict", "warn",
+// "off"; empty selects strict).
+func ParseVerifyMode(s string) (VerifyMode, error) {
+	m, err := verify.ParseMode(s)
+	return VerifyMode(m), err
+}
+
+func (m VerifyMode) String() string { return verify.Mode(m).String() }
+
+func (m VerifyMode) internal() verify.Mode { return verify.Mode(m) }
+
 // Options configures compilation.
 type Options struct {
 	// Engine picks the simulation strategy (default EngineESSENT).
@@ -94,6 +122,55 @@ type Options struct {
 	// NoOptimize disables the netlist optimization passes that
 	// EngineFullCycleOpt and EngineESSENT normally run.
 	NoOptimize bool
+	// Verify selects static-verification enforcement (VerifyStrict, the
+	// zero value, by default).
+	Verify VerifyMode
+}
+
+// Diagnostic is one structured verifier or linter finding: a rule ID
+// from the catalogue (DESIGN.md §9), a severity ("error", "warn",
+// "info"), a human-locatable site, the problem, and a fix hint.
+type Diagnostic struct {
+	Rule     string
+	Severity string
+	Loc      string
+	Msg      string
+	Hint     string
+}
+
+func (d Diagnostic) String() string {
+	v := verify.Diagnostic{Rule: d.Rule, Loc: d.Loc, Msg: d.Msg, Hint: d.Hint}
+	switch d.Severity {
+	case "warn":
+		v.Sev = verify.SevWarn
+	case "info":
+		v.Sev = verify.SevInfo
+	}
+	return v.String()
+}
+
+func toDiagnostics(in []verify.Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(in))
+	for i, d := range in {
+		out[i] = Diagnostic{Rule: d.Rule, Severity: d.Sev.String(),
+			Loc: d.Loc, Msg: d.Msg, Hint: d.Hint}
+	}
+	return out
+}
+
+// Lint parses FIRRTL source, compiles the netlist, and returns every
+// lint finding — the error rules plus advisory output (dead signals) —
+// without building a simulator. An empty slice means a clean design.
+func Lint(source string) ([]Diagnostic, error) {
+	circuit, err := firrtl.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	d, err := netlist.Compile(circuit)
+	if err != nil {
+		return nil, err
+	}
+	return toDiagnostics(verify.Lint(d)), nil
 }
 
 // Stats reports simulation work; see the field comments on the Fig. 7
@@ -137,19 +214,19 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 			return nil, err
 		}
 	}
-	var engine sim.Options
+	engine := sim.Options{Verify: opts.Verify.internal()}
 	switch opts.Engine {
 	case EngineEventDriven:
-		engine = sim.Options{Engine: sim.EngineEventDriven}
+		engine.Engine = sim.EngineEventDriven
 	case EngineBaseline:
-		engine = sim.Options{Engine: sim.EngineFullCycle}
+		engine.Engine = sim.EngineFullCycle
 	case EngineFullCycleOpt:
-		engine = sim.Options{Engine: sim.EngineFullCycleOpt}
+		engine.Engine = sim.EngineFullCycleOpt
 	case EngineESSENT:
-		engine = sim.Options{Engine: sim.EngineCCSS, Cp: opts.Cp}
+		engine.Engine, engine.Cp = sim.EngineCCSS, opts.Cp
 	case EngineESSENTParallel:
-		engine = sim.Options{Engine: sim.EngineCCSSParallel, Cp: opts.Cp,
-			Workers: opts.Workers}
+		engine.Engine, engine.Cp, engine.Workers =
+			sim.EngineCCSSParallel, opts.Cp, opts.Workers
 	default:
 		return nil, fmt.Errorf("essent: unknown engine %v", opts.Engine)
 	}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/sim"
+	"essent/internal/verify"
+)
+
+// VerifyCostRow is one design×engine measurement of static-verification
+// compile overhead: the full compile path (FIRRTL circuit → netlist →
+// optimization, where the engine runs it → simulator construction) with
+// the verifier in strict mode versus off, fastest-of-N each. The
+// always-on post-pass lint inside opt.Optimize is part of both
+// baselines: it is not governed by -verify.
+type VerifyCostRow struct {
+	Design        string  `json:"design"`
+	Engine        string  `json:"engine"`
+	StrictSeconds float64 `json:"strict_seconds"`
+	OffSeconds    float64 `json:"off_seconds"`
+	// OverheadPct is (strict-off)/off in percent — the acceptance budget
+	// is <10% on the r16 SoC.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// verifyCostReps follows the scaling sweep's estimator: interleaved
+// repetitions, fastest sample per cell.
+const verifyCostReps = 9
+
+// VerifyCostSweep times the compile path with verification strict vs
+// off over the selected designs (nil selects everything in the set). It
+// covers the four compile paths the verifier guards by default.
+func (ds *DesignSet) VerifyCostSweep(designFilter []string) ([]VerifyCostRow, error) {
+	keep := func(name string) bool {
+		if len(designFilter) == 0 {
+			return true
+		}
+		for _, f := range designFilter {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	specs := Engines()
+	specs = append(specs, EngineSpec{Name: "Parallel",
+		Options:   sim.Options{Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 2},
+		Optimized: true})
+	compileOnce := func(cd *compiledDesign, spec EngineSpec, mode verify.Mode) (float64, error) {
+		start := time.Now()
+		d, err := netlist.Compile(cd.circuit)
+		if err != nil {
+			return 0, err
+		}
+		if spec.Optimized {
+			if d, _, err = opt.Optimize(d); err != nil {
+				return 0, err
+			}
+		}
+		opts := spec.Options
+		opts.Verify = mode
+		s, err := sim.New(d, opts)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		if p, ok := s.(*sim.ParallelCCSS); ok {
+			p.Close()
+		}
+		return elapsed, nil
+	}
+	var rows []VerifyCostRow
+	for _, cd := range ds.Designs {
+		if !keep(cd.cfg.Name) {
+			continue
+		}
+		cellRows := make([]VerifyCostRow, len(specs))
+		strict := make([][]float64, len(specs))
+		off := make([][]float64, len(specs))
+		for rep := 0; rep < verifyCostReps; rep++ {
+			for si, spec := range specs {
+				for _, mode := range []verify.Mode{verify.Strict, verify.Off} {
+					elapsed, err := compileOnce(cd, spec, mode)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s verify=%v: %w",
+							cd.cfg.Name, spec.Name, mode, err)
+					}
+					if mode == verify.Strict {
+						strict[si] = append(strict[si], elapsed)
+					} else {
+						off[si] = append(off[si], elapsed)
+					}
+				}
+			}
+		}
+		for si, spec := range specs {
+			row := &cellRows[si]
+			row.Design, row.Engine = cd.cfg.Name, spec.Name
+			row.StrictSeconds = minOf(strict[si])
+			row.OffSeconds = minOf(off[si])
+			if row.OffSeconds > 0 {
+				row.OverheadPct = 100 * (row.StrictSeconds - row.OffSeconds) / row.OffSeconds
+			}
+		}
+		rows = append(rows, cellRows...)
+	}
+	return rows, nil
+}
+
+// RenderVerifyCost formats the overhead sweep.
+func RenderVerifyCost(rows []VerifyCostRow) string {
+	var b strings.Builder
+	b.WriteString("Static-verification compile overhead (strict vs off, fastest of reps)\n")
+	b.WriteString("  Design Engine        Strict(s)     Off(s)  Overhead\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %s %10.4f %10.4f %8.1f%%\n",
+			pad(r.Design, 6), pad(r.Engine, 10), r.StrictSeconds, r.OffSeconds,
+			r.OverheadPct)
+	}
+	return b.String()
+}
+
+// WriteVerifyCostCSV emits design,engine,strict_seconds,off_seconds,
+// overhead_pct.
+func WriteVerifyCostCSV(w io.Writer, rows []VerifyCostRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "engine", "strict_seconds",
+		"off_seconds", "overhead_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, r.Engine,
+			fmt.Sprintf("%.5f", r.StrictSeconds),
+			fmt.Sprintf("%.5f", r.OffSeconds),
+			fmt.Sprintf("%.2f", r.OverheadPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteVerifyCostJSON emits the sweep as an indented JSON array.
+func WriteVerifyCostJSON(w io.Writer, rows []VerifyCostRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

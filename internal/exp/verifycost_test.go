@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCostSweep(t *testing.T) {
+	ds, err := NewDesignSet(testScale(), testConfigs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ds.VerifyCostSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 engine rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Design != "tinyA" || r.Engine == "" {
+			t.Fatalf("bad row: %+v", r)
+		}
+		if r.StrictSeconds <= 0 || r.OffSeconds <= 0 {
+			t.Fatalf("unmeasured cell: %+v", r)
+		}
+	}
+	out := RenderVerifyCost(rows)
+	if !strings.Contains(out, "ESSENT") || !strings.Contains(out, "Overhead") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+	var b strings.Builder
+	if err := WriteVerifyCostCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(),
+		"design,engine,strict_seconds,off_seconds,overhead_pct\n") {
+		t.Fatalf("csv header wrong:\n%s", b.String())
+	}
+	b.Reset()
+	if err := WriteVerifyCostJSON(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"overhead_pct"`) {
+		t.Fatal("json missing overhead field")
+	}
+}

@@ -375,6 +375,13 @@ func (op PrimOp) String() string {
 	return fmt.Sprintf("primop(%d)", int(op))
 }
 
+// PrimArity returns a primop's operand count, or false for codes outside
+// the dialect.
+func PrimArity(op PrimOp) (int, bool) {
+	s, ok := primSpecs[op]
+	return s.numArgs, ok
+}
+
 // LookupPrim returns the primop with the given name.
 func LookupPrim(name string) (PrimOp, bool) {
 	op, ok := primByName[name]

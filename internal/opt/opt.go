@@ -16,6 +16,7 @@ import (
 	"essent/internal/firrtl"
 	"essent/internal/netlist"
 	"essent/internal/sim"
+	"essent/internal/verify"
 )
 
 // Stats reports what the passes removed.
@@ -40,8 +41,14 @@ func Optimize(d *netlist.Design) (*netlist.Design, Stats, error) {
 		return nil, st, err
 	}
 	// Identity folding runs after constant folding so shift amounts that
-	// just became constant zeros are caught too.
+	// just became constant zeros are caught too. Folds rewrite ops into
+	// copies, so widths are re-validated immediately after: a fold that
+	// narrowed a signal feeding a wide op would otherwise only surface as
+	// a miscompile downstream.
 	foldIdentities(work, &st)
+	if err := revalidate(work, "identity folding"); err != nil {
+		return nil, st, err
+	}
 	copyProp(work, &st)
 	cse(work, &st)
 	copyProp(work, &st)
@@ -49,7 +56,20 @@ func Optimize(d *netlist.Design) (*netlist.Design, Stats, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	if err := revalidate(out, "optimization pipeline"); err != nil {
+		return nil, st, err
+	}
 	return out, st, nil
+}
+
+// revalidate runs the netlist lint's error rules after a mutating pass
+// and names the pass in the failure, so a width- or reference-breaking
+// rewrite is pinned to its source instead of surfacing at engine build.
+func revalidate(d *netlist.Design, pass string) error {
+	if errs := verify.Errors(verify.Design(d)); len(errs) > 0 {
+		return fmt.Errorf("opt: %s broke the netlist: %s", pass, errs[0])
+	}
+	return nil
 }
 
 // clone deep-copies the parts of a design the passes mutate.
@@ -125,7 +145,10 @@ func constFold(d *netlist.Design, st *Stats) error {
 	}
 	// Evaluate one full cycle on a scratch machine; constant cones are
 	// input- and state-independent, so any stimulus yields their value.
-	scratch, err := sim.NewFullCycle(d, false)
+	// Verification is off: the scratch machine is a throwaway evaluator
+	// over a mid-pipeline netlist, and the real engine constructor
+	// re-verifies the final design anyway.
+	scratch, err := sim.NewFullCycleVerify(d, false, false, verify.Off)
 	if err != nil {
 		return err
 	}

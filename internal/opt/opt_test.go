@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"essent/internal/bits"
@@ -10,6 +11,7 @@ import (
 	"essent/internal/netlist"
 	"essent/internal/randckt"
 	"essent/internal/sim"
+	"essent/internal/verify"
 )
 
 func compile(t *testing.T, src string) *netlist.Design {
@@ -324,4 +326,76 @@ func TestOptimizeStatsNonTrivial(t *testing.T) {
 		t.Fatal("optimization should not grow the design")
 	}
 	t.Logf("opt stats: %+v (%d → %d signals)", st, len(d.Signals), len(od.Signals))
+}
+
+// TestRevalidateCatchesNarrowingFold pins the regression where an
+// identity fold narrowed a signal feeding a wide op without re-deriving
+// the consumer's width: the post-pass lint must name the pass and refuse
+// the netlist instead of letting the engines compile wrong masks.
+func TestRevalidateCatchesNarrowingFold(t *testing.T) {
+	d := compile(t, `
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    input b : UInt<72>
+    output o : UInt<80>
+    node n = tail(add(a, UInt<8>(0)), 1)
+    o <= cat(b, n)
+`)
+	// Simulate the buggy fold: replace n's op result width as if
+	// add(a, 0) had been folded to a 4-bit value, leaving the 80-bit cat
+	// reading a narrower operand than its declared result assumes.
+	for i := range d.Signals {
+		if d.Signals[i].Name == "n" {
+			d.Signals[i].Width = 4
+		}
+	}
+	err := revalidate(d, "identity folding")
+	if err == nil {
+		t.Fatal("revalidate must reject a width-broken netlist")
+	}
+	if !strings.Contains(err.Error(), "identity folding") {
+		t.Fatalf("error must name the offending pass: %v", err)
+	}
+	if !strings.Contains(err.Error(), "NL-WIDTH") {
+		t.Fatalf("error must carry the rule ID: %v", err)
+	}
+}
+
+// TestOptimizePreservesWidthSoundness runs the full pipeline over designs
+// rich in foldable identities and asserts the result still lints clean —
+// the end-to-end guarantee the revalidate hooks enforce.
+func TestOptimizePreservesWidthSoundness(t *testing.T) {
+	srcs := []string{`
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    input b : UInt<66>
+    output o : UInt<80>
+    node z = and(a, UInt<8>(255))
+    node y = or(z, UInt<8>(0))
+    node x = shl(y, 0)
+    o <= cat(b, tail(add(x, UInt<8>(0)), 1))
+`, `
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<70>
+    output o : UInt<70>
+    reg r : UInt<70>, clock
+    r <= xor(and(a, a), UInt<70>(0))
+    o <= or(r, UInt<70>(0))
+`}
+	for _, src := range srcs {
+		d := compile(t, src)
+		od, _, err := Optimize(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := verify.Errors(verify.Design(od)); len(errs) > 0 {
+			t.Fatalf("optimized design dirty:\n%s", verify.Format(errs))
+		}
+	}
 }

@@ -297,17 +297,17 @@ func PlanCCSSOpts(d *netlist.Design, opts PlanOptions) (*CCSSPlan, error) {
 	}
 
 	// Partition outputs: comb/memread signals with external consumers.
-	regNextSet := map[netlist.SignalID]bool{}
-	for ri := range d.Regs {
-		regNextSet[d.Regs[ri].Next] = true
-	}
+	// Register next-value signals are NOT exempt: optimization passes
+	// (cse aliasing a duplicate op to a reg's next, copyProp reading
+	// through the defining copy) can leave cross-partition consumers
+	// reading a next-value comb signal directly, and those reads need a
+	// wake edge like any other. For elided registers this may duplicate
+	// the r.Out change compare emitted below (next aliases the out slot);
+	// the redundant compare is harmless and the consumer lists differ.
 	for n := range d.Signals {
 		s := &d.Signals[n]
 		p := res.PartOf[n]
 		if p < 0 || (s.Kind != netlist.KComb && s.Kind != netlist.KMemRead) {
-			continue
-		}
-		if s.Kind == netlist.KComb && regNextSet[netlist.SignalID(n)] {
 			continue
 		}
 		var cs []int

@@ -7,6 +7,7 @@ import (
 
 	"essent/internal/bits"
 	"essent/internal/netlist"
+	"essent/internal/verify"
 	"essent/pkg/simrt"
 )
 
@@ -152,12 +153,15 @@ type BatchOptions struct {
 	// ParCutoff is the per-spec lane-weighted active cost below which the
 	// spec runs inline instead of crossing the barrier (0 = default).
 	ParCutoff int64
+	// Verify selects static-verification enforcement (strict by default).
+	Verify verify.Mode
 }
 
 // NewBatchCCSS compiles a batched CCSS simulator.
 func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoElide: opts.NoElide,
-		NoMuxShadow: opts.NoMuxShadow, NoFuse: opts.NoFuse})
+		NoMuxShadow: opts.NoMuxShadow, NoFuse: opts.NoFuse,
+		Verify: opts.Verify})
 	if err != nil {
 		return nil, err
 	}

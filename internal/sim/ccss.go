@@ -5,6 +5,7 @@ import (
 	"essent/internal/netlist"
 	"essent/internal/partition"
 	"essent/internal/sched"
+	"essent/internal/verify"
 )
 
 // CCSSOptions configures the CCSS (ESSENT) engine.
@@ -22,6 +23,10 @@ type CCSSOptions struct {
 	// PullTriggering replaces push-direction wakes with per-cycle input
 	// comparisons (the §III-A direction ablation; expected slower).
 	PullTriggering bool
+	// Verify selects static-verification enforcement (netlist lint, plan
+	// verification, machine-schedule checks). The zero value is strict:
+	// construction fails on any proven violation.
+	Verify verify.Mode
 }
 
 // CCSS is the paper's essential-signal-simulation engine: the design is
@@ -116,7 +121,7 @@ func NewCCSS(d *netlist.Design, opts CCSSOptions) (*CCSS, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := newCCSSFromPlan(d, plan, opts.NoFuse)
+	c, err := newCCSSFromPlan(d, plan, opts.NoFuse, opts.Verify)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +132,19 @@ func NewCCSS(d *netlist.Design, opts CCSSOptions) (*CCSS, error) {
 	return c, nil
 }
 
-// newCCSSFromPlan builds the runtime structures from a computed plan.
-func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan, noFuse bool) (*CCSS, error) {
+// newCCSSFromPlan builds the runtime structures from a computed plan,
+// statically verifying the design, the plan, and the compiled machine
+// schedule under vmode (the CCSS, parallel, and batch engines all build
+// through here, so all three inherit the verification).
+func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan, noFuse bool,
+	vmode verify.Mode) (*CCSS, error) {
+	if vmode != verify.Off {
+		diags := verify.DesignPrePlanned(d)
+		diags = append(diags, verify.Plan(plan)...)
+		if err := verify.Enforce(vmode, diags, nil); err != nil {
+			return nil, err
+		}
+	}
 	groups := make([][]int, len(plan.Parts))
 	for pi := range plan.Parts {
 		groups[pi] = plan.Parts[pi].Members
@@ -146,6 +162,12 @@ func newCCSSFromPlan(d *netlist.Design, plan *sched.CCSSPlan, noFuse bool) (*CCS
 			fuse: !noFuse, keepLive: keepLive})
 	if err != nil {
 		return nil, err
+	}
+	if vmode != verify.Off {
+		if err := verify.Enforce(vmode,
+			verifyMachine(m, ranges, plan, keepLive), nil); err != nil {
+			return nil, err
+		}
 	}
 	c := &CCSS{machine: m, PartStats: plan.PartStats, NumElided: plan.NumElided,
 		plan: plan}

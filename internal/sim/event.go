@@ -3,6 +3,7 @@ package sim
 import (
 	"essent/internal/netlist"
 	"essent/internal/sched"
+	"essent/internal/verify"
 )
 
 // EventDriven is a levelized event-driven simulator (the classic design
@@ -48,7 +49,23 @@ type EventDriven struct {
 
 // NewEventDriven compiles an event-driven simulator (no optimizations, no
 // elision: every register is two-phase, like classic event simulators).
+// Verification runs in strict mode.
 func NewEventDriven(d *netlist.Design) (*EventDriven, error) {
+	return NewEventDrivenVerify(d, verify.Strict)
+}
+
+// NewEventDrivenVerify is NewEventDriven with explicit verification
+// enforcement. Only the netlist lint applies: this engine dispatches
+// instructions dynamically through its event heap, so there is no static
+// schedule to check. The loop pass is elided like on the planned
+// engines — sched.Build's topological sort below rejects cyclic designs
+// (the lint's readable cycle trace stays available via essent -lint).
+func NewEventDrivenVerify(d *netlist.Design, vmode verify.Mode) (*EventDriven, error) {
+	if vmode != verify.Off {
+		if err := verify.Enforce(vmode, verify.DesignPrePlanned(d), nil); err != nil {
+			return nil, err
+		}
+	}
 	plan, err := sched.Build(d, false)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package sim
 import (
 	"essent/internal/netlist"
 	"essent/internal/sched"
+	"essent/internal/verify"
 )
 
 // FullCycle is a pure full-cycle simulator: the entire design evaluates
@@ -23,16 +24,38 @@ func NewFullCycle(d *netlist.Design, optimized bool) (*FullCycle, error) {
 
 // NewFullCycleOpts is NewFullCycle with the superinstruction-fusion
 // ablation knob exposed (noFuse true reproduces the unfused interpreter
-// bit-exactly).
+// bit-exactly). Verification runs in strict mode.
 func NewFullCycleOpts(d *netlist.Design, optimized, noFuse bool) (*FullCycle, error) {
+	return NewFullCycleVerify(d, optimized, noFuse, verify.Strict)
+}
+
+// NewFullCycleVerify is NewFullCycleOpts with explicit verification
+// enforcement: the netlist lint and the machine-schedule checks run
+// under vmode (there is no partition plan on this engine). The
+// optimizer's constant-folding scratch simulator passes verify.Off —
+// it rebuilds mid-pipeline netlists many times and re-verifies through
+// the real engine constructor afterwards.
+func NewFullCycleVerify(d *netlist.Design, optimized, noFuse bool,
+	vmode verify.Mode) (*FullCycle, error) {
 	plan, err := sched.Build(d, optimized)
 	if err != nil {
 		return nil, err
 	}
-	m, _, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
+	if vmode != verify.Off {
+		if err := verify.Enforce(vmode, verify.DesignPrePlanned(d), nil); err != nil {
+			return nil, err
+		}
+	}
+	m, ranges, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
 		machineConfig{shadows: plan.Shadows, fuse: !noFuse})
 	if err != nil {
 		return nil, err
+	}
+	if vmode != verify.Off {
+		if err := verify.Enforce(vmode,
+			verifyMachine(m, ranges, nil, nil), nil); err != nil {
+			return nil, err
+		}
 	}
 	return &FullCycle{machine: m}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"essent/internal/netlist"
+	"essent/internal/verify"
 )
 
 // Options selects and configures an engine.
@@ -19,6 +20,10 @@ type Options struct {
 	// engines (ablation knob; ignored by EngineEventDriven, which never
 	// fuses).
 	NoFuse bool
+	// Verify selects static-verification enforcement for every engine
+	// (verify.Strict, the zero value, fails construction on any proven
+	// violation; Warn prints and continues; Off skips the checks).
+	Verify verify.Mode
 }
 
 // New constructs the requested simulation engine for a design. The caller
@@ -27,16 +32,18 @@ type Options struct {
 func New(d *netlist.Design, opts Options) (Simulator, error) {
 	switch opts.Engine {
 	case EngineEventDriven:
-		return NewEventDriven(d)
+		return NewEventDrivenVerify(d, opts.Verify)
 	case EngineFullCycle:
-		return NewFullCycleOpts(d, false, opts.NoFuse)
+		return NewFullCycleVerify(d, false, opts.NoFuse, opts.Verify)
 	case EngineFullCycleOpt:
-		return NewFullCycleOpts(d, true, opts.NoFuse)
+		return NewFullCycleVerify(d, true, opts.NoFuse, opts.Verify)
 	case EngineCCSS:
-		return NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse})
+		return NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse,
+			Verify: opts.Verify})
 	case EngineCCSSParallel:
 		return NewParallelCCSS(d, ParallelOptions{
-			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse})
+			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse,
+			Verify: opts.Verify})
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", opts.Engine)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"essent/internal/netlist"
+	"essent/internal/verify"
 )
 
 // ParallelCCSS evaluates active partitions concurrently, walking the
@@ -131,6 +132,8 @@ type ParallelOptions struct {
 	// level is evaluated inline on the dispatcher (0 = default). Tests
 	// set 1 to force every active level through the worker pool.
 	SerialCutoff int64
+	// Verify selects static-verification enforcement (strict by default).
+	Verify verify.Mode
 }
 
 // defaultWorkerCap bounds only the Workers=0 default, not explicit
@@ -144,7 +147,8 @@ const defaultSerialCutoff = 8192
 
 // NewParallelCCSS compiles a parallel CCSS simulator.
 func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, error) {
-	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse})
+	base, err := NewCCSS(d, CCSSOptions{Cp: opts.Cp, NoFuse: opts.NoFuse,
+		Verify: opts.Verify})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+
+	"essent/internal/bits"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/sched"
+	"essent/internal/verify"
+)
+
+// Machine-level (SM-*) rule tests: build a real machine the way
+// newCCSSFromPlan does, inject one lowering defect, and assert the rule
+// guarding against it fires.
+
+const smMultiSrc = `
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    input b : UInt<8>
+    output o1 : UInt<8>
+    output o2 : UInt<8>
+    reg r1 : UInt<8>, clock
+    reg r2 : UInt<8>, clock
+    node s1 = tail(add(a, r1), 1)
+    node s2 = tail(add(b, r2), 1)
+    r1 <= s1
+    r2 <= s2
+    o1 <= r1
+    o2 <= xor(s1, s2)
+`
+
+const smElideSrc = `
+circuit T :
+  module T :
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= tail(add(r, a), 1)
+    o <= r
+`
+
+const smSinkSrc = `
+circuit T :
+  module T :
+    input clock : Clock
+    input en : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8>, clock
+    r <= tail(add(r, a), 1)
+    o <= r
+    printf(clock, en, "tick\n")
+`
+
+// buildVerifyMachine compiles src into a machine exactly like the CCSS
+// constructor: partition groups, mux shadows, fusion, keep-live outputs.
+func buildVerifyMachine(t *testing.T, src string, cp int) (*machine, [][2]int32,
+	*sched.CCSSPlan, []netlist.SignalID) {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.PlanCCSS(d, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]int, len(plan.Parts))
+	for pi := range plan.Parts {
+		groups[pi] = plan.Parts[pi].Members
+	}
+	var keepLive []netlist.SignalID
+	for pi := range plan.Parts {
+		for _, op := range plan.Parts[pi].Outputs {
+			keepLive = append(keepLive, op.Sig)
+		}
+	}
+	m, ranges, err := newMachineCfg(d, plan.DG, plan.Order, plan.Elided,
+		machineConfig{shadows: plan.Shadows, groups: groups, fuse: true,
+			keepLive: keepLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ranges, plan, keepLive
+}
+
+func smHasRule(diags []verify.Diagnostic, rule string) bool {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func smWantRule(t *testing.T, diags []verify.Diagnostic, rule string) {
+	t.Helper()
+	if !smHasRule(diags, rule) {
+		t.Fatalf("want a %s diagnostic, got:\n%s", rule, verify.Format(diags))
+	}
+}
+
+// sourceWords replicates markSources for test-side dependency hunting.
+func sourceWords(m *machine) []bool {
+	src := make([]bool, len(m.t))
+	mark := func(off, words int32) {
+		for w := int32(0); w < words; w++ {
+			src[off+w] = true
+		}
+	}
+	for _, in := range m.d.Inputs {
+		mark(m.off[in], m.nw[in])
+	}
+	for i := range m.d.Signals {
+		if m.d.Signals[i].Kind == netlist.KRegOut {
+			mark(m.off[i], m.nw[i])
+		}
+	}
+	for i := range m.d.Consts {
+		mark(m.constOff[i], int32(bits.Words(m.d.Consts[i].Width)))
+	}
+	return src
+}
+
+func TestVerifyMachineClean(t *testing.T) {
+	for _, src := range []string{smMultiSrc, smElideSrc, smSinkSrc} {
+		for _, cp := range []int{1, 8, 1 << 20} {
+			m, ranges, plan, keepLive := buildVerifyMachine(t, src, cp)
+			if diags := verifyMachine(m, ranges, plan, keepLive); len(diags) != 0 {
+				t.Fatalf("cp=%d: clean machine produced findings:\n%s",
+					cp, verify.Format(diags))
+			}
+		}
+	}
+}
+
+func TestSMAliasDoubleWriter(t *testing.T) {
+	m, ranges, plan, keepLive := buildVerifyMachine(t, smMultiSrc, 1<<20)
+	// Point one instruction's store at another's slot.
+	var scheduled []int32
+	for _, e := range m.sched {
+		if e.kind == seInstr || e.kind == seSkipIfZeroF || e.kind == seSkipIfNonzeroF {
+			scheduled = append(scheduled, e.idx)
+		}
+	}
+	if len(scheduled) < 2 {
+		t.Fatal("need two scheduled instructions")
+	}
+	m.instrs[scheduled[1]].dst = m.instrs[scheduled[0]].dst
+	smWantRule(t, verifyMachine(m, ranges, plan, keepLive), "SM-ALIAS")
+}
+
+func TestSMDefUseSwap(t *testing.T) {
+	m, ranges, plan, keepLive := buildVerifyMachine(t, smMultiSrc, 1<<20)
+	src := sourceWords(m)
+	// Find schedule positions p < q in one group where q's instruction
+	// reads a non-source word p's instruction writes, then swap them.
+	for gi, r := range ranges {
+		_ = gi
+		for p := r[0]; p < r[1]; p++ {
+			if m.sched[p].kind != seInstr {
+				continue
+			}
+			wIn := &m.instrs[m.sched[p].idx]
+			off, words := writeSpan(wIn)
+			for q := p + 1; q < r[1]; q++ {
+				if m.sched[q].kind != seInstr {
+					continue
+				}
+				for _, s := range readSpans(&m.instrs[m.sched[q].idx], nil) {
+					for w := int32(0); w < s[1]; w++ {
+						o := s[0] + w
+						if o >= off && o < off+words && !src[o] {
+							m.sched[p], m.sched[q] = m.sched[q], m.sched[p]
+							smWantRule(t, verifyMachine(m, ranges, plan, keepLive),
+								"SM-DEFUSE")
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("no dependent instruction pair found")
+}
+
+func TestSMSkipCorrupted(t *testing.T) {
+	m, ranges, plan, keepLive := buildVerifyMachine(t, smMultiSrc, 1<<20)
+	guard := m.off[m.d.Inputs[0]]
+	// A backward skip is never legal.
+	m.sched = append(m.sched, schedEntry{kind: seSkipIfZero, idx: guard, n: -1})
+	smWantRule(t, verifyMachine(m, nil, plan, keepLive), "SM-SKIP")
+
+	// A skip past the end of its group drops other partitions' work.
+	m.sched[len(m.sched)-1] = schedEntry{kind: seSkipIfZero, idx: guard, n: 99999}
+	smWantRule(t, verifyMachine(m, nil, plan, keepLive), "SM-SKIP")
+	_ = ranges
+}
+
+func TestSMSinkInsideSkip(t *testing.T) {
+	m, _, plan, keepLive := buildVerifyMachine(t, smSinkSrc, 1<<20)
+	guard := m.off[m.d.Inputs[0]]
+	for p, e := range m.sched {
+		if e.kind != seDisplay {
+			continue
+		}
+		// Hoist the sink behind a guard: the exact transformation the
+		// activity optimizer must never apply to a side effect.
+		mut := make([]schedEntry, 0, len(m.sched)+1)
+		mut = append(mut, m.sched[:p]...)
+		mut = append(mut, schedEntry{kind: seSkipIfZero, idx: guard, n: 1})
+		mut = append(mut, m.sched[p:]...)
+		m.sched = mut
+		smWantRule(t, verifyMachine(m, nil, plan, keepLive), "SM-SINK")
+		return
+	}
+	t.Fatal("no display entry scheduled")
+}
+
+func TestSMElideOvertake(t *testing.T) {
+	m, ranges, plan, keepLive := buildVerifyMachine(t, smElideSrc, 1<<20)
+	if m.elided == nil || !m.elided[0] {
+		t.Fatal("expected the register to be elided")
+	}
+	r := &m.d.Regs[0]
+	wPos := m.schedPosOf[r.Next]
+	for v := 0; v < m.dg.G.Len(); v++ {
+		if v == int(r.Next) || !nodeReadsSignal(m.d, m.dg, v, r.Out) {
+			continue
+		}
+		// Claim the reader was scheduled after the in-place write.
+		m.schedPosOf[v] = wPos + 1
+		smWantRule(t, verifyMachine(m, ranges, plan, keepLive), "SM-ELIDE")
+		return
+	}
+	t.Fatal("no reader of the elided register found")
+}
+
+func TestSMKeepLiveUnwritten(t *testing.T) {
+	m, ranges, plan, _ := buildVerifyMachine(t, smMultiSrc, 1<<20)
+	// Engine-read slots must have unconditional writes; a comb signal
+	// whose store fusion eliminated does not qualify.
+	src := sourceWords(m)
+	written := make([]bool, len(m.t))
+	for _, e := range m.sched {
+		if e.kind == seInstr || e.kind == seSkipIfZeroF || e.kind == seSkipIfNonzeroF {
+			off, words := writeSpan(&m.instrs[e.idx])
+			for w := int32(0); w < words; w++ {
+				written[off+w] = true
+			}
+		}
+	}
+	for i := range m.d.Signals {
+		if m.d.Signals[i].Kind != netlist.KComb || m.off[i] < 0 {
+			continue
+		}
+		if !src[m.off[i]] && !written[m.off[i]] {
+			diags := verifyMachine(m, ranges, plan,
+				[]netlist.SignalID{netlist.SignalID(i)})
+			smWantRule(t, diags, "SM-DEFUSE")
+			return
+		}
+	}
+	t.Skip("fusion left no storeless signal to point at")
+}
