@@ -18,6 +18,8 @@
 //	                              # CI-sized smoke of the lane sweep
 //	benchall -only verifycost -designs r16
 //	                              # static-verification compile overhead
+//	benchall -only ckptcost -ckptevery 5000,20000
+//	                              # checkpoint run-time overhead + resume check
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
-			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost")
+			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost, ckptcost")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
 		jsonPath = flag.String("json", "",
 			`write Table III results as JSON records to this file ("-" for stdout)`)
@@ -53,6 +55,9 @@ func main() {
 			"override the cycle cap (0 = scale default; lane-sweep runs tolerate the cap)")
 		designsFlag = flag.String("designs", "",
 			`comma-separated design subset to compile and evaluate (e.g. "r16")`)
+		ckptEvery = flag.String("ckptevery", "",
+			`comma-separated checkpoint intervals in cycles for the overhead
+experiment (default list with -only ckptcost)`)
 	)
 	flag.Parse()
 	if err := validateFlags(*only); err != nil {
@@ -302,11 +307,48 @@ func main() {
 			}
 		}
 	}
+	if *only == "ckptcost" {
+		// Default to r16 (the acceptance budget's design) unless -designs
+		// narrowed the set explicitly.
+		var designFilter []string
+		if *designsFlag == "" {
+			designFilter = []string{"r16"}
+		}
+		intervals, err := parseIntervals(*ckptEvery)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("measuring checkpoint run-time overhead (snapshots vs plain run)...")
+		rows, err := ds.CkptCostSweep(scale, intervals, designFilter)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderCkptCost(rows))
+		writeCSV("ckptcost.csv", func(f *os.File) error { return exp.WriteCkptCostCSV(f, rows) })
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WriteCkptCostJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
+	}
 }
 
 // experiments are the valid -only values.
 var experiments = []string{"table1", "table2", "table3", "table4",
-	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost"}
+	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost",
+	"ckptcost"}
 
 // validateFlags rejects contradictory flag combinations up front, before
 // any design compiles — previously `-only lanes -workers 4` silently ran
@@ -341,7 +383,28 @@ func validateFlags(only string) error {
 	if set["laneworkers"] && !wantLanes {
 		return fmt.Errorf("-laneworkers only applies to the lane sweep (use with -only lanes or -lanes)")
 	}
+	if set["ckptevery"] && only != "ckptcost" {
+		return fmt.Errorf("-ckptevery configures the checkpoint-overhead experiment" +
+			" (use with -only ckptcost)")
+	}
 	return nil
+}
+
+// parseIntervals parses the -ckptevery list into cycle counts ("" = the
+// experiment's default sweep).
+func parseIntervals(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	counts, err := parseCounts(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(counts))
+	for i, n := range counts {
+		out[i] = uint64(n)
+	}
+	return out, nil
 }
 
 // selectConfigs resolves the -designs subset ("" = all evaluation

@@ -33,8 +33,26 @@ func main() {
 			"static verification: strict (fail compile on violations), warn, off")
 		lint = flag.Bool("lint", false,
 			"lint the design (including advisory rules) and exit; nonzero on errors")
+		ckptDir = flag.String("checkpoint", "",
+			"checkpoint directory: write periodic snapshots there")
+		ckptEvery = flag.Uint64("ckpt-every", 0,
+			"checkpoint interval in cycles (0 = 50000; requires -checkpoint)")
+		ckptKeep = flag.Int("ckpt-keep", 0,
+			"checkpoints to retain (0 = 3; requires -checkpoint)")
+		resume = flag.Bool("resume", false,
+			"resume from the newest checkpoint in -checkpoint before running")
+		watchdog = flag.Duration("watchdog", 0,
+			"wall-clock watchdog: abort the run after this duration (0 = off)")
+		watchdogCycles = flag.Uint64("watchdog-cycles", 0,
+			"no-progress watchdog: abort after this many cycles without "+
+				"tohost/printf movement (0 = off)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, "essent:", err)
+		os.Exit(2)
+	}
 
 	engine, err := essent.ParseEngine(*engineName)
 	if err != nil {
@@ -98,6 +116,17 @@ func main() {
 	}
 	fmt.Println()
 
+	if *resume {
+		path, err := essent.LatestCheckpoint(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.RestoreCheckpoint(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s (cycle %d)\n", path, sim.Stats().Cycles)
+	}
+
 	if *workload != "" {
 		prog, desc, err := essent.Workload(*workload)
 		if err != nil {
@@ -133,17 +162,57 @@ func main() {
 		return
 	}
 
-	err = sim.Step(*cycles)
-	var stopped *essent.StoppedError
-	switch {
-	case err == nil:
-		fmt.Printf("ran %d cycles (no stop)\n", *cycles)
-	case errors.As(err, &stopped):
-		tohost, _ := sim.Peek("tohost")
-		fmt.Printf("stopped at cycle %d (code %d, tohost=%#x)\n",
-			stopped.Cycle, stopped.Code, tohost)
-	default:
-		fatal(err)
+	if *ckptDir != "" || *watchdog > 0 || *watchdogCycles > 0 {
+		opts := essent.RunOptions{
+			MaxCycles:        *cycles,
+			WallLimit:        *watchdog,
+			NoProgressCycles: *watchdogCycles,
+			CheckpointDir:    *ckptDir,
+			CheckpointEvery:  *ckptEvery,
+			CheckpointKeep:   *ckptKeep,
+		}
+		if *verbose {
+			opts.Output = os.Stdout
+		}
+		rep, err := sim.RunSupervised(opts)
+		var aborted *essent.RunAborted
+		switch {
+		case err == nil && rep.Stopped:
+			tohost, _ := sim.Peek("tohost")
+			fmt.Printf("stopped after %d cycles (code %d, tohost=%#x)\n",
+				rep.Cycles, rep.StopCode, tohost)
+		case err == nil:
+			fmt.Printf("ran %d cycles (no stop)\n", rep.Cycles)
+		case errors.As(err, &aborted) && aborted.Reason == "cycle-limit":
+			fmt.Printf("ran %d cycles (no stop)\n", rep.Cycles)
+		default:
+			if rep.Checkpoints > 0 {
+				fmt.Fprintf(os.Stderr, "essent: %d checkpoint(s) intact; latest %s\n",
+					rep.Checkpoints, rep.LastCheckpoint)
+			}
+			fatal(err)
+		}
+		if rep.Checkpoints > 0 {
+			fmt.Printf("checkpoints: %d written (%d bytes, %v); latest %s\n",
+				rep.Checkpoints, rep.CheckpointBytes, rep.CheckpointTime,
+				rep.LastCheckpoint)
+		}
+		if rep.Degraded {
+			fmt.Println("note: a worker panic degraded the run to sequential evaluation")
+		}
+	} else {
+		err = sim.Step(*cycles)
+		var stopped *essent.StoppedError
+		switch {
+		case err == nil:
+			fmt.Printf("ran %d cycles (no stop)\n", *cycles)
+		case errors.As(err, &stopped):
+			tohost, _ := sim.Peek("tohost")
+			fmt.Printf("stopped at cycle %d (code %d, tohost=%#x)\n",
+				stopped.Cycle, stopped.Code, tohost)
+		default:
+			fatal(err)
+		}
 	}
 
 	if *stats {
@@ -161,6 +230,32 @@ func main() {
 			fmt.Printf("events queued:   %d\n", st.Events)
 		}
 	}
+}
+
+// validateFlags rejects contradictory flag combinations up front — a
+// clear exit 2 instead of a surprising run (matching cmd/benchall).
+func validateFlags() error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["resume"] && !set["checkpoint"] {
+		return errors.New("-resume needs -checkpoint to name the snapshot directory")
+	}
+	if set["resume"] && set["workload"] {
+		return errors.New("-resume restores instruction memory from the snapshot" +
+			" and contradicts -workload")
+	}
+	if set["ckpt-every"] && !set["checkpoint"] {
+		return errors.New("-ckpt-every configures checkpointing and needs -checkpoint")
+	}
+	if set["ckpt-keep"] && !set["checkpoint"] {
+		return errors.New("-ckpt-keep configures checkpointing and needs -checkpoint")
+	}
+	if set["vcd"] && (set["checkpoint"] || set["resume"] || set["watchdog"] ||
+		set["watchdog-cycles"]) {
+		return errors.New("-vcd drives its own cycle loop and contradicts the" +
+			" checkpoint/watchdog flags")
+	}
+	return nil
 }
 
 func perCycle(v, cycles uint64) float64 {

@@ -12,9 +12,12 @@
 package essent
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
+	"essent/internal/ckpt"
 	"essent/internal/firrtl"
 	"essent/internal/netlist"
 	"essent/internal/opt"
@@ -184,6 +187,7 @@ type Stats struct {
 	OutputCompares uint64 // dynamic overhead: output change tests
 	Wakes          uint64 // dynamic overhead: consumer activations
 	Events         uint64 // event-driven queue pushes
+	WorkerPanics   uint64 // recovered worker panics (degraded runs)
 }
 
 // Sim is a compiled simulator with a name-based testbench interface.
@@ -337,7 +341,250 @@ func (s *Sim) Stats() Stats {
 		OutputCompares: st.OutputCompares,
 		Wakes:          st.Wakes,
 		Events:         st.Events,
+		WorkerPanics:   st.WorkerPanics,
 	}
+}
+
+// SaveCheckpoint writes an engine-neutral snapshot of the simulator's
+// complete architectural state (versioned, checksummed, written
+// atomically). The snapshot resumes under any engine compiled with the
+// same Options-relevant design shape — a run checkpointed under
+// EngineESSENTParallel restores under EngineESSENT bit-exactly.
+func (s *Sim) SaveCheckpoint(path string) error {
+	st, err := sim.Capture(s.s)
+	if err != nil {
+		return err
+	}
+	return ckpt.SaveFile(path, st)
+}
+
+// RestoreCheckpoint loads a snapshot written by SaveCheckpoint (under
+// any engine) and resumes from it: registers, memories, inputs, cycle
+// count, and Stats continue from the checkpointed values.
+func (s *Sim) RestoreCheckpoint(path string) error {
+	st, err := ckpt.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	return sim.Restore(s.s, st)
+}
+
+// Degraded reports whether a recovered worker panic has routed a
+// parallel engine to sequential evaluation (always false for the
+// sequential engines).
+func (s *Sim) Degraded() bool {
+	if dg, ok := s.s.(interface{ Degraded() bool }); ok {
+		return dg.Degraded()
+	}
+	return false
+}
+
+// LatestCheckpoint returns the newest valid checkpoint file in dir,
+// skipping in-progress temporaries and corrupt or truncated files.
+func LatestCheckpoint(dir string) (string, error) {
+	_, path, err := ckpt.Latest(dir)
+	return path, err
+}
+
+// RunOptions configures Sim.RunSupervised.
+type RunOptions struct {
+	// MaxCycles bounds the run.
+	MaxCycles int
+	// WallLimit aborts when wall-clock time exceeds it (0 = off).
+	WallLimit time.Duration
+	// NoProgressCycles aborts when that many cycles pass with no change
+	// in any progress signal and no printf output (0 = off).
+	NoProgressCycles uint64
+	// ProgressSignals names the signals the no-progress watchdog
+	// watches (default: "tohost" when the design has one).
+	ProgressSignals []string
+	// Output receives printf output (nil = io.Discard); the supervisor
+	// counts its bytes for progress detection.
+	Output io.Writer
+	// CheckpointDir enables periodic snapshots ("" = off);
+	// CheckpointEvery is the interval in cycles (0 = 50000);
+	// CheckpointKeep bounds retention (0 = keep 3).
+	CheckpointDir   string
+	CheckpointEvery uint64
+	CheckpointKeep  int
+}
+
+// RunReport summarizes a supervised run.
+type RunReport struct {
+	// Cycles simulated by this call.
+	Cycles uint64
+	// Stopped is true when the design executed stop(); StopCode is its
+	// code.
+	Stopped  bool
+	StopCode int
+	// Checkpoint overhead accounting.
+	Checkpoints     int
+	CheckpointBytes int64
+	CheckpointTime  time.Duration
+	LastCheckpoint  string
+	// Degraded reports parallel-engine panic recovery.
+	Degraded bool
+}
+
+// RunAborted is the structured watchdog error: the run was stopped by
+// the supervisor, and the last intact checkpoint (if any) is named for
+// resumption.
+type RunAborted struct {
+	Reason         string // "wall-clock", "no-progress", or "cycle-limit"
+	Cycle          uint64
+	Elapsed        time.Duration
+	LastCheckpoint string
+}
+
+func (e *RunAborted) Error() string {
+	msg := fmt.Sprintf("essent: run aborted (%s watchdog) at cycle %d after %v",
+		e.Reason, e.Cycle, e.Elapsed.Round(time.Millisecond))
+	if e.LastCheckpoint != "" {
+		msg += fmt.Sprintf("; resume from %s", e.LastCheckpoint)
+	}
+	return msg
+}
+
+// RunSupervised steps the simulator under watchdog supervision with
+// optional periodic checkpointing, instead of hanging on a wedged
+// design. It returns a *RunAborted when a watchdog trips; a design
+// stop() is a normal completion (RunReport.Stopped).
+func (s *Sim) RunSupervised(opts RunOptions) (RunReport, error) {
+	var rep RunReport
+	out := opts.Output
+	if out == nil {
+		out = io.Discard
+	}
+	cw := &countingWriter{w: out}
+	s.s.SetOutput(cw)
+
+	watch := opts.ProgressSignals
+	if watch == nil {
+		if _, ok := s.d.SignalByName("tohost"); ok {
+			watch = []string{"tohost"}
+		}
+	}
+	ids := make([]netlist.SignalID, 0, len(watch))
+	for _, name := range watch {
+		id, err := s.signal(name)
+		if err != nil {
+			return rep, err
+		}
+		ids = append(ids, id)
+	}
+	last := make([]uint64, len(ids))
+	for i, id := range ids {
+		last[i] = s.s.Peek(id)
+	}
+
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = 50000
+	}
+	var mg *ckpt.Manager
+	if opts.CheckpointDir != "" {
+		mg = &ckpt.Manager{Dir: opts.CheckpointDir, Keep: opts.CheckpointKeep}
+	}
+	finish := func() {
+		if mg != nil {
+			rep.Checkpoints = mg.Count
+			rep.CheckpointBytes = mg.Bytes
+			rep.CheckpointTime = mg.SaveTime
+			rep.LastCheckpoint = mg.LastPath
+		}
+		rep.Degraded = s.Degraded()
+	}
+
+	start := time.Now()
+	startCycle := s.s.Stats().Cycles
+	lastSnap := startCycle
+	lastProgress := startCycle
+	lastBytes := cw.n
+
+	for {
+		cyc := s.s.Stats().Cycles
+		ran := cyc - startCycle
+		rep.Cycles = ran
+		if int(ran) >= opts.MaxCycles {
+			finish()
+			return rep, &RunAborted{Reason: "cycle-limit", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: rep.LastCheckpoint}
+		}
+		chunk := uint64(1024)
+		if rem := uint64(opts.MaxCycles) - ran; rem < chunk {
+			chunk = rem
+		}
+		if mg != nil {
+			if rem := every - (cyc - lastSnap); rem < chunk {
+				chunk = rem
+			}
+		}
+		if opts.NoProgressCycles > 0 && opts.NoProgressCycles/4+1 < chunk {
+			chunk = opts.NoProgressCycles/4 + 1
+		}
+
+		err := s.s.Step(int(chunk))
+		cyc = s.s.Stats().Cycles
+		rep.Cycles = cyc - startCycle
+		if err != nil {
+			err = translateErr(err)
+			var stopped *StoppedError
+			if errors.As(err, &stopped) {
+				rep.Stopped, rep.StopCode = true, stopped.Code
+				finish()
+				return rep, nil
+			}
+			finish()
+			return rep, err
+		}
+
+		moved := cw.n != lastBytes
+		lastBytes = cw.n
+		for i, id := range ids {
+			if v := s.s.Peek(id); v != last[i] {
+				last[i] = v
+				moved = true
+			}
+		}
+		if moved {
+			lastProgress = cyc
+		}
+
+		if mg != nil && cyc-lastSnap >= every {
+			st, err := sim.Capture(s.s)
+			if err != nil {
+				finish()
+				return rep, err
+			}
+			if _, err := mg.Save(st); err != nil {
+				finish()
+				return rep, err
+			}
+			lastSnap = cyc
+		}
+
+		if opts.NoProgressCycles > 0 && cyc-lastProgress >= opts.NoProgressCycles {
+			finish()
+			return rep, &RunAborted{Reason: "no-progress", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: rep.LastCheckpoint}
+		}
+		if opts.WallLimit > 0 && time.Since(start) >= opts.WallLimit {
+			finish()
+			return rep, &RunAborted{Reason: "wall-clock", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: rep.LastCheckpoint}
+		}
+	}
+}
+
+// countingWriter counts printf bytes for the progress watchdog.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.n += int64(len(p))
+	return cw.w.Write(p)
 }
 
 // DumpVCD simulates cycles clock cycles while writing a Value Change Dump

@@ -1,0 +1,206 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+// DivergenceReport localizes the first cycle at which two engines'
+// architectural states differ, and names the first differing state
+// element (register, or memory entry).
+type DivergenceReport struct {
+	// Cycle is the first boundary at which the states differ.
+	Cycle uint64 `json:"cycle"`
+	// Kind is "reg" or "mem".
+	Kind string `json:"kind"`
+	// Name is the register output signal or memory name.
+	Name string `json:"name"`
+	// Addr is the differing entry for memories (0 for registers).
+	Addr uint64 `json:"addr,omitempty"`
+	// Word is the differing word index within the entry.
+	Word int `json:"word,omitempty"`
+	// A and B are the differing words on each side.
+	A uint64 `json:"a"`
+	B uint64 `json:"b"`
+}
+
+func (r *DivergenceReport) String() string {
+	if r.Kind == "mem" {
+		return fmt.Sprintf("first divergence at cycle %d: mem %s[%d] word %d: %#x vs %#x",
+			r.Cycle, r.Name, r.Addr, r.Word, r.A, r.B)
+	}
+	return fmt.Sprintf("first divergence at cycle %d: reg %s word %d: %#x vs %#x",
+		r.Cycle, r.Name, r.Word, r.A, r.B)
+}
+
+// compareStates finds the first differing register or memory word
+// between two snapshots of the same design (nil when equal). Input
+// ports are excluded: both sides receive the same stimulus by
+// construction, and registers/memories carry all evolved state.
+func compareStates(d *netlist.Design, sa, sb *sim.State) *DivergenceReport {
+	for ri := range sa.Regs {
+		wa, wb := sa.Regs[ri], sb.Regs[ri]
+		for k := range wa {
+			if wa[k] != wb[k] {
+				return &DivergenceReport{
+					Kind: "reg",
+					Name: d.Signals[d.Regs[ri].Out].Name,
+					Word: k, A: wa[k], B: wb[k],
+				}
+			}
+		}
+	}
+	for mi := range sa.Mems {
+		wa, wb := sa.Mems[mi], sb.Mems[mi]
+		nw := bits.Words(d.Mems[mi].Width)
+		for k := range wa {
+			if wa[k] != wb[k] {
+				return &DivergenceReport{
+					Kind: "mem",
+					Name: d.Mems[mi].Name,
+					Addr: uint64(k / nw), Word: k % nw,
+					A: wa[k], B: wb[k],
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Bisect runs two simulators of the same design in lockstep for total
+// cycles, comparing architectural state every interval cycles, and on
+// the first mismatching boundary binary-searches the offending window
+// — restoring both sides from the last matching snapshot and
+// re-stepping, replaying any injected faults (scheduled against b by
+// absolute cycle) — until the first divergent cycle is isolated. It
+// returns nil when the runs never diverge.
+//
+// Both simulators must be at the same state when called (freshly
+// constructed, or both restored from one checkpoint); their cycle
+// counters may start anywhere as long as they agree.
+func Bisect(a, b sim.Simulator, total, interval uint64, faults []Fault) (*DivergenceReport, error) {
+	if interval == 0 {
+		interval = 64
+	}
+	d := a.Design()
+	inj := &Injector{Target: b, Faults: faults}
+
+	loState, err := sim.Capture(a)
+	if err != nil {
+		return nil, err
+	}
+	if div := mustCompare(d, a, b); div != nil {
+		div.Cycle = a.Stats().Cycles
+		return div, nil
+	}
+
+	for done := uint64(0); done < total; {
+		n := interval
+		if done+n > total {
+			n = total - done
+		}
+		if err := (*Injector)(nil).Advance(a, n); err != nil {
+			return nil, fmt.Errorf("ckpt: bisect (a): %w", err)
+		}
+		if err := inj.Advance(b, n); err != nil {
+			return nil, fmt.Errorf("ckpt: bisect (b): %w", err)
+		}
+		done += n
+		sa, err := sim.Capture(a)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := sim.Capture(b)
+		if err != nil {
+			return nil, err
+		}
+		if compareStates(d, sa, sb) != nil {
+			return searchWindow(a, b, d, inj, loState)
+		}
+		loState = sa
+	}
+	return nil, nil
+}
+
+// searchWindow isolates the first divergent cycle inside (lo, hi],
+// where lo is loState's cycle and hi is the current (divergent)
+// position of both simulators. Invariant: states match at lo and
+// mismatch at hi.
+func searchWindow(a, b sim.Simulator, d *netlist.Design, inj *Injector,
+	loState *sim.State) (*DivergenceReport, error) {
+	lo := loState.Cycle
+	hi := a.Stats().Cycles
+	restep := func(to uint64) error {
+		if err := sim.Restore(a, loState); err != nil {
+			return err
+		}
+		if err := sim.Restore(b, loState); err != nil {
+			return err
+		}
+		if err := (*Injector)(nil).Advance(a, to-lo); err != nil {
+			return fmt.Errorf("ckpt: bisect (a): %w", err)
+		}
+		if err := inj.Advance(b, to-lo); err != nil {
+			return fmt.Errorf("ckpt: bisect (b): %w", err)
+		}
+		return nil
+	}
+	for hi > lo+1 {
+		mid := lo + (hi-lo)/2
+		if err := restep(mid); err != nil {
+			return nil, err
+		}
+		div, st, err := compareNow(d, a, b)
+		if err != nil {
+			return nil, err
+		}
+		if div == nil {
+			lo, loState = mid, st
+		} else {
+			hi = mid
+		}
+	}
+	if err := restep(hi); err != nil {
+		return nil, err
+	}
+	div, _, err := compareNow(d, a, b)
+	if err != nil {
+		return nil, err
+	}
+	if div == nil {
+		return nil, fmt.Errorf("ckpt: divergence at cycle %d did not reproduce", hi)
+	}
+	div.Cycle = hi
+	return div, nil
+}
+
+// compareNow captures both sides and compares, returning a's snapshot
+// for reuse as the next lo.
+func compareNow(d *netlist.Design, a, b sim.Simulator) (*DivergenceReport, *sim.State, error) {
+	sa, err := sim.Capture(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := sim.Capture(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return compareStates(d, sa, sb), sa, nil
+}
+
+// mustCompare compares current states, swallowing capture errors into
+// nil (only used for the pre-flight equality check).
+func mustCompare(d *netlist.Design, a, b sim.Simulator) *DivergenceReport {
+	sa, err := sim.Capture(a)
+	if err != nil {
+		return nil
+	}
+	sb, err := sim.Capture(b)
+	if err != nil {
+		return nil
+	}
+	return compareStates(d, sa, sb)
+}

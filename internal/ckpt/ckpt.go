@@ -1,0 +1,255 @@
+// Package ckpt makes long simulations survivable: versioned checksummed
+// checkpoints of engine-neutral simulator state (atomic write-rename,
+// rolling retention), fault injection for exercising the recovery
+// paths, and divergence bisection that localizes the first cycle where
+// two engines disagree.
+//
+// A checkpoint serializes sim.State — input ports, registers, memories,
+// cycle count, Stats — which is the complete architectural state at a
+// cycle boundary. Combinational values are pure functions of it and are
+// recomputed on the first step after restore, so a snapshot taken under
+// one engine resumes bit-exactly under any other engine compiled from
+// the same design.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"essent/internal/sim"
+)
+
+// File format (little-endian):
+//
+//	magic   "ESNTCKP1" (8 bytes; the version digit is part of the magic)
+//	design  u32 length + bytes
+//	fingerprint u64
+//	cycle   u64
+//	stats   u32 count + count×u64 (sim.Stats fields in declaration
+//	        order; readers tolerate shorter/longer lists so the format
+//	        survives counter additions)
+//	inputs  u32 count + per entry: u32 words + words×u64
+//	regs    u32 count + per entry: u32 words + words×u64
+//	mems    u32 count + per entry: u32 words + words×u64
+//	crc     u64 CRC64/ECMA over everything above
+var magic = [8]byte{'E', 'S', 'N', 'T', 'C', 'K', 'P', '1'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// statsToWords flattens Stats into the on-disk list. Append-only: new
+// counters go at the end so old readers ignore them and old files read
+// as zero.
+func statsToWords(st *sim.Stats) []uint64 {
+	return []uint64{
+		st.Cycles, st.OpsEvaluated, st.SignalChanges, st.PartChecks,
+		st.InputChecks, st.PartEvals, st.OutputCompares, st.Wakes,
+		st.Events, st.FusedPairs, st.WorkerPanics,
+	}
+}
+
+func statsFromWords(ws []uint64) sim.Stats {
+	var st sim.Stats
+	fields := []*uint64{
+		&st.Cycles, &st.OpsEvaluated, &st.SignalChanges, &st.PartChecks,
+		&st.InputChecks, &st.PartEvals, &st.OutputCompares, &st.Wakes,
+		&st.Events, &st.FusedPairs, &st.WorkerPanics,
+	}
+	for i, p := range fields {
+		if i < len(ws) {
+			*p = ws[i]
+		}
+	}
+	return st
+}
+
+// Encode serializes a State in the checkpoint format (checksum
+// included).
+func Encode(st *sim.State) []byte {
+	n := len(magic) + 4 + len(st.Design) + 8 + 8 + 4 + 11*8
+	for _, s := range [][][]uint64{st.Inputs, st.Regs, st.Mems} {
+		n += 4
+		for _, ws := range s {
+			n += 4 + 8*len(ws)
+		}
+	}
+	n += 8
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Design)))
+	buf = append(buf, st.Design...)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Fingerprint)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Cycle)
+	sw := statsToWords(&st.Stats)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sw)))
+	for _, w := range sw {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	for _, sec := range [][][]uint64{st.Inputs, st.Regs, st.Mems} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec)))
+		for _, ws := range sec {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ws)))
+			for _, w := range ws {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
+	return buf
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+4 > len(d.b) {
+		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.b) {
+		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.b) {
+		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
+		return nil
+	}
+	v := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return v
+}
+
+// Decode parses and checksum-verifies a checkpoint.
+func Decode(buf []byte) (*sim.State, error) {
+	if len(buf) < len(magic)+8 {
+		return nil, fmt.Errorf("ckpt: file too short (%d bytes)", len(buf))
+	}
+	if string(buf[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("ckpt: bad magic %q", buf[:len(magic)])
+	}
+	body, tail := buf[:len(buf)-8], buf[len(buf)-8:]
+	want := binary.LittleEndian.Uint64(tail)
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (got %#x want %#x)", got, want)
+	}
+	d := &decoder{b: body, pos: len(magic)}
+	st := &sim.State{}
+	st.Design = string(d.bytes(int(d.u32())))
+	st.Fingerprint = d.u64()
+	st.Cycle = d.u64()
+	nw := int(d.u32())
+	if nw > 1024 {
+		return nil, fmt.Errorf("ckpt: implausible stats count %d", nw)
+	}
+	ws := make([]uint64, nw)
+	for i := range ws {
+		ws[i] = d.u64()
+	}
+	st.Stats = statsFromWords(ws)
+	for _, dst := range []*[][]uint64{&st.Inputs, &st.Regs, &st.Mems} {
+		cnt := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		sec := make([][]uint64, cnt)
+		for i := range sec {
+			n := int(d.u32())
+			if d.err != nil {
+				return nil, d.err
+			}
+			if n > (len(body)-d.pos)/8+1 {
+				return nil, fmt.Errorf("ckpt: implausible entry length %d", n)
+			}
+			ws := make([]uint64, n)
+			for k := range ws {
+				ws[k] = d.u64()
+			}
+			sec[i] = ws
+		}
+		*dst = sec
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(body)-d.pos)
+	}
+	return st, nil
+}
+
+// tmpSuffix marks in-progress writes; Latest skips leftovers from a
+// crash mid-write.
+const tmpSuffix = ".tmp"
+
+// SaveFile atomically writes a checkpoint: the bytes go to a temporary
+// file in the destination directory, are synced, and then renamed into
+// place. A crash at any point leaves either the complete new file or
+// the previous one — never a torn checkpoint under the final name.
+func SaveFile(path string, st *sim.State) error {
+	buf := Encode(st)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads and verifies a checkpoint.
+func LoadFile(path string) (*sim.State, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	st, err := Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,249 @@
+package designs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"essent/internal/ckpt"
+	"essent/internal/sim"
+)
+
+// DefaultCheckpointEvery is the snapshot interval (cycles) when
+// checkpointing is enabled without an explicit interval. Chosen so the
+// save cost stays well under the experiment budget (<5% of run time on
+// the r16 SoC; see EXPERIMENTS.md).
+const DefaultCheckpointEvery = 50000
+
+// RunConfig configures a supervised run: watchdogs and checkpointing on
+// top of the plain Run loop.
+type RunConfig struct {
+	// MaxCycles bounds the run (same semantics as Run).
+	MaxCycles int
+	// WallLimit aborts the run when wall-clock time exceeds it
+	// (0 = no wall-clock watchdog).
+	WallLimit time.Duration
+	// NoProgressCycles aborts when that many cycles elapse without any
+	// change in tohost, retired-instruction count, or printf output —
+	// the wedged-workload detector (0 = no progress watchdog).
+	NoProgressCycles uint64
+	// Output receives printf output (nil = io.Discard). The supervisor
+	// wraps it to count bytes for progress detection.
+	Output io.Writer
+	// CheckpointDir enables periodic checkpoints into this directory
+	// ("" = no checkpointing).
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval in cycles
+	// (0 = DefaultCheckpointEvery).
+	CheckpointEvery uint64
+	// CheckpointKeep bounds the retained snapshots (0 = keep 3).
+	CheckpointKeep int
+}
+
+// RunInfo reports a supervised run's outcome and overhead accounting.
+type RunInfo struct {
+	Result Result
+	// Checkpoints/CheckpointBytes/CheckpointTime accumulate the
+	// snapshot overhead (capture + encode + atomic write).
+	Checkpoints     int
+	CheckpointBytes int64
+	CheckpointTime  time.Duration
+	// LastCheckpoint is the newest snapshot path ("" if none written).
+	LastCheckpoint string
+	// Degraded/WorkerPanics surface parallel-engine panic recovery.
+	Degraded     bool
+	WorkerPanics uint64
+}
+
+// RunError is the structured watchdog abort: the run did not complete,
+// but the last checkpoint (if any) is intact and named for resumption.
+type RunError struct {
+	// Reason is "wall-clock", "no-progress", or "cycle-limit".
+	Reason string
+	// Cycle is the simulator's cycle count at the abort.
+	Cycle uint64
+	// Elapsed is the wall time spent.
+	Elapsed time.Duration
+	// LastCheckpoint names the newest intact snapshot ("" if none).
+	LastCheckpoint string
+}
+
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("designs: run aborted (%s watchdog) at cycle %d after %v",
+		e.Reason, e.Cycle, e.Elapsed.Round(time.Millisecond))
+	if e.LastCheckpoint != "" {
+		msg += fmt.Sprintf("; resume from %s", e.LastCheckpoint)
+	}
+	return msg
+}
+
+// countingWriter counts printf bytes for the progress watchdog.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.n += int64(len(p))
+	return cw.w.Write(p)
+}
+
+// degrader is the optional panic-recovery surface of the parallel
+// engines.
+type degrader interface {
+	Degraded() bool
+	LastPanic() error
+}
+
+// RunSupervised executes until the design halts, MaxCycles elapse, or a
+// watchdog trips — checkpointing along the way when configured. Unlike
+// Run, exceeding MaxCycles is reported as a *RunError ("no-progress"
+// semantics do not apply; the cycle bound is its own reason) — callers
+// that treat a cycle-bound exit as success should pass a bound they
+// won't hit.
+func (r *Runner) RunSupervised(cfg RunConfig) (RunInfo, error) {
+	var info RunInfo
+	out := cfg.Output
+	if out == nil {
+		out = io.Discard
+	}
+	cw := &countingWriter{w: out}
+	r.Sim.SetOutput(cw)
+
+	var mg *ckpt.Manager
+	every := cfg.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	if cfg.CheckpointDir != "" {
+		mg = &ckpt.Manager{Dir: cfg.CheckpointDir, Keep: cfg.CheckpointKeep}
+	}
+	finish := func() {
+		if mg != nil {
+			info.Checkpoints = mg.Count
+			info.CheckpointBytes = mg.Bytes
+			info.CheckpointTime = mg.SaveTime
+			info.LastCheckpoint = mg.LastPath
+		}
+		if dg, ok := r.Sim.(degrader); ok {
+			info.Degraded = dg.Degraded()
+		}
+		info.WorkerPanics = r.Sim.Stats().WorkerPanics
+	}
+	snapshot := func() error {
+		captureStart := time.Now()
+		st, err := sim.Capture(r.Sim)
+		if err != nil {
+			return err
+		}
+		// Save times the encode+write itself; add the capture cost so
+		// CheckpointTime is the full per-snapshot overhead.
+		mg.SaveTime += time.Since(captureStart)
+		_, err = mg.Save(st)
+		return err
+	}
+
+	start := time.Now()
+	startCycle := r.Sim.Stats().Cycles
+	lastSnap := startCycle
+	lastProgress := startCycle
+	lastTohost := r.Sim.Peek(r.tohost)
+	lastInstret := r.Sim.Peek(r.instret)
+	lastBytes := cw.n
+
+	for {
+		cyc := r.Sim.Stats().Cycles
+		ran := cyc - startCycle
+		if int(ran) >= cfg.MaxCycles {
+			finish()
+			return info, &RunError{Reason: "cycle-limit", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: info.LastCheckpoint}
+		}
+
+		// Chunk size: bounded by the checkpoint boundary, the cycle
+		// budget, and the progress-check granularity.
+		chunk := uint64(1024)
+		if rem := uint64(cfg.MaxCycles) - ran; rem < chunk {
+			chunk = rem
+		}
+		if mg != nil {
+			if rem := every - (cyc - lastSnap); rem < chunk {
+				chunk = rem
+			}
+		}
+		if cfg.NoProgressCycles > 0 && cfg.NoProgressCycles/4+1 < chunk {
+			chunk = cfg.NoProgressCycles/4 + 1
+		}
+
+		err := r.Sim.Step(int(chunk))
+		cyc = r.Sim.Stats().Cycles
+		if err != nil {
+			var stop *sim.StopError
+			if errors.As(err, &stop) {
+				info.Result = Result{
+					Tohost:  uint32(r.Sim.Peek(r.tohost)),
+					Cycles:  cyc - startCycle,
+					Instret: uint32(r.Sim.Peek(r.instret)),
+				}
+				finish()
+				return info, nil
+			}
+			finish()
+			return info, err
+		}
+
+		// Progress detection: any movement in tohost, instret, or
+		// printf output counts.
+		th, ir, nb := r.Sim.Peek(r.tohost), r.Sim.Peek(r.instret), cw.n
+		if th != lastTohost || ir != lastInstret || nb != lastBytes {
+			lastTohost, lastInstret, lastBytes = th, ir, nb
+			lastProgress = cyc
+		}
+
+		if mg != nil && cyc-lastSnap >= every {
+			if err := snapshot(); err != nil {
+				finish()
+				return info, err
+			}
+			lastSnap = cyc
+		}
+
+		if cfg.NoProgressCycles > 0 && cyc-lastProgress >= cfg.NoProgressCycles {
+			finish()
+			return info, &RunError{Reason: "no-progress", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: info.LastCheckpoint}
+		}
+		if cfg.WallLimit > 0 && time.Since(start) >= cfg.WallLimit {
+			finish()
+			return info, &RunError{Reason: "wall-clock", Cycle: cyc,
+				Elapsed: time.Since(start), LastCheckpoint: info.LastCheckpoint}
+		}
+	}
+}
+
+// Restore loads a checkpoint file into the runner's simulator. The
+// program does not need reloading: instruction memory contents are part
+// of the snapshot.
+func (r *Runner) Restore(path string) (*sim.State, error) {
+	st, err := ckpt.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Restore(r.Sim, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RestoreLatest resumes from the newest valid checkpoint in dir.
+func (r *Runner) RestoreLatest(dir string) (*sim.State, string, error) {
+	st, path, err := ckpt.Latest(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := sim.Restore(r.Sim, st); err != nil {
+		return nil, "", err
+	}
+	return st, path, nil
+}

@@ -1,0 +1,310 @@
+package designs
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"essent/internal/sim"
+)
+
+// countdownProg busy-loops n times, then reports sig through tohost.
+func countdownProg(t *testing.T, n, sig int) []uint32 {
+	t.Helper()
+	return asmProgram(t, `
+    li t0, `+itoa(n)+`
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, `+itoa(sig)+`
+    li t4, 0x40000000
+    sw a0, 0(t4)
+`)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func closeRunner(r *Runner) {
+	if p, ok := r.Sim.(*sim.ParallelCCSS); ok {
+		p.Close()
+	}
+}
+
+// TestSupervisedMatchesRun: on a terminating workload the supervised
+// loop returns the same result as the plain Run loop, and the periodic
+// checkpoints are written and loadable.
+func TestSupervisedMatchesRun(t *testing.T) {
+	prog := countdownProg(t, 500, 77)
+
+	plain := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := plain.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sup := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := sup.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	info, err := sup.RunSupervised(RunConfig{
+		MaxCycles: 100_000, CheckpointDir: dir, CheckpointEvery: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result != want {
+		t.Fatalf("supervised result %+v, want %+v", info.Result, want)
+	}
+	if info.Checkpoints == 0 || info.CheckpointBytes == 0 || info.LastCheckpoint == "" {
+		t.Fatalf("no checkpoint overhead recorded: %+v", info)
+	}
+	if _, err := os.Stat(info.LastCheckpoint); err != nil {
+		t.Fatalf("LastCheckpoint not on disk: %v", err)
+	}
+}
+
+// TestSupervisedCycleLimit: exceeding MaxCycles is a structured
+// *RunError naming the last checkpoint for resumption.
+func TestSupervisedCycleLimit(t *testing.T) {
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := r.Load(countdownProg(t, 1_000_000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	_, err := r.RunSupervised(RunConfig{
+		MaxCycles: 3000, CheckpointDir: dir, CheckpointEvery: 1000,
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Reason != "cycle-limit" {
+		t.Fatalf("reason = %q, want cycle-limit", re.Reason)
+	}
+	if re.Cycle < 3000 {
+		t.Fatalf("abort cycle = %d, want >= 3000", re.Cycle)
+	}
+	if re.LastCheckpoint == "" {
+		t.Fatal("RunError names no checkpoint despite checkpointing enabled")
+	}
+	if _, err := os.Stat(re.LastCheckpoint); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchdogNoProgress wedges the memory system (a miss penalty in
+// the millions freezes the pipeline mid-load, so tohost, instret, and
+// printf all stop moving) and demands the progress watchdog abort.
+func TestWatchdogNoProgress(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MissPenalty = 5_000_000
+	r := buildSim(t, cfg, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	prog := asmProgram(t, `
+    li s1, 0x80000000
+    lw t0, 0(s1)
+    li t4, 0x40000000
+    sw t0, 0(t4)
+`)
+	if err := r.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := r.RunSupervised(RunConfig{
+		MaxCycles: 50_000_000, NoProgressCycles: 1500,
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Reason != "no-progress" {
+		t.Fatalf("reason = %q, want no-progress", re.Reason)
+	}
+	if re.Cycle > 10_000 {
+		t.Fatalf("watchdog fired late, at cycle %d", re.Cycle)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("watchdog took implausibly long")
+	}
+}
+
+// TestWatchdogWallClock: the wall-clock limit aborts a run that would
+// otherwise spin within its cycle budget.
+func TestWatchdogWallClock(t *testing.T) {
+	r := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := r.Load(countdownProg(t, 100_000_000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.RunSupervised(RunConfig{
+		MaxCycles: 2_000_000_000, WallLimit: 50 * time.Millisecond,
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Reason != "wall-clock" {
+		t.Fatalf("reason = %q, want wall-clock", re.Reason)
+	}
+	if re.Elapsed < 50*time.Millisecond {
+		t.Fatalf("elapsed %v below the limit", re.Elapsed)
+	}
+}
+
+// TestCheckpointResumeAcrossEngines is the acceptance scenario run
+// in-process: a parallel checkpointed run is abandoned mid-flight, and
+// a fresh *sequential* runner resumes from the newest snapshot and
+// lands on the exact result of an uninterrupted run.
+func TestCheckpointResumeAcrossEngines(t *testing.T) {
+	prog := countdownProg(t, 4000, 123)
+
+	ref := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := ref.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := ref.Sim.Stats().Cycles
+
+	// Parallel run, aborted by the cycle limit partway through.
+	dir := t.TempDir()
+	par := buildSim(t, tinyConfig(), sim.Options{
+		Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 2})
+	defer closeRunner(par)
+	if err := par.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	_, err = par.RunSupervised(RunConfig{
+		MaxCycles: 5000, CheckpointDir: dir, CheckpointEvery: 1000,
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError (cycle-limit)", err)
+	}
+
+	// Fresh sequential runner resumes and finishes.
+	seq := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	st, path, err := seq.RestoreLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle == 0 || path == "" {
+		t.Fatalf("restored empty snapshot: cycle=%d path=%q", st.Cycle, path)
+	}
+	info, err := seq.RunSupervised(RunConfig{MaxCycles: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result.Tohost != want.Tohost || info.Result.Instret != want.Instret {
+		t.Fatalf("resumed result %+v, want tohost=%d instret=%d",
+			info.Result, want.Tohost, want.Instret)
+	}
+	if got := seq.Sim.Stats().Cycles; got != wantCycles {
+		t.Fatalf("resumed run ended at cycle %d, want %d", got, wantCycles)
+	}
+}
+
+// Crash-resume: the checkpointed (parallel) run is killed with SIGKILL
+// in a child process, then a sequential runner resumes from whatever
+// snapshot survived and must reach the uninterrupted result.
+const crashHelperEnv = "ESSENT_CRASH_HELPER_DIR"
+
+func TestCrashResumeHelper(t *testing.T) {
+	dir := os.Getenv(crashHelperEnv)
+	if dir == "" {
+		t.Skip("helper process for TestCrashResume")
+	}
+	r := buildSim(t, tinyConfig(), sim.Options{
+		Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 2})
+	if err := r.Load(countdownProg(t, 300_000, 55)); err != nil {
+		t.Fatal(err)
+	}
+	// Runs for millions of cycles; the parent SIGKILLs us mid-flight.
+	_, err := r.RunSupervised(RunConfig{
+		MaxCycles: 50_000_000, CheckpointDir: dir, CheckpointEvery: 2000,
+	})
+	t.Logf("helper finished without being killed: %v", err)
+}
+
+func TestCrashResume(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "" {
+		t.Skip("already inside the helper")
+	}
+	prog := countdownProg(t, 300_000, 55)
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashResumeHelper$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least two snapshots, then kill without warning.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		snaps, _ := filepath.Glob(filepath.Join(dir, "*.essnap"))
+		if len(snaps) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("helper produced no checkpoints within the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Resume under the sequential engine.
+	seq := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := seq.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := seq.RestoreLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resuming from cycle %d", st.Cycle)
+	info, err := seq.RunSupervised(RunConfig{MaxCycles: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference.
+	ref := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err := ref.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result.Tohost != want.Tohost || info.Result.Instret != want.Instret {
+		t.Fatalf("crash-resumed result %+v, want tohost=%d instret=%d",
+			info.Result, want.Tohost, want.Instret)
+	}
+	if got := seq.Sim.Stats().Cycles; got != ref.Sim.Stats().Cycles {
+		t.Fatalf("crash-resumed run ended at cycle %d, want %d",
+			got, ref.Sim.Stats().Cycles)
+	}
+}

@@ -1,0 +1,327 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/riscv"
+	"essent/internal/sim"
+)
+
+// CkptCostRow is one design×engine×interval measurement of checkpoint
+// overhead: an uninterrupted run versus one writing periodic snapshots,
+// fastest-of-N each, plus a resume-verification leg (the checkpointed
+// run's newest snapshot restored into a fresh sequential CCSS engine
+// and run to completion, compared against the uninterrupted final
+// state).
+type CkptCostRow struct {
+	Design string `json:"design"`
+	Engine string `json:"engine"`
+	// Interval is the snapshot spacing in cycles.
+	Interval uint64 `json:"interval_cycles"`
+	// Snapshots is the count written per run; AvgBytes/AvgSaveMs are
+	// the mean snapshot size and save time (capture+encode+write).
+	Snapshots int     `json:"snapshots"`
+	AvgBytes  int64   `json:"avg_bytes"`
+	AvgSaveMs float64 `json:"avg_save_ms"`
+	// BaseSeconds/CkptSeconds are the fastest run times without/with
+	// checkpointing; OverheadPct is (ckpt-base)/base in percent — the
+	// acceptance budget is <5% at the default interval on r16.
+	BaseSeconds float64 `json:"base_seconds"`
+	CkptSeconds float64 `json:"ckpt_seconds"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Resume is "ok" (restored run reached the identical final state),
+	// "mismatch", or "n/a" (no snapshot was written at this interval).
+	Resume string `json:"resume"`
+}
+
+// ckptCostReps follows the scaling sweep's estimator: interleaved
+// repetitions, fastest sample per cell.
+const ckptCostReps = 5
+
+// CkptCostIntervals is the default interval sweep (cycles).
+var CkptCostIntervals = []uint64{5000, 20000, 50000}
+
+// ckptCostEngines are the engines whose long runs checkpointing must
+// not slow down: the paper's ESSENT and its parallel extension.
+func ckptCostEngines() []EngineSpec {
+	return []EngineSpec{
+		{Name: "ESSENT", Options: sim.Options{Engine: sim.EngineCCSS, Cp: 8},
+			Optimized: true},
+		{Name: "Parallel", Options: sim.Options{Engine: sim.EngineCCSSParallel,
+			Cp: 8, Workers: 2}, Optimized: true},
+	}
+}
+
+// CkptCostSweep measures checkpoint overhead over the selected designs
+// (nil selects everything in the set) on the dhrystone workload, at
+// each interval. Snapshot directories are temporary and removed.
+func (ds *DesignSet) CkptCostSweep(scale Scale, intervals []uint64,
+	designFilter []string) ([]CkptCostRow, error) {
+	if len(intervals) == 0 {
+		intervals = CkptCostIntervals
+	}
+	keep := func(name string) bool {
+		if len(designFilter) == 0 {
+			return true
+		}
+		for _, f := range designFilter {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	var w *riscv.Workload
+	for i := range ds.Workloads {
+		if ds.Workloads[i].Name == "dhrystone" {
+			w = &ds.Workloads[i]
+		}
+	}
+	if w == nil {
+		return nil, fmt.Errorf("exp: no dhrystone workload in set")
+	}
+
+	newRunner := func(cd *compiledDesign, spec EngineSpec) (*designs.Runner, error) {
+		d := cd.raw
+		if spec.Optimized {
+			d = cd.optim
+		}
+		s, err := sim.New(d, spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		r, err := designs.NewRunner(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Load(w.Program); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	closeSim := func(r *designs.Runner) {
+		if p, ok := r.Sim.(*sim.ParallelCCSS); ok {
+			p.Close()
+		}
+	}
+
+	var rows []CkptCostRow
+	for _, cd := range ds.Designs {
+		if !keep(cd.cfg.Name) {
+			continue
+		}
+		for _, spec := range ckptCostEngines() {
+			for _, interval := range intervals {
+				row := CkptCostRow{Design: cd.cfg.Name, Engine: spec.Name,
+					Interval: interval, Resume: "n/a"}
+				dir, err := os.MkdirTemp("", "essent-ckptcost-*")
+				if err != nil {
+					return nil, err
+				}
+				var base, withCkpt []float64
+				var info designs.RunInfo
+				for rep := 0; rep < ckptCostReps; rep++ {
+					// Base leg: plain run.
+					r, err := newRunner(cd, spec)
+					if err != nil {
+						os.RemoveAll(dir)
+						return nil, err
+					}
+					start := time.Now()
+					_, err = r.Run(scale.MaxCycles)
+					base = append(base, time.Since(start).Seconds())
+					closeSim(r)
+					if err != nil {
+						os.RemoveAll(dir)
+						return nil, fmt.Errorf("%s/%s base: %w", cd.cfg.Name, spec.Name, err)
+					}
+
+					// Checkpointed leg.
+					r, err = newRunner(cd, spec)
+					if err != nil {
+						os.RemoveAll(dir)
+						return nil, err
+					}
+					start = time.Now()
+					info, err = r.RunSupervised(designs.RunConfig{
+						MaxCycles:       scale.MaxCycles,
+						CheckpointDir:   dir,
+						CheckpointEvery: interval,
+						CheckpointKeep:  3,
+					})
+					withCkpt = append(withCkpt, time.Since(start).Seconds())
+					closeSim(r)
+					if err != nil {
+						os.RemoveAll(dir)
+						return nil, fmt.Errorf("%s/%s ckpt: %w", cd.cfg.Name, spec.Name, err)
+					}
+				}
+				row.BaseSeconds = minOf(base)
+				row.CkptSeconds = minOf(withCkpt)
+				if row.BaseSeconds > 0 {
+					row.OverheadPct = 100 * (row.CkptSeconds - row.BaseSeconds) /
+						row.BaseSeconds
+				}
+				row.Snapshots = info.Checkpoints
+				if info.Checkpoints > 0 {
+					row.AvgBytes = info.CheckpointBytes / int64(info.Checkpoints)
+					row.AvgSaveMs = info.CheckpointTime.Seconds() * 1e3 /
+						float64(info.Checkpoints)
+					ok, err := ds.verifyResume(cd, spec, dir)
+					if err != nil {
+						os.RemoveAll(dir)
+						return nil, err
+					}
+					if ok {
+						row.Resume = "ok"
+					} else {
+						row.Resume = "mismatch"
+					}
+				}
+				os.RemoveAll(dir)
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// verifyResume restores the newest snapshot of a checkpointed run into
+// a fresh sequential CCSS engine, runs it to completion, and compares
+// the final architectural state (and absolute cycle) against an
+// uninterrupted run under the original engine — the cross-engine
+// bit-exact-resume guarantee, checked on real data.
+func (ds *DesignSet) verifyResume(cd *compiledDesign, spec EngineSpec,
+	dir string) (bool, error) {
+	var w *riscv.Workload
+	for i := range ds.Workloads {
+		if ds.Workloads[i].Name == "dhrystone" {
+			w = &ds.Workloads[i]
+		}
+	}
+	if w == nil {
+		return false, fmt.Errorf("exp: no dhrystone workload in set")
+	}
+	// Uninterrupted reference under the original engine.
+	d := cd.optim
+	s1, err := sim.New(d, spec.Options)
+	if err != nil {
+		return false, err
+	}
+	r1, err := designs.NewRunner(s1)
+	if err != nil {
+		return false, err
+	}
+	if err := r1.Load(w.Program); err != nil {
+		return false, err
+	}
+	if _, err := r1.Run(1 << 30); err != nil {
+		return false, err
+	}
+	ref, err := sim.Capture(s1)
+	if err != nil {
+		return false, err
+	}
+	if p, ok := s1.(*sim.ParallelCCSS); ok {
+		p.Close()
+	}
+
+	// Resumed run under sequential CCSS.
+	s2, err := sim.New(d, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err != nil {
+		return false, err
+	}
+	r2, err := designs.NewRunner(s2)
+	if err != nil {
+		return false, err
+	}
+	if _, _, err := r2.RestoreLatest(dir); err != nil {
+		return false, err
+	}
+	if _, err := r2.Run(1 << 30); err != nil {
+		return false, err
+	}
+	got, err := sim.Capture(s2)
+	if err != nil {
+		return false, err
+	}
+	return statesEqual(ref, got), nil
+}
+
+// statesEqual compares the evolved state of two snapshots: cycle,
+// registers, and memories (inputs excluded — both sides received the
+// same stimulus).
+func statesEqual(a, b *sim.State) bool {
+	if a.Cycle != b.Cycle || len(a.Regs) != len(b.Regs) || len(a.Mems) != len(b.Mems) {
+		return false
+	}
+	eq := func(x, y [][]uint64) bool {
+		for i := range x {
+			if len(x[i]) != len(y[i]) {
+				return false
+			}
+			for k := range x[i] {
+				if x[i][k] != y[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return eq(a.Regs, b.Regs) && eq(a.Mems, b.Mems)
+}
+
+// RenderCkptCost formats the overhead sweep.
+func RenderCkptCost(rows []CkptCostRow) string {
+	var b strings.Builder
+	b.WriteString("Checkpoint overhead (with vs without snapshots, fastest of reps)\n")
+	b.WriteString("  Design Engine     Interval Snaps   AvgKB  Save(ms)   Base(s)   Ckpt(s)  Overhead Resume\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %s %8d %5d %7.1f %9.3f %9.4f %9.4f %8.1f%% %s\n",
+			pad(r.Design, 6), pad(r.Engine, 10), r.Interval, r.Snapshots,
+			float64(r.AvgBytes)/1024, r.AvgSaveMs, r.BaseSeconds, r.CkptSeconds,
+			r.OverheadPct, r.Resume)
+	}
+	return b.String()
+}
+
+// WriteCkptCostCSV emits the sweep as plot-ready CSV.
+func WriteCkptCostCSV(w io.Writer, rows []CkptCostRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "engine", "interval_cycles",
+		"snapshots", "avg_bytes", "avg_save_ms", "base_seconds",
+		"ckpt_seconds", "overhead_pct", "resume"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, r.Engine,
+			fmt.Sprintf("%d", r.Interval),
+			fmt.Sprintf("%d", r.Snapshots),
+			fmt.Sprintf("%d", r.AvgBytes),
+			fmt.Sprintf("%.3f", r.AvgSaveMs),
+			fmt.Sprintf("%.5f", r.BaseSeconds),
+			fmt.Sprintf("%.5f", r.CkptSeconds),
+			fmt.Sprintf("%.2f", r.OverheadPct),
+			r.Resume,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCkptCostJSON emits the sweep as an indented JSON array.
+func WriteCkptCostJSON(w io.Writer, rows []CkptCostRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

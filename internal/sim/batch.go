@@ -104,6 +104,17 @@ type BatchCCSS struct {
 	curLive   simrt.LaneMask
 	itemNext  atomic.Int64
 	emBuf     []simrt.LaneMask
+
+	// Panic isolation (mirrors ParallelCCSS): wPanic records recovered
+	// worker panics per context for the spec in flight; degraded routes
+	// every later spec through the inline path until Reset; failpoint
+	// is the fault-injection hook (runs at the start of every item
+	// drain with the worker index).
+	wPanic       []error
+	degraded     bool
+	lastPanic    error
+	workerPanics uint64
+	failpoint    func(wid int)
 }
 
 // batchSpec is the runtime form of one sched.LevelSpec for the batch
@@ -115,6 +126,13 @@ type batchSpec struct {
 	// bounds splits parts into equal-cost chunks for the pool (parallel
 	// specs with workers > 1 only).
 	bounds []int32
+	// elided locates the lane-major value-table ranges of registers this
+	// spec updates in place; elSnap is their pre-dispatch snapshot. The
+	// rollback mirrors levelRun.elided in the parallel engine: in-place
+	// register updates are the one non-idempotent partition effect, so
+	// panic recovery restores them before re-running the spec.
+	elided []operand
+	elSnap []uint64
 }
 
 // batchMem is one memory replicated across lanes, lane-major:
@@ -208,6 +226,41 @@ func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 		b.specs[si] = sp
 	}
 
+	// Attach each elided register to the pooled spec evaluating its
+	// writer partition (panic-recovery rollback; see batchSpec.elided).
+	if plan.NumElided > 0 && workers > 1 {
+		partOf := map[int]int32{}
+		for pi := range plan.Parts {
+			for _, n := range plan.Parts[pi].Members {
+				partOf[n] = int32(pi)
+			}
+		}
+		for ri := range d.Regs {
+			if !plan.Elided[ri] {
+				continue
+			}
+			pi, ok := partOf[int(d.Regs[ri].Next)]
+			if !ok {
+				continue
+			}
+			sp := &b.specs[plan.SpecOf[pi]]
+			if sp.serial {
+				continue
+			}
+			sp.elided = append(sp.elided, base.regOut[ri])
+		}
+		for si := range b.specs {
+			sp := &b.specs[si]
+			n := 0
+			for _, o := range sp.elided {
+				n += int(o.words()) * L
+			}
+			if n > 0 {
+				sp.elSnap = make([]uint64, n)
+			}
+		}
+	}
+
 	b.mems = make([]batchMem, len(m.mems))
 	for i := range m.mems {
 		ms := &m.mems[i]
@@ -228,6 +281,7 @@ func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 	for w := 0; w < workers; w++ {
 		b.ctx[w] = newBatchCtx(b)
 	}
+	b.wPanic = make([]error, workers)
 	b.groups = laneGroups(L, workers)
 	if workers > 1 {
 		b.bar = newPhaseBarrier(workers - 1)
@@ -325,6 +379,12 @@ func (b *BatchCCSS) resetLanes() {
 	for _, c := range b.ctx {
 		c.reset()
 	}
+	for w := range b.wPanic {
+		b.wPanic[w] = nil
+	}
+	b.degraded = false
+	b.lastPanic = nil
+	b.workerPanics = 0
 	b.cycle = 0
 }
 
@@ -526,8 +586,23 @@ func (b *BatchCCSS) Stats() *Stats {
 	}
 	st.Cycles = b.cycle
 	st.FusedPairs = b.base.machine.stats.FusedPairs
+	st.WorkerPanics = b.workerPanics
 	return &st
 }
+
+// Degraded reports whether a recovered worker panic has routed the
+// engine to single-threaded evaluation.
+func (b *BatchCCSS) Degraded() bool { return b.degraded }
+
+// LastPanic returns the panic that triggered degradation (a
+// *WorkerPanicError), or nil.
+func (b *BatchCCSS) LastPanic() error { return b.lastPanic }
+
+// SetFailpoint installs a hook invoked with the worker index at the
+// start of every pooled item drain. Fault-injection tests use it to
+// panic inside a worker and exercise the degradation path; nil
+// removes it.
+func (b *BatchCCSS) SetFailpoint(fp func(wid int)) { b.failpoint = fp }
 
 // --- per-cycle evaluation ---
 
@@ -597,7 +672,7 @@ func (b *BatchCCSS) stepOne() {
 			continue
 		}
 		b.specMask[si] = 0
-		if sp.serial || b.workers == 1 || b.closed {
+		if sp.serial || b.workers == 1 || b.closed || b.degraded {
 			b.runSpecInline(c0, sp, live)
 		} else {
 			b.runSpecPooled(int32(si), sp, live)

@@ -1,6 +1,10 @@
 package sim
 
-import "essent/pkg/simrt"
+import (
+	"runtime"
+
+	"essent/pkg/simrt"
+)
 
 // Pool composition: BatchCCSS reuses the parallel engine's persistent
 // phase barrier (parallel.go) to split one level spec's work across
@@ -61,12 +65,35 @@ func (b *BatchCCSS) runSpecPooled(si int32, sp *batchSpec, live simrt.LaneMask) 
 	if !b.started {
 		b.startBatchPool()
 	}
+	// Snapshot the lane-major rows of registers this spec updates in
+	// place (elided regs) so panic recovery can roll them back before
+	// re-running; see recoverSpec.
+	if sp.elSnap != nil {
+		pos := 0
+		for _, o := range sp.elided {
+			n := int(o.words()) * b.L
+			copy(sp.elSnap[pos:pos+n], b.bt[int(o.off)*b.L:int(o.off)*b.L+n])
+			pos += n
+		}
+	}
 	b.curSpec = si
 	b.curLive = live
 	b.itemNext.Store(0)
 	b.bar.release()
-	b.runItems(0)
+	b.runItemsSafe(0)
 	b.bar.waitDone()
+
+	var pe error
+	for w := range b.wPanic {
+		if b.wPanic[w] != nil && pe == nil {
+			pe = b.wPanic[w]
+		}
+		b.wPanic[w] = nil
+	}
+	if pe != nil {
+		b.recoverSpec(sp, live, pe)
+		return
+	}
 
 	for _, pi := range sp.parts {
 		b.pmask[pi] = 0
@@ -112,6 +139,81 @@ func (b *BatchCCSS) runItems(wid int) {
 	}
 }
 
+// runItemsSafe wraps runItems with panic recovery so a failing
+// (partition, lane-group) item never unwinds past the barrier: the
+// worker records the panic, arrives normally, and the dispatcher
+// degrades after the completion wait.
+func (b *BatchCCSS) runItemsSafe(wid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			buf = buf[:runtime.Stack(buf, false)]
+			b.wPanic[wid] = &WorkerPanicError{
+				Worker:    wid,
+				Level:     int(b.curSpec),
+				Partition: b.ctx[wid].cur,
+				Value:     r,
+				Stack:     buf,
+			}
+		}
+	}()
+	if fp := b.failpoint; fp != nil {
+		fp(wid)
+	}
+	b.runItems(wid)
+}
+
+// recoverSpec handles a recovered worker panic during a pooled spec:
+// degrade to single-threaded evaluation, discard the buffered side
+// effects (a panicking worker may have left value-table rows
+// half-written, which poisons the old-value change detection), roll
+// back the in-place register updates (elided regs are the one
+// non-idempotent partition effect — re-evaluating a partition that
+// already ran would advance them a second time), flag every partition
+// for every live lane, and rerun the whole spec inline with the full
+// live mask. With the rollback, partition evaluation is a pure
+// function of its inputs per (partition, lane), so already-completed
+// items recompute identical rows; with every consumer flagged, no
+// wake can be missed. The degraded flag keeps all later specs on the
+// inline path until Reset.
+func (b *BatchCCSS) recoverSpec(sp *batchSpec, live simrt.LaneMask, pe error) {
+	b.degraded = true
+	b.lastPanic = pe
+	b.workerPanics++
+	for _, c := range b.ctx {
+		c.wakes = c.wakes[:0]
+		c.regs = c.regs[:0]
+	}
+	if sp.elSnap != nil {
+		pos := 0
+		for _, o := range sp.elided {
+			n := int(o.words()) * b.L
+			copy(b.bt[int(o.off)*b.L:int(o.off)*b.L+n], sp.elSnap[pos:pos+n])
+			pos += n
+		}
+	}
+	b.wakeAllLanes()
+	for _, pi := range sp.parts {
+		b.pmask[pi] = 0
+		b.evalPartBatch(b.ctx[0], pi, live, true)
+	}
+}
+
+// wakeAllLanes flags every partition and level spec for every live
+// lane and invalidates the input history so the next scan re-seeds it.
+func (b *BatchCCSS) wakeAllLanes() {
+	for i := range b.pmask {
+		b.pmask[i] |= b.live
+	}
+	for i := range b.specMask {
+		b.specMask[i] |= b.live
+	}
+	b.pokedMask |= b.live
+	for i := range b.prevIn {
+		b.prevIn[i] = ^uint64(0)
+	}
+}
+
 func (b *BatchCCSS) startBatchPool() {
 	b.started = true
 	for w := 1; w < b.workers; w++ {
@@ -127,7 +229,7 @@ func (b *BatchCCSS) batchWorkerLoop(wid int) {
 		if b.quit.Load() {
 			return
 		}
-		b.runItems(wid)
+		b.runItemsSafe(wid)
 		b.bar.arrive()
 	}
 }

@@ -27,6 +27,9 @@ type batchCtx struct {
 	stats [simrt.MaxLanes]Stats
 	errs  [simrt.MaxLanes]error
 
+	// cur is the partition this context is evaluating (panic context).
+	cur int32
+
 	// Buffered side effects for pooled specs (merged serially).
 	wakes []laneWake
 	regs  []laneReg
@@ -75,6 +78,7 @@ func (c *batchCtx) reset() {
 // the serial merge at the spec boundary.
 func (b *BatchCCSS) evalPartBatch(c *batchCtx, pi int32, em simrt.LaneMask, direct bool) {
 	part := &b.base.parts[pi]
+	c.cur = pi
 	L := b.L
 	full := em == simrt.FullMask(L)
 	lanes := em.Lanes(c.lanesA[:0])

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// wideSrc builds a wide, always-active design: n independent counter
+// cones, each a chain-long arithmetic pipe, all in one DAG level. The
+// level's static cost clears the sparse threshold, so the parallel
+// engines actually dispatch it to the worker pool — randomly generated
+// circuits are too thin and take the inline path.
+func wideSrc(n, chain int) string {
+	var b strings.Builder
+	b.WriteString("circuit Wide :\n  module Wide :\n")
+	b.WriteString("    input clock : Clock\n    input en : UInt<32>\n")
+	b.WriteString("    output o : UInt<32>\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    reg r%d : UInt<32>, clock\n", i)
+		fmt.Fprintf(&b, "    node n%d_0 = xor(r%d, UInt<32>(%d))\n", i, i, i+1)
+		for k := 1; k < chain; k++ {
+			fmt.Fprintf(&b, "    node n%d_%d = tail(add(n%d_%d, UInt<32>(%d)), 1)\n",
+				i, k, i, k-1, k+i)
+		}
+		fmt.Fprintf(&b, "    r%d <= tail(add(n%d_%d, en), 1)\n", i, i, chain-1)
+	}
+	b.WriteString("    o <= r0\n")
+	return b.String()
+}
+
+// TestParallelPanicDegrades pins the panic-isolation contract: a worker
+// panic mid-level is recovered into an error, the cycle completes with
+// correct results, the engine downshifts to inline evaluation, and the
+// whole run stays bit-identical to the sequential engine.
+func TestParallelPanicDegrades(t *testing.T) {
+	d := compileSrc(t, wideSrc(120, 12))
+	ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 4, SerialCutoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+
+	// Fire exactly once, on the 30th pooled dispatch of a follower
+	// worker (never the dispatcher thread), so the panic unwinds inside
+	// a pool goroutine mid-level.
+	var dispatches atomic.Int64
+	var fired atomic.Bool
+	par.SetFailpoint(func(level, wid int) {
+		if wid != 0 && dispatches.Add(1) == 30 {
+			fired.Store(true)
+			panic("injected worker fault")
+		}
+	})
+
+	en := sigID(t, par, "en")
+	for cyc := 0; cyc < 80; cyc++ {
+		v := uint64(cyc * 7)
+		ref.Poke(en, v)
+		par.Poke(en, v)
+		if err := ref.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Step(1); err != nil {
+			t.Fatalf("cyc %d: %v", cyc, err)
+		}
+		if a, b := archState(ref), archState(par); a != b {
+			t.Fatalf("cyc %d: degraded engine diverged:\nseq: %s\npar: %s", cyc, a, b)
+		}
+	}
+	if !fired.Load() {
+		t.Fatal("failpoint never fired (pool not engaged?)")
+	}
+	if !par.Degraded() {
+		t.Fatal("engine not marked degraded after worker panic")
+	}
+	if got := par.Stats().WorkerPanics; got != 1 {
+		t.Fatalf("WorkerPanics = %d, want 1", got)
+	}
+	var wp *WorkerPanicError
+	if !errors.As(par.LastPanic(), &wp) {
+		t.Fatalf("LastPanic = %v, want *WorkerPanicError", par.LastPanic())
+	}
+	if wp.Value != "injected worker fault" || len(wp.Stack) == 0 || wp.Worker == 0 {
+		t.Fatalf("panic context not captured: worker=%d value=%v stack=%d bytes",
+			wp.Worker, wp.Value, len(wp.Stack))
+	}
+
+	// Reset clears the degradation (satellite: Reset scrubs robustness
+	// counters) and the pool comes back.
+	par.SetFailpoint(nil)
+	par.Reset()
+	if par.Degraded() || par.LastPanic() != nil || par.Stats().WorkerPanics != 0 {
+		t.Fatalf("Reset left degradation state: degraded=%v panics=%d",
+			par.Degraded(), par.Stats().WorkerPanics)
+	}
+	if err := par.Step(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelPanicEveryDispatch: even a failpoint that fires on every
+// pooled dispatch only panics once — the first recovery downshifts the
+// engine off the pool for the rest of the run.
+func TestParallelPanicEveryDispatch(t *testing.T) {
+	d := compileSrc(t, wideSrc(100, 10))
+	ref, err := NewCCSS(d, CCSSOptions{Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelCCSS(d, ParallelOptions{Cp: 8, Workers: 2, SerialCutoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	par.SetFailpoint(func(level, wid int) { panic("always") })
+
+	en := sigID(t, par, "en")
+	for cyc := 0; cyc < 50; cyc++ {
+		v := uint64(cyc * 3)
+		ref.Poke(en, v)
+		par.Poke(en, v)
+		if err := ref.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := archState(ref), archState(par); a != b {
+			t.Fatalf("cyc %d: diverged:\nseq: %s\npar: %s", cyc, a, b)
+		}
+	}
+	if got := par.Stats().WorkerPanics; got != 1 {
+		t.Fatalf("WorkerPanics = %d, want exactly 1 (degradation must stick)", got)
+	}
+}
+
+// TestBatchPanicDegrades: the lane-parallel pool recovers a worker
+// panic, finishes the cycle inline, and the surviving run matches a
+// clean single-threaded batch run lane for lane.
+func TestBatchPanicDegrades(t *testing.T) {
+	d := compileSrc(t, wideSrc(120, 12))
+	const lanes = 4
+	clean, err := NewBatchCCSS(d, BatchOptions{Cp: 8, Lanes: lanes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := NewBatchCCSS(d, BatchOptions{Cp: 8, Lanes: lanes, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+
+	var dispatches atomic.Int64
+	var fired atomic.Bool
+	faulty.SetFailpoint(func(wid int) {
+		if dispatches.Add(1) == 25 {
+			fired.Store(true)
+			panic("injected batch fault")
+		}
+	})
+
+	en, ok := d.SignalByName("en")
+	if !ok {
+		t.Fatal("no en input")
+	}
+	for cyc := 0; cyc < 60; cyc++ {
+		for l := 0; l < lanes; l++ {
+			v := uint64(cyc*7 + l*1000)
+			clean.PokeLane(l, en, v)
+			faulty.PokeLane(l, en, v)
+		}
+		if err := clean.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := faulty.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !fired.Load() {
+		t.Fatal("batch failpoint never fired (pool not engaged?)")
+	}
+	if !faulty.Degraded() {
+		t.Fatal("batch engine not marked degraded")
+	}
+	if got := faulty.Stats().WorkerPanics; got != 1 {
+		t.Fatalf("WorkerPanics = %d, want 1", got)
+	}
+	var wp *WorkerPanicError
+	if !errors.As(faulty.LastPanic(), &wp) {
+		t.Fatalf("LastPanic = %v, want *WorkerPanicError", faulty.LastPanic())
+	}
+	for l := 0; l < lanes; l++ {
+		a, b := clean.CaptureLaneState(l), faulty.CaptureLaneState(l)
+		if !wordsEqual(a.Regs, b.Regs) || !wordsEqual(a.Mems, b.Mems) {
+			t.Fatalf("lane %d diverged after batch worker panic", l)
+		}
+	}
+
+	// Reset revives the engine and clears the degradation.
+	faulty.SetFailpoint(nil)
+	faulty.Reset()
+	if faulty.Degraded() || faulty.Stats().WorkerPanics != 0 {
+		t.Fatal("Reset left batch degradation state")
+	}
+	if err := faulty.Step(5); err != nil {
+		t.Fatal(err)
+	}
+}

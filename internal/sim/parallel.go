@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -80,6 +81,21 @@ type ParallelCCSS struct {
 	closed   bool
 	quit     atomic.Bool
 
+	// wPanic records a recovered panic per worker for the level in
+	// flight (nil when the span completed normally); wCur tracks the
+	// partition each worker was evaluating, for the error's context.
+	wPanic []error
+	wCur   []int32
+	// degraded routes every subsequent level through the inline serial
+	// path after a recovered worker panic: the pool stays parked, the
+	// run keeps going with sequential CCSS semantics. Reset clears it.
+	degraded  bool
+	lastPanic error
+	// failpoint, when set, runs at the start of every span with
+	// (level, worker) — the fault-injection hook for exercising the
+	// recovery path.
+	failpoint func(level, wid int)
+
 	outMu sync.Mutex
 	// mergedStats is the snapshot returned by Stats().
 	mergedStats Stats
@@ -113,6 +129,12 @@ type levelRun struct {
 	// mean partition cost, precomputed so the per-cycle dispatch decision
 	// is a single integer compare (no runtime cost accounting).
 	minActive int32
+	// elided locates the table words of registers this level updates in
+	// place; elSnap is their pre-dispatch snapshot. Partition evaluation
+	// is idempotent for everything except in-place register updates, so
+	// panic recovery must roll these back before re-running the level.
+	elided []operand
+	elSnap []uint64
 }
 
 // ParallelOptions configures the parallel engine.
@@ -205,6 +227,43 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 		}
 		p.levels[li] = lv
 	}
+
+	// Attach each elided (in-place-updated) register to the parallel
+	// level that evaluates its writer partition: the dispatcher
+	// snapshots those words before releasing the pool so a recovered
+	// worker panic can roll the level back and rerun it exactly once.
+	if plan.NumElided > 0 {
+		partOf := map[int]int32{}
+		for pi := range plan.Parts {
+			for _, n := range plan.Parts[pi].Members {
+				partOf[n] = int32(pi)
+			}
+		}
+		for ri := range d.Regs {
+			if !plan.Elided[ri] {
+				continue
+			}
+			pi, ok := partOf[int(d.Regs[ri].Next)]
+			if !ok {
+				continue
+			}
+			lv := &p.levels[plan.SpecOf[pi]]
+			if lv.serial {
+				continue // serial specs never cross the pool
+			}
+			lv.elided = append(lv.elided, base.regOut[ri])
+		}
+		for li := range p.levels {
+			lv := &p.levels[li]
+			n := 0
+			for _, o := range lv.elided {
+				n += int(o.words())
+			}
+			if n > 0 {
+				lv.elSnap = make([]uint64, n)
+			}
+		}
+	}
 	p.levelActive = make([]int32, len(p.levels))
 
 	// Worker machine views: share table/memories/pending buffers, own
@@ -214,6 +273,8 @@ func NewParallelCCSS(d *netlist.Design, opts ParallelOptions) (*ParallelCCSS, er
 	p.wm = make([]*machine, workers)
 	p.wDirty = make([][]int32, workers)
 	p.wakeBuf = make([][]int32, workers)
+	p.wPanic = make([]error, workers)
+	p.wCur = make([]int32, workers)
 	for w := 0; w < workers; w++ {
 		mc := *base.machine
 		maxWords := len(base.machine.scratch[0])
@@ -381,9 +442,49 @@ func (p *ParallelCCSS) workerLoop(wid int) {
 		if p.quit.Load() {
 			return
 		}
-		p.runSpans(wid)
+		p.runSpansSafe(wid)
 		p.bar.arrive()
 	}
+}
+
+// WorkerPanicError is a panic recovered inside a pool worker, tagged
+// with enough schedule context to localize the failing partition.
+type WorkerPanicError struct {
+	Worker    int
+	Level     int
+	Partition int32
+	Value     any
+	Stack     []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("sim: worker %d panic at level %d partition %d: %v",
+		e.Worker, e.Level, e.Partition, e.Value)
+}
+
+// runSpansSafe wraps runSpans with panic recovery so a failing
+// partition never unwinds past the barrier: the worker records the
+// panic, arrives normally, and the dispatcher handles degradation
+// after the completion wait. Both the pool followers and the
+// dispatcher's own span run through it.
+func (p *ParallelCCSS) runSpansSafe(wid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			buf = buf[:runtime.Stack(buf, false)]
+			p.wPanic[wid] = &WorkerPanicError{
+				Worker:    wid,
+				Level:     int(p.curLevel),
+				Partition: p.wCur[wid],
+				Value:     r,
+				Stack:     buf,
+			}
+		}
+	}()
+	if fp := p.failpoint; fp != nil {
+		fp(int(p.curLevel), wid)
+	}
+	p.runSpans(wid)
 }
 
 // Close retires the worker pool. The engine stays usable — subsequent
@@ -431,8 +532,11 @@ func (p *ParallelCCSS) Reset() {
 		p.wm[w].evalErr = nil
 		p.wDirty[w] = p.wDirty[w][:0]
 		p.wakeBuf[w] = p.wakeBuf[w][:0]
+		p.wPanic[w] = nil
 	}
 	p.mergedStats = Stats{}
+	p.degraded = false
+	p.lastPanic = nil
 	p.wakeAllPar()
 }
 
@@ -481,6 +585,7 @@ func (p *ParallelCCSS) Step(n int) error {
 // cycle.)
 func (p *ParallelCCSS) evalPart(wm *machine, wid int, pi int32) {
 	part := &p.parts[pi]
+	p.wCur[wid] = pi
 	wm.stats.PartEvals++
 	t := wm.t
 	for oi := range part.outputs {
@@ -620,14 +725,35 @@ func (p *ParallelCCSS) runParallel(li int) {
 	for _, mc := range p.wm[1:] {
 		mc.cycle = p.machine.cycle
 	}
+	// Snapshot the level's in-place-updated registers before any worker
+	// can touch them (see levelRun.elided).
+	if lv := &p.levels[li]; lv.elSnap != nil {
+		t, pos := p.machine.t, 0
+		for _, o := range lv.elided {
+			nw := int(o.words())
+			copy(lv.elSnap[pos:pos+nw], t[o.off:o.off+int32(nw)])
+			pos += nw
+		}
+	}
 	p.curLevel = int32(li)
 	p.tailNext.Store(0)
 	p.bar.release()
-	p.runSpans(0)
+	p.runSpansSafe(0)
 	p.bar.waitDone()
 	// Every flag in the level was consumed by some worker; feedback
 	// wakes (including self-wakes) re-arm below during the merge.
 	p.levelActive[li] = p.levels[li].aoBias
+	var pe error
+	for w := range p.wPanic {
+		if p.wPanic[w] != nil && pe == nil {
+			pe = p.wPanic[w]
+		}
+		p.wPanic[w] = nil
+	}
+	if pe != nil {
+		p.recoverLevel(li, pe)
+		return
+	}
 	for w := range p.wakeBuf {
 		for _, q := range p.wakeBuf[w] {
 			p.wakePart(q)
@@ -635,6 +761,51 @@ func (p *ParallelCCSS) runParallel(li int) {
 		p.wakeBuf[w] = p.wakeBuf[w][:0]
 	}
 }
+
+// recoverLevel handles a recovered worker panic: degrade to sequential
+// evaluation and rerun the level inline. A panicking worker may have
+// left partition outputs half-written and the rest of its span
+// unevaluated, which poisons the oldVals-based change detection — so
+// discard the buffered wakes, roll back the level's in-place register
+// updates (the one non-idempotent effect of partition evaluation; see
+// levelRun.elided), flag every partition, and rerun the level on the
+// dispatcher. With elided registers restored, already-evaluated
+// partitions recompute identical results, unevaluated ones run now,
+// and with every consumer flagged no wake can be missed. Later levels
+// run inline this cycle; earlier levels re-evaluate (idempotently, they
+// see unchanged inputs) next cycle. The degraded flag keeps all
+// subsequent levels on the inline path until Reset.
+func (p *ParallelCCSS) recoverLevel(li int, pe error) {
+	p.degraded = true
+	p.lastPanic = pe
+	p.machine.stats.WorkerPanics++
+	for w := range p.wakeBuf {
+		p.wakeBuf[w] = p.wakeBuf[w][:0]
+	}
+	if lv := &p.levels[li]; lv.elSnap != nil {
+		t, pos := p.machine.t, 0
+		for _, o := range lv.elided {
+			nw := int(o.words())
+			copy(t[o.off:o.off+int32(nw)], lv.elSnap[pos:pos+nw])
+			pos += nw
+		}
+	}
+	p.wakeAllPar()
+	p.runInline(li)
+}
+
+// Degraded reports whether a recovered worker panic has routed the
+// engine to sequential evaluation.
+func (p *ParallelCCSS) Degraded() bool { return p.degraded }
+
+// LastPanic returns the panic that triggered degradation (a
+// *WorkerPanicError), or nil.
+func (p *ParallelCCSS) LastPanic() error { return p.lastPanic }
+
+// SetFailpoint installs a hook invoked at the start of every span run
+// with (level, worker). Fault-injection tests use it to panic inside a
+// worker and exercise the degradation path; nil removes it.
+func (p *ParallelCCSS) SetFailpoint(fp func(level, wid int)) { p.failpoint = fp }
 
 func (p *ParallelCCSS) stepOne() error {
 	m := p.machine
@@ -683,7 +854,7 @@ func (p *ParallelCCSS) stepOne() error {
 			continue
 		}
 		lv := &p.levels[li]
-		if lv.serial || p.workers == 1 || p.closed ||
+		if lv.serial || p.workers == 1 || p.closed || p.degraded ||
 			int(active-lv.aoBias)+lv.alwaysOn < int(lv.minActive) {
 			p.runInline(li)
 		} else {

@@ -136,6 +136,17 @@ type Stats struct {
 	// superinstructions at compile time (schedule engines; set at
 	// construction, not per cycle).
 	FusedPairs uint64
+	// WorkerPanics counts pool-worker panics recovered by the parallel
+	// engines; nonzero means the run degraded to sequential evaluation
+	// (robustness layer, not paper overhead accounting).
+	WorkerPanics uint64
+}
+
+// Reset zeroes the run counters, preserving FusedPairs (a compile-time
+// property of the schedule, not accumulated run work).
+func (st *Stats) Reset() {
+	fused := st.FusedPairs
+	*st = Stats{FusedPairs: fused}
 }
 
 // Simulator is the interface all engines implement.
