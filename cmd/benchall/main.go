@@ -20,6 +20,9 @@
 //	                              # static-verification compile overhead
 //	benchall -only ckptcost -ckptevery 5000,20000
 //	                              # checkpoint run-time overhead + resume check
+//	benchall -only pack -lanes 16,64
+//	                              # bit-packing sweep: packed vs NoPack batch
+//	benchall -only lanes -nopack  # lane sweep with the packing pass disabled
 package main
 
 import (
@@ -58,6 +61,8 @@ func main() {
 		ckptEvery = flag.String("ckptevery", "",
 			`comma-separated checkpoint intervals in cycles for the overhead
 experiment (default list with -only ckptcost)`)
+		noPack = flag.Bool("nopack", false,
+			"ablation: disable the batch engine's bit-packing pass in the lane sweep")
 	)
 	flag.Parse()
 	if err := validateFlags(*only); err != nil {
@@ -248,9 +253,13 @@ experiment (default list with -only ckptcost)`)
 		if *designsFlag == "" {
 			designFilter = []string{"r16"}
 		}
-		fmt.Printf("running batched CCSS lane sweep (lanes %v, %d worker(s))...\n",
-			lanes, *laneWorkers)
-		rows, err := ds.LaneSweep(scale, lanes, *laneWorkers,
+		note := ""
+		if *noPack {
+			note = ", packing disabled"
+		}
+		fmt.Printf("running batched CCSS lane sweep (lanes %v, %d worker(s)%s)...\n",
+			lanes, *laneWorkers, note)
+		rows, err := ds.LaneSweep(scale, lanes, *laneWorkers, *noPack,
 			designFilter, []string{"dhrystone"})
 		if err != nil {
 			fatal(err)
@@ -268,6 +277,46 @@ experiment (default list with -only ckptcost)`)
 				out = f
 			}
 			if err := exp.WriteLanesJSON(out, rows); err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "-" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+		}
+	}
+	if *only == "pack" {
+		lanes, err := parseCounts(*lanesFlag, []int{16, 64})
+		if err != nil {
+			fatal(err)
+		}
+		// Default to the interrupt fabric (the 1-bit-heavy design the
+		// pass targets) plus r16, unless -designs narrowed the set.
+		var designFilter []string
+		if *designsFlag == "" {
+			designFilter = []string{"fab", "r16"}
+		} else {
+			designFilter = append(strings.Split(*designsFlag, ","), "fab")
+		}
+		fmt.Printf("running bit-packing sweep (lanes %v, %d worker(s))...\n",
+			lanes, *laneWorkers)
+		rows, err := ds.PackSweep(scale, lanes, *laneWorkers,
+			designFilter, []string{"dhrystone"})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderPack(rows))
+		writeCSV("pack.csv", func(f *os.File) error { return exp.WritePackCSV(f, rows) })
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := exp.WritePackJSON(out, rows); err != nil {
 				fatal(err)
 			}
 			if *jsonPath != "-" {
@@ -348,7 +397,7 @@ experiment (default list with -only ckptcost)`)
 // experiments are the valid -only values.
 var experiments = []string{"table1", "table2", "table3", "table4",
 	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost",
-	"ckptcost"}
+	"ckptcost", "pack"}
 
 // validateFlags rejects contradictory flag combinations up front, before
 // any design compiles — previously `-only lanes -workers 4` silently ran
@@ -373,15 +422,21 @@ func validateFlags(only string) error {
 	}
 	wantScaling := only == "scaling" || (only == "" && set["workers"])
 	wantLanes := only == "lanes" || (only == "" && set["lanes"])
+	wantPack := only == "pack"
 	if set["workers"] && !wantScaling {
 		return fmt.Errorf("-workers selects the parallel scaling sweep and contradicts -only %s"+
 			" (for the lane sweep's worker pool use -laneworkers)", only)
 	}
-	if set["lanes"] && !wantLanes {
+	if set["lanes"] && !wantLanes && !wantPack {
 		return fmt.Errorf("-lanes selects the batched lane sweep and contradicts -only %s", only)
 	}
-	if set["laneworkers"] && !wantLanes {
-		return fmt.Errorf("-laneworkers only applies to the lane sweep (use with -only lanes or -lanes)")
+	if set["laneworkers"] && !wantLanes && !wantPack {
+		return fmt.Errorf("-laneworkers only applies to the lane and pack sweeps" +
+			" (use with -only lanes, -only pack, or -lanes)")
+	}
+	if set["nopack"] && !wantLanes {
+		return fmt.Errorf("-nopack ablates the lane sweep's packing pass" +
+			" (the pack sweep always measures both; use with -only lanes or -lanes)")
 	}
 	if set["ckptevery"] && only != "ckptcost" {
 		return fmt.Errorf("-ckptevery configures the checkpoint-overhead experiment" +

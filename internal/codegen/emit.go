@@ -42,6 +42,11 @@ func (g *gen) emitEntry(e sim.GenSched) {
 		if g.shadows != nil && g.shadows.Shadowed[in.Out] {
 			return
 		}
+		if _, fused := g.inlineExpr[in.Dst]; fused {
+			// Boolean-expression fusion: the store is dead — the single
+			// reader evaluates this producer inline (see pack.go).
+			return
+		}
 		g.emitInstrShadowAware(in)
 	case sim.GenDisplayEntry:
 		g.emitDisplayCall(e.Idx)
@@ -124,10 +129,10 @@ func (g *gen) emitInstr(in *sim.GenInstr) {
 		return
 	}
 	d := fmt.Sprintf("s.t[%d]", in.Dst)
-	a := func() string { return load(in.A, in.AW, in.SA) }
-	b := func() string { return load(in.B, in.BW, in.SB) }
-	au := func() string { return fmt.Sprintf("s.t[%d]", in.A) }
-	bu := func() string { return fmt.Sprintf("s.t[%d]", in.B) }
+	a := func() string { return g.loadT(in.A, in.AW, in.SA) }
+	b := func() string { return g.loadT(in.B, in.BW, in.SB) }
+	au := func() string { return g.tref(in.A) }
+	bu := func() string { return g.tref(in.B) }
 
 	switch in.Code {
 	case sim.ICopy:
@@ -137,25 +142,31 @@ func (g *gen) emitInstr(in *sim.GenInstr) {
 			g.p("%s = %s", d, maskLit(a(), in.DW))
 		}
 	case sim.IMux:
-		tArm := maskLit(load(in.B, in.BW, in.SB), in.DW)
+		if g.packable1(in) {
+			// Branchless 1-bit mux: one word op instead of a branch, and
+			// fused operand expressions substitute directly.
+			g.p("%s = %s&%s | (%s^1)&%s", d, au(), bu(), au(), g.tref(in.C))
+			break
+		}
+		tArm := maskLit(g.loadT(in.B, in.BW, in.SB), in.DW)
 		if !in.SB && in.BW <= in.DW {
 			tArm = bu()
 		}
-		fArm := maskLit(load(in.C, in.CW, in.SC), in.DW)
+		fArm := maskLit(g.loadT(in.C, in.CW, in.SC), in.DW)
 		if !in.SC && in.CW <= in.DW {
-			fArm = fmt.Sprintf("s.t[%d]", in.C)
+			fArm = g.tref(in.C)
 		}
 		op := g.opOf(in.Out)
 		if op != nil && op.Unlikely {
 			// Cold-path layout: the likely (non-reset) arm first.
-			g.p("if s.t[%d] == 0 { %s = %s } else { %s = %s }", in.A, d, fArm, d, tArm)
+			g.p("if %s == 0 { %s = %s } else { %s = %s }", au(), d, fArm, d, tArm)
 		} else {
-			g.p("if s.t[%d] != 0 { %s = %s } else { %s = %s }", in.A, d, tArm, d, fArm)
+			g.p("if %s != 0 { %s = %s } else { %s = %s }", au(), d, tArm, d, fArm)
 		}
 	case sim.IMemRead:
 		m := &g.prog.D.Mems[in.Mem]
-		g.p("if a := s.t[%d]; a < %d { %s = s.mems[%d][a] } else { %s = 0 }",
-			in.A, m.Depth, d, in.Mem, d)
+		g.p("if a := %s; a < %d { %s = s.mems[%d][a] } else { %s = 0 }",
+			au(), m.Depth, d, in.Mem, d)
 	case sim.IAdd:
 		g.p("%s = %s", d, maskLit(a()+" + "+b(), in.DW))
 	case sim.ISub:
@@ -167,14 +178,14 @@ func (g *gen) emitInstr(in *sim.GenInstr) {
 			g.p("%s = simrt.DivS64(s.t[%d], %d, s.t[%d], %d, %d)",
 				d, in.A, in.AW, in.B, in.BW, in.DW)
 		} else {
-			g.p("%s = simrt.DivU64(s.t[%d], s.t[%d], %d)", d, in.A, in.B, in.DW)
+			g.p("%s = simrt.DivU64(%s, %s, %d)", d, au(), bu(), in.DW)
 		}
 	case sim.IRem:
 		if in.SA {
 			g.p("%s = simrt.RemS64(s.t[%d], %d, s.t[%d], %d, %d)",
 				d, in.A, in.AW, in.B, in.BW, in.DW)
 		} else {
-			g.p("%s = simrt.RemU64(s.t[%d], s.t[%d], %d)", d, in.A, in.B, in.DW)
+			g.p("%s = simrt.RemU64(%s, %s, %d)", d, au(), bu(), in.DW)
 		}
 	case sim.ILt, sim.ILeq, sim.IGt, sim.IGeq:
 		cmpOp := map[sim.ICode]string{
@@ -192,12 +203,12 @@ func (g *gen) emitInstr(in *sim.GenInstr) {
 	case sim.IShl:
 		g.p("%s = %s", d, maskLit(fmt.Sprintf("%s << %d", au(), in.P0), in.DW))
 	case sim.IShr:
-		g.p("%s = simrt.Shr64(s.t[%d], %d, %d, %v, %d)", d, in.A, in.AW, in.P0, in.SA, in.DW)
+		g.p("%s = simrt.Shr64(%s, %d, %d, %v, %d)", d, au(), in.AW, in.P0, in.SA, in.DW)
 	case sim.IDshl:
-		g.p("%s = %s", d, maskLit(fmt.Sprintf("%s << s.t[%d]", au(), in.B), in.DW))
+		g.p("%s = %s", d, maskLit(fmt.Sprintf("%s << %s", au(), bu()), in.DW))
 	case sim.IDshr:
-		g.p("%s = simrt.Shr64(s.t[%d], %d, int(s.t[%d]), %v, %d)",
-			d, in.A, in.AW, in.B, in.SA, in.DW)
+		g.p("%s = simrt.Shr64(%s, %d, int(%s), %v, %d)",
+			d, au(), in.AW, bu(), in.SA, in.DW)
 	case sim.INeg:
 		g.p("%s = %s", d, maskLit("-"+a(), in.DW))
 	case sim.INot:
@@ -209,19 +220,19 @@ func (g *gen) emitInstr(in *sim.GenInstr) {
 	case sim.IXor:
 		g.p("%s = %s", d, maskLit(a()+" ^ "+b(), in.DW))
 	case sim.IAndr:
-		g.p("%s = simrt.B2U(s.t[%d] == %#x)", d, in.A, bits.Mask64(^uint64(0), int(in.AW)))
+		g.p("%s = simrt.B2U(%s == %#x)", d, au(), bits.Mask64(^uint64(0), int(in.AW)))
 	case sim.IOrr:
-		g.p("%s = simrt.B2U(s.t[%d] != 0)", d, in.A)
+		g.p("%s = simrt.B2U(%s != 0)", d, au())
 	case sim.IXorr:
-		g.p("%s = simrt.Parity64(s.t[%d])", d, in.A)
+		g.p("%s = simrt.Parity64(%s)", d, au())
 	case sim.ICat:
 		g.p("%s = %s", d,
 			maskLit(fmt.Sprintf("%s<<%d | %s", au(), in.BW, bu()), in.DW))
 	case sim.IBits:
 		g.p("%s = %s", d,
-			maskLit(fmt.Sprintf("s.t[%d] >> %d", in.A, in.P1), in.P0-in.P1+1))
+			maskLit(fmt.Sprintf("%s >> %d", au(), in.P1), in.P0-in.P1+1))
 	case sim.IHead:
-		g.p("%s = s.t[%d] >> %d", d, in.A, in.AW-in.P0)
+		g.p("%s = %s >> %d", d, au(), in.AW-in.P0)
 	case sim.ITail:
 		g.p("%s = %s", d, maskLit(au(), in.AW-in.P0))
 	default:

@@ -1,0 +1,131 @@
+package codegen
+
+import (
+	"bytes"
+	"testing"
+
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+	"essent/internal/sim"
+)
+
+// packFuseSrc is a 1-bit control cone with dead intermediate nodes:
+// x and y feed exactly one reader each and are not outputs, so the
+// fusion pass should inline the chain into z's statement; sel fuses
+// into the mux selector (whose arms are shared inputs, so the mux has
+// no shadow cones and emits branchless).
+const packFuseSrc = `
+circuit K :
+  module K :
+    input clock : Clock
+    input a : UInt<1>
+    input b : UInt<1>
+    input c : UInt<1>
+    output o : UInt<1>
+    output p : UInt<1>
+    reg r : UInt<1>, clock
+    node x = and(a, b)
+    node y = or(x, c)
+    node z = xor(y, r)
+    node sel = eq(a, c)
+    node m = mux(sel, a, b)
+    r <= m
+    o <= z
+    p <= r
+`
+
+func TestCodegenPackFusionEngages(t *testing.T) {
+	d := compileDesign(t, packFuseSrc)
+	for _, mode := range []Mode{ModeFullCycle, ModeCCSS} {
+		opts := Options{Mode: mode}
+		if mode == ModeCCSS {
+			opts.Cp = 4
+		}
+		src, err := Generate(d, opts)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if !bytes.Contains(src, []byte("// packfuse:")) {
+			t.Fatalf("mode %v: no packfuse header — fusion never engaged:\n%s", mode, src)
+		}
+		opts.NoPack = true
+		src, err = Generate(d, opts)
+		if err != nil {
+			t.Fatalf("mode %v nopack: %v", mode, err)
+		}
+		if bytes.Contains(src, []byte("// packfuse:")) {
+			t.Fatalf("mode %v: NoPack still fused", mode)
+		}
+	}
+}
+
+func TestCodegenPackFusionDeterministic(t *testing.T) {
+	d := compileDesign(t, packFuseSrc)
+	gen := func() []byte {
+		src, err := Generate(d, Options{Mode: ModeCCSS, Cp: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	if !bytes.Equal(gen(), gen()) {
+		t.Fatal("fusion made generation nondeterministic")
+	}
+}
+
+// TestCodegenPackFusionMatchesInterpreter runs the boolean cone and a
+// random circuit through the fused generator, the unfused generator,
+// and the interpreter; all three traces must agree bit-exactly.
+func TestCodegenPackFusionMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated code with the Go toolchain")
+	}
+	t.Run("cone", func(t *testing.T) {
+		d := compileDesign(t, packFuseSrc)
+		inputs := []string{"a", "b", "c"}
+		watch := []string{"o", "p", "r"}
+		ref := interpreterTrace(t, d, sim.Options{Engine: sim.EngineFullCycle},
+			inputs, watch, 80)
+		for _, opts := range []Options{
+			{Mode: ModeFullCycle},
+			{Mode: ModeFullCycle, NoPack: true},
+			{Mode: ModeCCSS, Cp: 4},
+		} {
+			got := runGenerated(t, d, opts, inputs, watch, 80)
+			if got != ref {
+				t.Fatalf("opts %+v diverged:\n--- interpreter ---\n%s--- generated ---\n%s",
+					opts, ref, got)
+			}
+		}
+	})
+	t.Run("random", func(t *testing.T) {
+		cfg := randckt.DefaultConfig()
+		c := randckt.Generate(8150, cfg)
+		d, err := netlist.Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inputs, watch []string
+		for _, in := range d.Inputs {
+			inputs = append(inputs, d.Signals[in].Name)
+		}
+		for _, o := range d.Outputs {
+			watch = append(watch, d.Signals[o].Name)
+		}
+		for ri := range d.Regs {
+			watch = append(watch, d.Regs[ri].Name)
+		}
+		ref := interpreterTrace(t, d, sim.Options{Engine: sim.EngineFullCycle},
+			inputs, watch, 50)
+		for _, opts := range []Options{
+			{Mode: ModeCCSS, Cp: 8},
+			{Mode: ModeCCSS, Cp: 8, NoPack: true},
+		} {
+			got := runGenerated(t, d, opts, inputs, watch, 50)
+			if got != ref {
+				t.Fatalf("opts %+v diverged:\n--- interpreter ---\n%s--- generated ---\n%s",
+					opts, ref, got)
+			}
+		}
+	})
+}

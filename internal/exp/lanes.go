@@ -38,6 +38,8 @@ type LaneRow struct {
 	// Halted is false when the run hit the cycle cap before the workload
 	// finished (expected for CI smoke runs with small caps).
 	Halted bool `json:"halted"`
+	// NoPack marks ablation rows run with the bit-packing pass disabled.
+	NoPack bool `json:"nopack,omitempty"`
 }
 
 // laneReps mirrors scalingReps' interleaved min-of estimator at a lower
@@ -49,8 +51,9 @@ const laneReps = 3
 // count over the selected design × workload cells. Nil filters select
 // everything in the set. All lanes run the same program, so throughput
 // compares one schedule driving N stimuli against N independent runs.
+// nopack ablates the batch engine's bit-packing pass.
 func (ds *DesignSet) LaneSweep(scale Scale, lanes []int, workers int,
-	designFilter, workloadFilter []string) ([]LaneRow, error) {
+	nopack bool, designFilter, workloadFilter []string) ([]LaneRow, error) {
 	keep := func(name string, filter []string) bool {
 		if len(filter) == 0 {
 			return true
@@ -82,14 +85,15 @@ func (ds *DesignSet) LaneSweep(scale Scale, lanes []int, workers int,
 				cellRows[0] = LaneRow{Design: cd.cfg.Name, Workload: w.Name,
 					Cycles: cycles, Halted: halted}
 				for i, L := range lanes {
-					elapsed, cycles, halted, err := runBatchCapped(
-						cd, w, L, workers, scale.MaxCycles)
+					elapsed, cycles, halted, _, err := runBatchCapped(
+						cd, w, L, workers, scale.MaxCycles, nopack)
 					if err != nil {
 						return nil, err
 					}
 					times[1+i] = append(times[1+i], elapsed.Seconds())
 					cellRows[1+i] = LaneRow{Design: cd.cfg.Name, Workload: w.Name,
-						Lanes: L, Workers: workers, Cycles: cycles, Halted: halted}
+						Lanes: L, Workers: workers, Cycles: cycles, Halted: halted,
+						NoPack: nopack}
 					if cycles != cellRows[0].Cycles {
 						return nil, fmt.Errorf(
 							"exp: batch run cycle count diverged on %s/%s lanes=%d: %d vs %d",
@@ -147,39 +151,42 @@ func runSeqCapped(cd *compiledDesign, w riscv.Workload,
 
 // runBatchCapped times a batched run with the workload on every lane and
 // returns the per-lane cycle count (identical across lanes by
-// construction; the lock-step walk retires lanes together).
+// construction; the lock-step walk retires lanes together). nopack
+// disables the bit-packing pass (the pack-sweep ablation baseline).
 func runBatchCapped(cd *compiledDesign, w riscv.Workload, lanes, workers,
-	maxCycles int) (time.Duration, uint64, bool, error) {
+	maxCycles int, nopack bool) (time.Duration, uint64, bool, sim.PackStats, error) {
+	var ps sim.PackStats
 	b, err := sim.NewBatchCCSS(cd.optim, sim.BatchOptions{
-		Lanes: lanes, Cp: 8, Workers: workers})
+		Lanes: lanes, Cp: 8, Workers: workers, NoPack: nopack})
 	if err != nil {
-		return 0, 0, false, err
+		return 0, 0, false, ps, err
 	}
 	defer b.Close()
+	ps = b.PackStats()
 	br, err := designs.NewBatchRunner(b)
 	if err != nil {
-		return 0, 0, false, err
+		return 0, 0, false, ps, err
 	}
 	if err := br.Load(w.Program); err != nil {
-		return 0, 0, false, err
+		return 0, 0, false, ps, err
 	}
 	start := time.Now()
 	res, err := br.Run(maxCycles)
 	elapsed := time.Since(start)
 	if err != nil {
-		return 0, 0, false, fmt.Errorf("%s/batch%d/%s: %w",
+		return 0, 0, false, ps, fmt.Errorf("%s/batch%d/%s: %w",
 			cd.cfg.Name, lanes, w.Name, err)
 	}
 	halted := true
 	for l := range res {
 		if res[l].Cycles != res[0].Cycles {
-			return 0, 0, false, fmt.Errorf(
+			return 0, 0, false, ps, fmt.Errorf(
 				"exp: %s/batch%d/%s: lane %d retired %d cycles, lane 0 %d",
 				cd.cfg.Name, lanes, w.Name, l, res[l].Cycles, res[0].Cycles)
 		}
 		halted = halted && res[l].Halted
 	}
-	return elapsed, res[0].Cycles, halted, nil
+	return elapsed, res[0].Cycles, halted, ps, nil
 }
 
 // RenderLanes formats the lane sweep.

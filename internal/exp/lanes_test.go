@@ -14,7 +14,7 @@ import (
 func TestLaneSweep(t *testing.T) {
 	ds := testSet(t)
 	scale := testScale()
-	rows, err := ds.LaneSweep(scale, []int{1, 2}, 1,
+	rows, err := ds.LaneSweep(scale, []int{1, 2}, 1, false,
 		[]string{"tinyA"}, []string{"dhrystone"})
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestLaneSweepCapTolerated(t *testing.T) {
 	ds := testSet(t)
 	scale := testScale()
 	scale.MaxCycles = 2000
-	rows, err := ds.LaneSweep(scale, []int{2}, 1,
+	rows, err := ds.LaneSweep(scale, []int{2}, 1, false,
 		[]string{"tinyA"}, []string{"dhrystone"})
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func BenchmarkBatchLanes(b *testing.B) {
 	for _, lanes := range []int{1, 16} {
 		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, cycles, _, err := runBatchCapped(cd, dhry, lanes, 1, 50_000)
+				_, cycles, _, _, err := runBatchCapped(cd, dhry, lanes, 1, 50_000, false)
 				if err != nil {
 					b.Fatal(err)
 				}

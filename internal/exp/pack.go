@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/sim"
+)
+
+// PackRow is one design×workload×lanes×{packed,unpacked} measurement of
+// the bit-packing sweep. Unpacked rows (Packed=false) run the batch
+// engine with NoPack and anchor SpeedupVsUnpacked for their packed twin.
+type PackRow struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Lanes    int    `json:"lanes"`
+	Workers  int    `json:"workers"`
+	Packed   bool   `json:"packed"`
+	Cycles   uint64 `json:"cycles"`
+	Seconds  float64 `json:"seconds"`
+	// LaneCyclesPerSec is aggregate lane-cycles retired per second.
+	LaneCyclesPerSec float64 `json:"lane_cycles_per_sec"`
+	// SpeedupVsUnpacked is this row's throughput over the NoPack run at
+	// the same design×workload×lanes cell (1.0 on unpacked rows).
+	SpeedupVsUnpacked float64 `json:"speedup_vs_unpacked"`
+	// PackedOps / PackedSlots describe the pack plan (zero when NoPack).
+	PackedOps   int  `json:"packed_ops"`
+	PackedSlots int  `json:"packed_slots"`
+	Halted      bool `json:"halted"`
+}
+
+// packReps mirrors laneReps' interleaved min-of estimator.
+const packReps = 3
+
+// FabricWorkloadName labels the interrupt fabric's self-stimulated run
+// in pack-sweep rows (the fabric takes pokes, not a RISC-V program).
+const FabricWorkloadName = "selfstim"
+
+// fabricCycles sizes the fabric runs off the scale's cycle cap: the
+// fabric is ~100× smaller than the SoCs, so it runs a shorter but
+// proportionate stretch.
+func fabricCycles(scale Scale) int {
+	c := scale.MaxCycles / 80
+	if c < 2_000 {
+		c = 2_000
+	}
+	if c > 50_000 {
+		c = 50_000
+	}
+	return c
+}
+
+// PackSweep measures the batch engine with and without the bit-packing
+// pass at each lane count. Cells are the interrupt fabric (the 1-bit-
+// heavy design packing exists for) plus the selected SoC design ×
+// workload pairs. Nil filters select the fabric and every SoC cell.
+func (ds *DesignSet) PackSweep(scale Scale, lanes []int, workers int,
+	designFilter, workloadFilter []string) ([]PackRow, error) {
+	keep := func(name string, filter []string) bool {
+		if len(filter) == 0 {
+			return true
+		}
+		for _, f := range filter {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	var rows []PackRow
+	fabCfg := designs.Fabric()
+	if keep(fabCfg.Name, designFilter) {
+		fd, err := compileFabric(fabCfg)
+		if err != nil {
+			return nil, err
+		}
+		cycles := fabricCycles(scale)
+		for _, L := range lanes {
+			cell, err := packCell(fabCfg.Name, FabricWorkloadName, L, workers,
+				func(nopack bool) (time.Duration, uint64, bool, *sim.PackStats, error) {
+					return runFabricBatch(fd, L, workers, cycles, nopack)
+				})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, cell...)
+		}
+	}
+	for _, cd := range ds.Designs {
+		if !keep(cd.cfg.Name, designFilter) {
+			continue
+		}
+		for _, w := range ds.Workloads {
+			if !keep(w.Name, workloadFilter) {
+				continue
+			}
+			for _, L := range lanes {
+				wl := w
+				cell, err := packCell(cd.cfg.Name, w.Name, L, workers,
+					func(nopack bool) (time.Duration, uint64, bool, *sim.PackStats, error) {
+						elapsed, cycles, halted, ps, err := runBatchCapped(
+							cd, wl, L, workers, scale.MaxCycles, nopack)
+						return elapsed, cycles, halted, &ps, err
+					})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, cell...)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// packCell runs one design×workload×lanes cell: packReps interleaved
+// {unpacked, packed} samples, min-of per variant.
+func packCell(design, workload string, lanes, workers int,
+	run func(nopack bool) (time.Duration, uint64, bool, *sim.PackStats, error),
+) ([]PackRow, error) {
+	cell := make([]PackRow, 2)
+	times := make([][]float64, 2)
+	for rep := 0; rep < packReps; rep++ {
+		for vi, nopack := range []bool{true, false} {
+			elapsed, cycles, halted, ps, err := run(nopack)
+			if err != nil {
+				return nil, err
+			}
+			times[vi] = append(times[vi], elapsed.Seconds())
+			row := PackRow{Design: design, Workload: workload, Lanes: lanes,
+				Workers: workers, Packed: !nopack, Cycles: cycles, Halted: halted}
+			if ps != nil {
+				row.PackedOps = ps.PackedOps
+				row.PackedSlots = ps.Slots
+			}
+			cell[vi] = row
+		}
+	}
+	if cell[0].Cycles != cell[1].Cycles {
+		return nil, fmt.Errorf(
+			"exp: pack sweep cycle count diverged on %s/%s lanes=%d: unpacked %d vs packed %d",
+			design, workload, lanes, cell[0].Cycles, cell[1].Cycles)
+	}
+	for vi := range cell {
+		row := &cell[vi]
+		row.Seconds = minOf(times[vi])
+		if row.Seconds > 0 {
+			row.LaneCyclesPerSec = float64(row.Cycles) * float64(row.Lanes) / row.Seconds
+		}
+	}
+	cell[0].SpeedupVsUnpacked = 1
+	if cell[0].LaneCyclesPerSec > 0 {
+		cell[1].SpeedupVsUnpacked = cell[1].LaneCyclesPerSec / cell[0].LaneCyclesPerSec
+	}
+	return cell, nil
+}
+
+// compileFabric builds and optimizes the interrupt-fabric design.
+func compileFabric(cfg designs.FabricConfig) (*netlist.Design, error) {
+	circ, err := designs.BuildFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		return nil, err
+	}
+	od, _, err := opt.Optimize(d)
+	if err != nil {
+		return nil, err
+	}
+	return od, nil
+}
+
+// runFabricBatch times a self-stimulated fabric run: divergent per-lane
+// LFSR seeds, then a straight lock-step stretch of cycles.
+func runFabricBatch(d *netlist.Design, lanes, workers, cycles int,
+	nopack bool) (time.Duration, uint64, bool, *sim.PackStats, error) {
+	b, err := sim.NewBatchCCSS(d, sim.BatchOptions{
+		Lanes: lanes, Cp: 4, Workers: workers, NoPack: nopack})
+	if err != nil {
+		return 0, 0, false, nil, err
+	}
+	defer b.Close()
+	seedID, ok := d.SignalByName(designs.FabricSeedInput)
+	if !ok {
+		return 0, 0, false, nil, fmt.Errorf("exp: fabric has no %s input",
+			designs.FabricSeedInput)
+	}
+	for l := 0; l < lanes; l++ {
+		b.PokeLane(l, seedID, uint64(l)*0x9E3779B9+0x1234)
+	}
+	start := time.Now()
+	const chunk = 1024
+	for done := 0; done < cycles; done += chunk {
+		n := min(chunk, cycles-done)
+		if err := b.Step(n); err != nil {
+			return 0, 0, false, nil, fmt.Errorf("exp: fabric batch%d: %w", lanes, err)
+		}
+	}
+	elapsed := time.Since(start)
+	ps := b.PackStats()
+	if !nopack && ps.PackedOps == 0 {
+		return 0, 0, false, nil, fmt.Errorf("exp: fabric pack plan is empty")
+	}
+	return elapsed, uint64(cycles), true, &ps, nil
+}
+
+// RenderPack formats the packing sweep.
+func RenderPack(rows []PackRow) string {
+	var b strings.Builder
+	b.WriteString("Bit-packing sweep (packed vs NoPack batch CCSS)\n")
+	b.WriteString("  Design Workload     Lanes Packed    Seconds  LaneCyc/sec  Speedup  PackedOps\n")
+	for _, r := range rows {
+		note := ""
+		if !r.Halted {
+			note = "  (capped)"
+		}
+		packed := "no"
+		if r.Packed {
+			packed = "yes"
+		}
+		fmt.Fprintf(&b, "  %s %s %7d %6s %10.3f %12.0f %7.2fx %10d%s\n",
+			pad(r.Design, 6), pad(r.Workload, 10), r.Lanes, packed,
+			r.Seconds, r.LaneCyclesPerSec, r.SpeedupVsUnpacked, r.PackedOps, note)
+	}
+	return b.String()
+}
+
+// WritePackCSV emits design,workload,lanes,workers,packed,cycles,
+// seconds,lane_cycles_per_sec,speedup_vs_unpacked,packed_ops,
+// packed_slots,halted.
+func WritePackCSV(w io.Writer, rows []PackRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "workload", "lanes", "workers",
+		"packed", "cycles", "seconds", "lane_cycles_per_sec",
+		"speedup_vs_unpacked", "packed_ops", "packed_slots", "halted"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, r.Workload, strconv.Itoa(r.Lanes), strconv.Itoa(r.Workers),
+			strconv.FormatBool(r.Packed),
+			strconv.FormatUint(r.Cycles, 10),
+			fmt.Sprintf("%.4f", r.Seconds),
+			fmt.Sprintf("%.0f", r.LaneCyclesPerSec),
+			fmt.Sprintf("%.4f", r.SpeedupVsUnpacked),
+			strconv.Itoa(r.PackedOps), strconv.Itoa(r.PackedSlots),
+			strconv.FormatBool(r.Halted),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePackJSON emits the sweep as an indented JSON array.
+func WritePackJSON(w io.Writer, rows []PackRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPackSweepFabric runs the fabric-only cells at a tiny scale and
+// checks row structure: paired unpacked/packed rows with identical
+// cycle counts, pack stats only on packed rows.
+func TestPackSweepFabric(t *testing.T) {
+	ds := &DesignSet{} // fabric-only: no SoC designs or workloads needed
+	scale := QuickScale()
+	scale.MaxCycles = 8_000 // fabricCycles floors at 2000
+	lanes := []int{3, 8}
+	rows, err := ds.PackSweep(scale, lanes, 1, []string{"fab"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(lanes) {
+		t.Fatalf("want %d rows, got %d", 2*len(lanes), len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		un, pk := rows[i], rows[i+1]
+		if un.Packed || !pk.Packed {
+			t.Fatalf("row pair %d not (unpacked, packed): %+v %+v", i, un, pk)
+		}
+		if un.Cycles != pk.Cycles || un.Cycles == 0 {
+			t.Fatalf("cycle mismatch: %d vs %d", un.Cycles, pk.Cycles)
+		}
+		if pk.PackedOps == 0 || pk.PackedSlots == 0 {
+			t.Fatalf("packed row missing pack stats: %+v", pk)
+		}
+		if un.PackedOps != 0 {
+			t.Fatalf("unpacked row has pack stats: %+v", un)
+		}
+		if un.SpeedupVsUnpacked != 1 || pk.SpeedupVsUnpacked <= 0 {
+			t.Fatalf("bad speedups: %v %v", un.SpeedupVsUnpacked, pk.SpeedupVsUnpacked)
+		}
+	}
+
+	out := RenderPack(rows)
+	if !strings.Contains(out, "fab") || !strings.Contains(out, "selfstim") {
+		t.Fatalf("render missing fabric rows:\n%s", out)
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WritePackCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Count(csvBuf.String(), "\n"), len(rows)+1; got != want {
+		t.Fatalf("csv has %d lines, want %d", got, want)
+	}
+	if err := WritePackJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"packed": true`) {
+		t.Fatal("json missing packed field")
+	}
+}

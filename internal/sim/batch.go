@@ -82,6 +82,31 @@ type BatchCCSS struct {
 	laneStats [simrt.MaxLanes]Stats
 	laneErr   [simrt.MaxLanes]error
 
+	// pp is the bit-packing overlay plan (nil when packing is off or found
+	// nothing to pack); sched/pranges are the schedule the batch engine
+	// actually walks — the base machine schedule by default, the rewritten
+	// packed schedule when pp != nil. The base machine is never modified:
+	// sequential reference runs and codegen export see the unpacked stream.
+	pp      *packPlan
+	sched   []schedEntry
+	pranges [][2]int32
+
+	// pt is the shared packed bit-parallel table (one uint64 per packed
+	// slot; bit l is lane l's value). Slots are persistently coherent
+	// engine state, maintained at the writer across cycles (see
+	// pack.go); packed partitions are single-owner under the pool
+	// (packPlan.partPacked), so sharing the table is race-free.
+	pt []uint64
+	// outSlot[pi][oi] is the packed slot of partition pi's output oi
+	// when its change detection runs on the slot word (-1: row compare;
+	// nil inner slice: no slot-compared outputs in the partition).
+	outSlot [][]int32
+	// refreshSlots lists the slots whose offsets are inputs or register
+	// outputs: per-lane restore must refresh their bits from the scatter
+	// before the woken lane re-evaluates (everything else is
+	// instruction-produced and recomputes in schedule order).
+	refreshSlots []int32
+
 	// ctx[0] is the dispatcher's evaluation context; ctx[1:] belong to
 	// pool workers.
 	ctx []*batchCtx
@@ -142,6 +167,8 @@ type batchMem struct {
 	nw    int32
 	depth int32
 	width int32
+	// lowMask mirrors memState.lowMask (precomputed poke store mask).
+	lowMask uint64
 }
 
 // batchMemWrite is the per-lane pending-write buffer of one memory write
@@ -163,6 +190,9 @@ type BatchOptions struct {
 	NoElide     bool
 	NoMuxShadow bool
 	NoFuse      bool
+	// NoPack disables the word-packed bit-parallel kernels (ablation:
+	// every 1-bit op falls back to the per-lane row loop).
+	NoPack bool
 	// Workers enables the worker pool: total worker count including the
 	// dispatcher. 0 or 1 runs single-threaded (the deterministic default;
 	// the pool reorders printf output and check-error selection within a
@@ -265,7 +295,7 @@ func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 	for i := range m.mems {
 		ms := &m.mems[i]
 		b.mems[i] = batchMem{words: make([]uint64, int(ms.nw)*int(ms.depth)*L),
-			nw: ms.nw, depth: ms.depth, width: ms.width}
+			nw: ms.nw, depth: ms.depth, width: ms.width, lowMask: ms.lowMask}
 	}
 	b.memWr = make([]batchMemWrite, len(m.memWrites))
 	for i := range m.memWrites {
@@ -276,6 +306,68 @@ func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 			data: make([]uint64, dw*L)}
 	}
 	b.regMask = make([]simrt.LaneMask, len(m.d.Regs))
+
+	// Bit-packing pass: rewrite eligible 1-bit sequences into packed
+	// word-ops (64 lanes per uint64 op). The plan is an overlay — the base
+	// machine schedule stays untouched; the batch engine walks b.sched.
+	b.sched = m.sched
+	b.pranges = make([][2]int32, len(base.parts))
+	for pi := range base.parts {
+		b.pranges[pi] = [2]int32{base.parts[pi].schedStart, base.parts[pi].schedEnd}
+	}
+	if !opts.NoPack {
+		// Partition outputs are deliberately NOT kept live: a packed
+		// destination that is only read packed elides its row, and its
+		// change detection runs on the slot word instead (outSlot).
+		if pp := buildPackPlan(m, b.pranges, nil); pp != nil {
+			if opts.Verify != verify.Off {
+				if err := verify.Enforce(opts.Verify,
+					verifyPackPlan(m, pp, b.pranges, nil), nil); err != nil {
+					return nil, err
+				}
+			}
+			b.pp = pp
+			b.sched = pp.sched
+			b.pranges = pp.ranges
+			b.pt = make([]uint64, pp.nslots)
+			b.outSlot = make([][]int32, len(base.parts))
+			for pi := range base.parts {
+				outs := base.parts[pi].outputs
+				var os []int32
+				for oi := range outs {
+					o := &outs[oi]
+					if o.words != 1 {
+						continue
+					}
+					if s := pp.slotOf[o.off]; s >= 0 && pp.slotPackedDst[s] {
+						if os == nil {
+							os = make([]int32, len(outs))
+							for k := range os {
+								os[k] = -1
+							}
+						}
+						os[oi] = s
+					}
+				}
+				b.outSlot[pi] = os
+			}
+			seen := make([]bool, pp.nslots)
+			markRefresh := func(id netlist.SignalID) {
+				if off := m.off[id]; off >= 0 {
+					if s := pp.slotOf[off]; s >= 0 && !seen[s] {
+						seen[s] = true
+						b.refreshSlots = append(b.refreshSlots, s)
+					}
+				}
+			}
+			for _, in := range d.Inputs {
+				markRefresh(in)
+			}
+			for ri := range d.Regs {
+				markRefresh(d.Regs[ri].Out)
+			}
+		}
+	}
 
 	b.ctx = make([]*batchCtx, workers)
 	for w := 0; w < workers; w++ {
@@ -348,6 +440,7 @@ func chunkSpans(parts []int32, cost []int64, nc int) []int32 {
 // resetLanes restores all lanes to initial state and re-arms everything.
 func (b *BatchCCSS) resetLanes() {
 	simrt.BroadcastLanes(b.bt, b.init, b.L)
+	b.initPackedTable()
 	for i := range b.mems {
 		clearU64(b.mems[i].words)
 	}
@@ -386,6 +479,30 @@ func (b *BatchCCSS) resetLanes() {
 	b.lastPanic = nil
 	b.workerPanics = 0
 	b.cycle = 0
+}
+
+// initPackedTable re-derives the whole packed table from the unpacked
+// rows: const slots from the plan's initial image, every other slot by
+// transposing its offset's row. Runs at construction and Reset — the
+// engine-wide transitions that rewrite every lane's rows at once.
+func (b *BatchCCSS) initPackedTable() {
+	pp := b.pp
+	if pp == nil {
+		return
+	}
+	copy(b.pt, pp.constInit)
+	L := b.L
+	for s := int32(0); s < pp.nslots; s++ {
+		if pp.constSlot[s] {
+			continue
+		}
+		row := b.bt[int(pp.offOf[s])*L : int(pp.offOf[s])*L+L]
+		var w uint64
+		for l, x := range row {
+			w |= (x & 1) << uint(l)
+		}
+		b.pt[s] = w
+	}
 }
 
 func clearU64(s []uint64) {
@@ -465,13 +582,24 @@ func (bw *batchWriter) Write(p []byte) (int, error) {
 // PokeLane sets an input on one lane (low 64 bits) and arms its rescan.
 func (b *BatchCCSS) PokeLane(l int, id netlist.SignalID, v uint64) {
 	m := b.base.machine
-	s := &m.d.Signals[id]
 	off, nw := int(m.off[id]), int(m.nw[id])
-	b.bt[off*b.L+l] = bits.Mask64(v, min(s.Width, 64))
+	b.bt[off*b.L+l] = v & m.sigMask[id]
 	for w := 1; w < nw; w++ {
 		b.bt[(off+w)*b.L+l] = 0
 	}
+	b.refreshSlotBit(off, l)
 	b.pokedMask |= 1 << uint(l)
+}
+
+// refreshSlotBit re-syncs lane l's bit of the packed slot mirroring a
+// row offset after a direct row write (poke, restore).
+func (b *BatchCCSS) refreshSlotBit(off, l int) {
+	if b.pp == nil {
+		return
+	}
+	if s := b.pp.slotOf[off]; s >= 0 {
+		b.pt[s] = b.pt[s]&^(1<<uint(l)) | (b.bt[off*b.L+l]&1)<<uint(l)
+	}
 }
 
 // Poke sets an input on every lane.
@@ -492,6 +620,7 @@ func (b *BatchCCSS) PokeWideLane(l int, id netlist.SignalID, words []uint64) {
 	for w := 0; w < nw; w++ {
 		b.bt[(off+w)*b.L+l] = buf[w]
 	}
+	b.refreshSlotBit(off, l)
 	b.pokedMask |= 1 << uint(l)
 }
 
@@ -521,7 +650,7 @@ func (b *BatchCCSS) PokeMemLane(l, mem, addr int, v uint64) {
 		return
 	}
 	base := addr * int(ms.nw)
-	b.bt2memWord(ms, base, l, bits.Mask64(v, min(int(ms.width), 64)))
+	b.bt2memWord(ms, base, l, v&ms.lowMask)
 	for k := 1; k < int(ms.nw); k++ {
 		b.bt2memWord(ms, base+k, l, 0)
 	}
@@ -588,6 +717,22 @@ func (b *BatchCCSS) Stats() *Stats {
 	st.FusedPairs = b.base.machine.stats.FusedPairs
 	st.WorkerPanics = b.workerPanics
 	return &st
+}
+
+// PackStats reports the bit-packing pass outcome (zero value when
+// packing is disabled or nothing was packable). Deliberately separate
+// from Stats: packing must not perturb the per-lane counters that the
+// lane-equivalence tests compare against sequential CCSS.
+func (b *BatchCCSS) PackStats() PackStats {
+	if b.pp == nil {
+		return PackStats{}
+	}
+	return PackStats{
+		PackedOps:     b.pp.packedOps,
+		Slots:         int(b.pp.nslots),
+		PacksInserted: b.pp.packsInserted,
+		ElidedRows:    b.pp.elidedRows,
+	}
 }
 
 // Degraded reports whether a recovered worker panic has routed the
@@ -705,6 +850,16 @@ func (b *BatchCCSS) stepOne() {
 				b.laneStats[l].SignalChanges++
 				b.laneStats[l].Wakes += uint64(len(readers))
 				changed |= 1 << uint(l)
+			}
+		}
+		// Commit-time maintenance of a packed register-output slot: merge
+		// the next-value slot's bits for the lanes whose writer partition
+		// ran, beside the row copy so chained reg→reg merges see the same
+		// ordering the rows do.
+		if b.pp != nil {
+			if mr := b.pp.regSlot[ri]; mr.out >= 0 {
+				em64 := uint64(em)
+				b.pt[mr.out] = b.pt[mr.out]&^em64 | b.pt[mr.next]&em64
 			}
 		}
 		if changed != 0 {

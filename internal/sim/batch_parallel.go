@@ -120,6 +120,10 @@ func (b *BatchCCSS) runItems(wid int) {
 	sp := &b.specs[b.curSpec]
 	ng := len(b.groups)
 	n := int64((len(sp.bounds) - 1) * ng)
+	var pk []bool
+	if b.pp != nil {
+		pk = b.pp.partPacked
+	}
 	for {
 		it := b.itemNext.Add(1) - 1
 		if it >= n {
@@ -128,10 +132,22 @@ func (b *BatchCCSS) runItems(wid int) {
 		chunk := int(it) / ng
 		g := int(it) % ng
 		gm := b.groups[g] & b.curLive
-		if gm == 0 {
-			continue
-		}
 		for _, pi := range sp.parts[sp.bounds[chunk]:sp.bounds[chunk+1]] {
+			if pk != nil && pk[pi] {
+				// Packed partitions write shared slot words, so they are
+				// single-owner: the chunk's group-0 item evaluates every
+				// active lane at once (even when group 0 itself has no live
+				// lanes) and the other group items skip the partition.
+				if g == 0 {
+					if em := b.emBuf[pi]; em != 0 {
+						b.evalPartBatch(c, pi, em, false)
+					}
+				}
+				continue
+			}
+			if gm == 0 {
+				continue
+			}
 			if em := b.emBuf[pi] & gm; em != 0 {
 				b.evalPartBatch(c, pi, em, false)
 			}
@@ -190,6 +206,19 @@ func (b *BatchCCSS) recoverSpec(sp *batchSpec, live simrt.LaneMask, pe error) {
 			n := int(o.words()) * b.L
 			copy(b.bt[int(o.off)*b.L:int(o.off)*b.L+n], sp.elSnap[pos:pos+n])
 			pos += n
+			// A packed elided-register slot may have advanced some lanes
+			// (maskedDst) before the panic; re-transpose it from the rolled-
+			// back row so the inline re-run computes from pre-spec state.
+			if b.pp != nil {
+				if s := b.pp.slotOf[o.off]; s >= 0 {
+					row := b.bt[int(o.off)*b.L : int(o.off)*b.L+b.L]
+					var w uint64
+					for l, x := range row {
+						w |= (x & 1) << uint(l)
+					}
+					b.pt[s] = w
+				}
+			}
 		}
 	}
 	b.wakeAllLanes()

@@ -229,8 +229,7 @@ func (m *machine) Reset() {
 // Poke sets an input signal's value (low 64 bits; wider inputs via
 // PokeWide).
 func (m *machine) Poke(id netlist.SignalID, v uint64) {
-	s := &m.d.Signals[id]
-	m.t[m.off[id]] = bits.Mask64(v, min(s.Width, 64))
+	m.t[m.off[id]] = v & m.sigMask[id]
 	for w := int32(1); w < m.nw[id]; w++ {
 		m.t[m.off[id]+w] = 0
 	}
@@ -272,7 +271,7 @@ func (m *machine) PokeMem(mem, addr int, v uint64) {
 		return
 	}
 	base := int32(addr) * ms.nw
-	ms.words[base] = bits.Mask64(v, min(int(ms.width), 64))
+	ms.words[base] = v & ms.lowMask
 	for k := int32(1); k < ms.nw; k++ {
 		ms.words[base+k] = 0
 	}

@@ -17,6 +17,17 @@ type batchCtx struct {
 	b  *BatchCCSS
 	sm *machine
 
+	// pt aliases the engine's shared packed bit-parallel table (one
+	// uint64 per packed slot; bit l is lane l's value). Slots are
+	// persistently coherent engine state maintained at the writer (see
+	// pack.go); packed partitions are single-owner under the pool
+	// (packPlan.partPacked), so the shared words are race-free.
+	pt []uint64
+	// oldSlot buffers pre-evaluation slot words of the partition's
+	// slot-compared outputs (BatchCCSS.outSlot), replacing the lane-major
+	// old-value row copy for elided-row packed destinations.
+	oldSlot []uint64
+
 	// stack implements nested mux-shadow skips with per-lane masks.
 	stack []batchFrame
 	// lanesA serves the partition-level walk, lanesB the instruction
@@ -60,7 +71,18 @@ func newBatchCtx(b *BatchCCSS) *batchCtx {
 	}
 	mc.stats = Stats{}
 	mc.out = &batchWriter{b: b}
-	return &batchCtx{b: b, sm: &mc}
+	c := &batchCtx{b: b, sm: &mc}
+	if b.pp != nil {
+		c.pt = b.pt
+		maxOut := 0
+		for pi := range b.base.parts {
+			if n := len(b.base.parts[pi].outputs); n > maxOut {
+				maxOut = n
+			}
+		}
+		c.oldSlot = make([]uint64, maxOut)
+	}
+	return c
 }
 
 func (c *batchCtx) reset() {
@@ -85,7 +107,19 @@ func (b *BatchCCSS) evalPartBatch(c *batchCtx, pi int32, em simrt.LaneMask, dire
 	for _, l := range lanes {
 		c.stats[l].PartEvals++
 	}
+	start, end := part.schedStart, part.schedEnd
+	var oslots []int32
+	if b.pp != nil {
+		start, end = b.pranges[pi][0], b.pranges[pi][1]
+		oslots = b.outSlot[pi]
+	}
 	for oi := range part.outputs {
+		if oslots != nil && oslots[oi] >= 0 {
+			// Slot-compared output: the packed word is the whole lane-major
+			// old-value snapshot.
+			c.oldSlot[oi] = b.pt[oslots[oi]]
+			continue
+		}
 		o := &part.outputs[oi]
 		for w := 0; w < int(o.words); w++ {
 			src := b.bt[(int(o.off)+w)*L : (int(o.off)+w)*L+L]
@@ -99,11 +133,25 @@ func (b *BatchCCSS) evalPartBatch(c *batchCtx, pi int32, em simrt.LaneMask, dire
 			}
 		}
 	}
-	c.runRange(part.schedStart, part.schedEnd, em)
+	c.runRange(start, end, em)
 	for oi := range part.outputs {
 		o := &part.outputs[oi]
 		var changed simrt.LaneMask
-		if o.words == 1 {
+		if oslots != nil && oslots[oi] >= 0 {
+			// Slot-compared output: one XOR replaces the per-lane row scan.
+			// Bit l of the slot is lane l's value, so the diff word IS the
+			// per-lane change mask (stale bits of inactive lanes masked out).
+			changed = simrt.LaneMask(c.oldSlot[oi]^b.pt[oslots[oi]]) & em
+			for _, l := range lanes {
+				c.stats[l].OutputCompares++
+			}
+			if changed != 0 {
+				for _, l := range changed.Lanes(c.lanesB[:0]) {
+					c.stats[l].SignalChanges++
+					c.stats[l].Wakes += uint64(len(o.consumers))
+				}
+			}
+		} else if o.words == 1 {
 			// Hot shape: one-word output. Scan the whole row branch-free
 			// (stale old values of inactive lanes are masked back out),
 			// then credit stats per active lane.
@@ -177,7 +225,7 @@ func (c *batchCtx) runRange(start, end int32, mask simrt.LaneMask) {
 	b := c.b
 	L := b.L
 	bt := b.bt
-	sched := b.base.machine.sched
+	sched := b.sched
 	instrs := b.base.machine.instrs
 	stack := c.stack[:0]
 	lanes := mask.Lanes(c.lanesB[:0])
@@ -201,6 +249,11 @@ func (c *batchCtx) runRange(start, end int32, mask simrt.LaneMask) {
 		e := &sched[i]
 		if e.kind == seInstr {
 			pendOps += c.execBatch(&instrs[e.idx], lanes)
+			i++
+			continue
+		}
+		if e.kind == sePacked {
+			pendOps += c.execBatchPacked(&b.pp.pins[e.idx], lanes, mask)
 			i++
 			continue
 		}
@@ -782,6 +835,130 @@ func (c *batchCtx) execBatchFusedDense(in *instr, d, a, bb []uint64) {
 			d[l] = (a[l] - bb[l]) & dm
 		}
 	}
+}
+
+// evalPackedWord evaluates one packed compute op over whole words: bit
+// l of every operand is lane l's 1-bit value, so a single word op
+// evaluates all ≤64 lanes at once. Out-of-mask bits compute garbage
+// from garbage, which is harmless — each lane's bit depends only on
+// that lane's operand bits, and untrusted bits are never unpacked.
+func evalPackedWord(pt []uint64, p *pinstr) uint64 {
+	switch p.code {
+	case pCopy:
+		return pt[p.a]
+	case pNot:
+		return ^pt[p.a]
+	case pAnd:
+		return pt[p.a] & pt[p.b]
+	case pOr:
+		return pt[p.a] | pt[p.b]
+	case pXor:
+		return pt[p.a] ^ pt[p.b]
+	case pEq:
+		return ^(pt[p.a] ^ pt[p.b])
+	case pNeq:
+		return pt[p.a] ^ pt[p.b]
+	case pLt:
+		return ^pt[p.a] & pt[p.b]
+	case pLeq:
+		return ^pt[p.a] | pt[p.b]
+	case pGt:
+		return pt[p.a] &^ pt[p.b]
+	case pGeq:
+		return pt[p.a] | ^pt[p.b]
+	case pMux:
+		s := pt[p.a]
+		return s&pt[p.b] | ^s&pt[p.c]
+	case pNotAnd:
+		return ^pt[p.a] & pt[p.b]
+	case pCmpMux:
+		a, b := pt[p.a], pt[p.b]
+		var s uint64
+		switch p.cmp {
+		case IEq:
+			s = ^(a ^ b)
+		case INeq:
+			s = a ^ b
+		case ILt:
+			s = ^a & b
+		case ILeq:
+			s = ^a | b
+		case IGt:
+			s = a &^ b
+		default: // IGeq
+			s = a | ^b
+		}
+		return s&pt[p.c] | ^s&pt[p.m]
+	}
+	return 0
+}
+
+// execBatchPacked runs one packed step for the active lanes and returns
+// its op weight. Gathers (pPack) merge exactly the active lanes' row
+// bits into the slot (inactive lanes' bits keep their coherent values).
+// Compute ops write the whole word: an inactive live lane's operand
+// bits are unchanged since its last evaluation, so the maskless
+// recompute reproduces its bits — persistent coherence is maintained
+// for free, except for elided-register storage (maskedDst), whose
+// self-referential update must not advance idle lanes. Scatters
+// (row-required destinations) write only active lanes' rows so frozen
+// and idle lanes' architectural rows stay untouched.
+func (c *batchCtx) execBatchPacked(p *pinstr, lanes []int, mask simrt.LaneMask) uint64 {
+	b := c.b
+	L := b.L
+	if len(lanes) == L {
+		return c.execBatchPackedDense(p)
+	}
+	pt := c.pt
+	if p.code == pPack {
+		row := b.bt[int(p.rowOff)*L : int(p.rowOff)*L+L]
+		w := pt[p.dst]
+		for _, l := range lanes {
+			w = w&^(1<<uint(l)) | (row[l]&1)<<uint(l)
+		}
+		pt[p.dst] = w
+		return 0
+	}
+	v := evalPackedWord(pt, p)
+	if p.maskedDst {
+		m := uint64(mask)
+		pt[p.dst] = pt[p.dst]&^m | v&m
+	} else {
+		pt[p.dst] = v
+	}
+	if p.rowOff >= 0 {
+		d := b.bt[int(p.rowOff)*L : int(p.rowOff)*L+L]
+		for _, l := range lanes {
+			d[l] = v >> uint(l) & 1
+		}
+	}
+	return uint64(p.weight)
+}
+
+// execBatchPackedDense is execBatchPacked with every lane active: the
+// gather transposes the full row, the scatter broadcasts every bit.
+func (c *batchCtx) execBatchPackedDense(p *pinstr) uint64 {
+	b := c.b
+	L := b.L
+	pt := c.pt
+	if p.code == pPack {
+		row := b.bt[int(p.rowOff)*L : int(p.rowOff)*L+L]
+		var w uint64
+		for l, x := range row {
+			w |= (x & 1) << uint(l)
+		}
+		pt[p.dst] = w
+		return 0
+	}
+	v := evalPackedWord(pt, p)
+	pt[p.dst] = v
+	if p.rowOff >= 0 {
+		d := b.bt[int(p.rowOff)*L : int(p.rowOff)*L+L]
+		for l := range d {
+			d[l] = v >> uint(l) & 1
+		}
+	}
+	return uint64(p.weight)
 }
 
 // runDisplayBatch formats an enabled printf for each active lane: the

@@ -123,6 +123,9 @@ type memState struct {
 	nw    int32 // words per entry
 	depth int32
 	width int32
+	// lowMask is the entry's low-word store mask, precomputed so pokes
+	// don't rebuild it per call.
+	lowMask uint64
 }
 
 // schedEntry is one step of the unified static schedule: a combinational
@@ -154,6 +157,9 @@ const (
 	// offset); the instruction executes, then its dst decides the skip.
 	seSkipIfZeroF
 	seSkipIfNonzeroF
+	// sePacked executes one packed bit-parallel step (idx indexes the
+	// pack plan's pinstr stream; batch engine only — see pack.go).
+	sePacked
 )
 
 // machine holds everything shared by the static-schedule engines.
@@ -164,6 +170,9 @@ type machine struct {
 	t   []uint64 // value table
 	off []int32  // word offset per signal
 	nw  []int32  // words per signal
+	// sigMask is each signal's low-word store mask (the low min(width,64)
+	// bits set), precomputed so per-poke stores don't recompute it.
+	sigMask []uint64
 
 	constOff []int32 // word offset per constant-pool entry
 
@@ -374,6 +383,10 @@ func newMachineCfg(d *netlist.Design, dg *netlist.DesignGraph, order []int,
 	for i := range d.Consts {
 		copy(m.t[m.constOff[i]:], d.Consts[i].Words)
 	}
+	m.sigMask = make([]uint64, len(d.Signals))
+	for i := range d.Signals {
+		m.sigMask[i] = bits.Mask64(^uint64(0), min(d.Signals[i].Width, 64))
+	}
 	for i := range m.scratch {
 		m.scratch[i] = make([]uint64, maxWords+1)
 	}
@@ -387,6 +400,8 @@ func newMachineCfg(d *netlist.Design, dg *netlist.DesignGraph, order []int,
 			nw:    int32(nw),
 			depth: int32(d.Mems[i].Depth),
 			width: int32(d.Mems[i].Width),
+			lowMask: bits.Mask64(^uint64(0),
+				min(d.Mems[i].Width, 64)),
 		}
 	}
 
