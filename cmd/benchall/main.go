@@ -23,6 +23,9 @@
 //	benchall -only pack -lanes 16,64
 //	                              # bit-packing sweep: packed vs NoPack batch
 //	benchall -only lanes -nopack  # lane sweep with the packing pass disabled
+//	benchall -only vec -lanes 16,64
+//	                              # instance-vectorization sweep: vec vs NoVec
+//	                              # on the replicated MAC-array/NoC designs
 package main
 
 import (
@@ -42,7 +45,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
-			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost, ckptcost")
+			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost, ckptcost, pack, vec")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
 		jsonPath = flag.String("json", "",
 			`write Table III results as JSON records to this file ("-" for stdout)`)
@@ -63,6 +66,11 @@ func main() {
 experiment (default list with -only ckptcost)`)
 		noPack = flag.Bool("nopack", false,
 			"ablation: disable the batch engine's bit-packing pass in the lane sweep")
+		// -novec exists only to be rejected with a pointer to the real
+		// switch; validateFlags reads it via flag.Visit.
+		_ = flag.Bool("novec", false,
+			"rejected: the vec sweep always measures both arms; the functional"+
+				" ablation switch is 'essent -engine vec -novec'")
 	)
 	flag.Parse()
 	if err := validateFlags(*only); err != nil {
@@ -97,6 +105,14 @@ experiment (default list with -only ckptcost)`)
 		scale.MaxCycles = *cyclesFlag
 	}
 	want := func(name string) bool { return *only == "" || *only == name }
+
+	if *only == "vec" {
+		// The vec sweep compiles its own replicated-fabric designs; skip
+		// the SoC design set entirely.
+		runVecSweep(scale, *lanesFlag, *laneWorkers, *designsFlag,
+			*jsonPath, writeCSV)
+		return
+	}
 
 	cfgs, names, err := selectConfigs(*designsFlag)
 	if err != nil {
@@ -394,10 +410,51 @@ experiment (default list with -only ckptcost)`)
 	}
 }
 
+// runVecSweep runs the instance-vectorization experiment: vec vs NoVec
+// on the replicated MAC-array and NoC-mesh designs at each lane cap.
+func runVecSweep(scale exp.Scale, lanesFlag string, workers int,
+	designsFlag, jsonPath string, writeCSV func(string, func(*os.File) error)) {
+	lanes, err := parseCounts(lanesFlag, []int{16, 64})
+	if err != nil {
+		fatal(err)
+	}
+	var designFilter []string
+	if designsFlag != "" {
+		for _, part := range strings.Split(designsFlag, ",") {
+			designFilter = append(designFilter, strings.TrimSpace(part))
+		}
+	}
+	fmt.Printf("running instance-vectorization sweep (lane caps %v, %d worker(s))...\n",
+		lanes, workers)
+	rows, err := exp.VecSweep(scale, lanes, workers, designFilter)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(exp.RenderVec(rows))
+	writeCSV("vec.csv", func(f *os.File) error { return exp.WriteVecCSV(f, rows) })
+	if jsonPath != "" {
+		out := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := exp.WriteVecJSON(out, rows); err != nil {
+			fatal(err)
+		}
+		if jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+		}
+	}
+}
+
 // experiments are the valid -only values.
 var experiments = []string{"table1", "table2", "table3", "table4",
 	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost",
-	"ckptcost", "pack"}
+	"ckptcost", "pack", "vec"}
 
 // validateFlags rejects contradictory flag combinations up front, before
 // any design compiles — previously `-only lanes -workers 4` silently ran
@@ -423,20 +480,26 @@ func validateFlags(only string) error {
 	wantScaling := only == "scaling" || (only == "" && set["workers"])
 	wantLanes := only == "lanes" || (only == "" && set["lanes"])
 	wantPack := only == "pack"
+	wantVec := only == "vec"
 	if set["workers"] && !wantScaling {
 		return fmt.Errorf("-workers selects the parallel scaling sweep and contradicts -only %s"+
 			" (for the lane sweep's worker pool use -laneworkers)", only)
 	}
-	if set["lanes"] && !wantLanes && !wantPack {
+	if set["lanes"] && !wantLanes && !wantPack && !wantVec {
 		return fmt.Errorf("-lanes selects the batched lane sweep and contradicts -only %s", only)
 	}
-	if set["laneworkers"] && !wantLanes && !wantPack {
-		return fmt.Errorf("-laneworkers only applies to the lane and pack sweeps" +
-			" (use with -only lanes, -only pack, or -lanes)")
+	if set["laneworkers"] && !wantLanes && !wantPack && !wantVec {
+		return fmt.Errorf("-laneworkers only applies to the lane, pack, and vec sweeps" +
+			" (use with -only lanes, -only pack, -only vec, or -lanes)")
 	}
 	if set["nopack"] && !wantLanes {
 		return fmt.Errorf("-nopack ablates the lane sweep's packing pass" +
 			" (the pack sweep always measures both; use with -only lanes or -lanes)")
+	}
+	if set["novec"] {
+		return fmt.Errorf("the vec sweep always measures both the vectorized and" +
+			" NoVec arms, so -novec contradicts -only vec; the functional ablation" +
+			" switch is `essent -engine vec -novec`")
 	}
 	if set["ckptevery"] && only != "ckptcost" {
 		return fmt.Errorf("-ckptevery configures the checkpoint-overhead experiment" +

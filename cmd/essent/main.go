@@ -23,8 +23,13 @@ func main() {
 		designFile = flag.String("design", "", "FIRRTL design file")
 		socName    = flag.String("soc", "", "built-in SoC: r16, r18, or boom")
 		workload   = flag.String("workload", "", "RISC-V workload: dhrystone, matmul, pchase")
-		engineName = flag.String("engine", "essent", "engine: essent, baseline, fullcycle-opt, event")
-		cp         = flag.Int("cp", 8, "ESSENT partitioning threshold Cp")
+		engineName = flag.String("engine", "essent",
+			"engine: essent, baseline, fullcycle-opt, event, parallel, vec")
+		cp    = flag.Int("cp", 8, "ESSENT partitioning threshold Cp")
+		novec = flag.Bool("novec", false,
+			"disable instance vectorization on -engine vec (ablation)")
+		maxVecLanes = flag.Int("max-vec-lanes", 0,
+			"cap instances per equivalence class for -engine vec (2..64; 0 = 64)")
 		cycles     = flag.Int("cycles", 100000, "maximum cycles to simulate")
 		verbose    = flag.Bool("v", false, "print design printf output")
 		stats      = flag.Bool("stats", true, "print work statistics")
@@ -103,7 +108,7 @@ func main() {
 	}
 
 	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp,
-		Verify: vmode})
+		NoVec: *novec, MaxVecLanes: *maxVecLanes, Verify: vmode})
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +120,10 @@ func main() {
 		fmt.Printf(", %d partitions (Cp=%d)", n, *cp)
 	}
 	fmt.Println()
+	if vi := sim.VecInfo(); vi.Groups > 0 {
+		fmt.Printf("vectorized: %d partitions in %d groups (%d classes, widest %d lanes)\n",
+			vi.VecParts, vi.Groups, vi.Classes, vi.MaxLanes)
+	}
 
 	if *resume {
 		path, err := essent.LatestCheckpoint(*ckptDir)
@@ -254,6 +263,16 @@ func validateFlags() error {
 		set["watchdog-cycles"]) {
 		return errors.New("-vcd drives its own cycle loop and contradicts the" +
 			" checkpoint/watchdog flags")
+	}
+	if eng, err := essent.ParseEngine(flag.Lookup("engine").Value.String()); err == nil &&
+		eng != essent.EngineESSENTVec {
+		if set["novec"] {
+			return errors.New("-novec is the -engine vec ablation switch and needs -engine vec")
+		}
+		if set["max-vec-lanes"] {
+			return errors.New("-max-vec-lanes configures -engine vec lane grouping" +
+				" and needs -engine vec")
+		}
 	}
 	return nil
 }

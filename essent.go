@@ -48,6 +48,12 @@ const (
 	// top of CCSS (an extension beyond the paper; benefits require a
 	// multi-core host and coarse partitions).
 	EngineESSENTParallel
+	// EngineESSENTVec groups structurally identical partitions (replicated
+	// module instances) into equivalence classes, compiles one schedule
+	// per class, and evaluates all instances through lane-major row
+	// kernels with a per-instance activity mask — the paper's activity
+	// thesis applied spatially across replicated hardware.
+	EngineESSENTVec
 )
 
 func (e Engine) String() string {
@@ -62,6 +68,8 @@ func (e Engine) String() string {
 		return "essent"
 	case EngineESSENTParallel:
 		return "essent-parallel"
+	case EngineESSENTVec:
+		return "essent-vec"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -80,6 +88,8 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineESSENT, nil
 	case "essent-parallel", "parallel":
 		return EngineESSENTParallel, nil
+	case "essent-vec", "vec":
+		return EngineESSENTVec, nil
 	default:
 		return 0, fmt.Errorf("essent: unknown engine %q", name)
 	}
@@ -125,6 +135,12 @@ type Options struct {
 	// NoOptimize disables the netlist optimization passes that
 	// EngineFullCycleOpt and EngineESSENT normally run.
 	NoOptimize bool
+	// NoVec disables instance vectorization on EngineESSENTVec — the
+	// ablation switch: the engine compiles and runs as plain scalar CCSS.
+	NoVec bool
+	// MaxVecLanes caps instances per equivalence class for
+	// EngineESSENTVec (2..64; 0 = 64).
+	MaxVecLanes int
 	// Verify selects static-verification enforcement (VerifyStrict, the
 	// zero value, by default).
 	Verify VerifyMode
@@ -212,7 +228,7 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 		return nil, err
 	}
 	wantOpt := opts.Engine == EngineFullCycleOpt || opts.Engine == EngineESSENT ||
-		opts.Engine == EngineESSENTParallel
+		opts.Engine == EngineESSENTParallel || opts.Engine == EngineESSENTVec
 	if wantOpt && !opts.NoOptimize {
 		if d, _, err = opt.Optimize(d); err != nil {
 			return nil, err
@@ -231,6 +247,10 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 	case EngineESSENTParallel:
 		engine.Engine, engine.Cp, engine.Workers =
 			sim.EngineCCSSParallel, opts.Cp, opts.Workers
+	case EngineESSENTVec:
+		engine.Engine, engine.Cp, engine.Workers =
+			sim.EngineCCSSVec, opts.Cp, opts.Workers
+		engine.NoVec, engine.MaxVecLanes = opts.NoVec, opts.MaxVecLanes
 	default:
 		return nil, fmt.Errorf("essent: unknown engine %v", opts.Engine)
 	}
@@ -600,6 +620,44 @@ func (s *Sim) DumpVCD(w io.Writer, names []string, cycles int) error {
 		return err
 	}
 	return translateErr(vw.Run(cycles))
+}
+
+// VecStats reports instance-vectorization compile/run statistics for
+// EngineESSENTVec (the zero value for every other engine).
+type VecStats struct {
+	// EligibleParts counts partitions structurally able to vectorize.
+	EligibleParts int
+	// Classes counts structural equivalence classes with ≥2 members.
+	Classes int
+	// Groups counts compiled lane groups (a class splits when it exceeds
+	// the lane cap or an ordering constraint forbids co-residence).
+	Groups int
+	// VecParts counts partitions absorbed into groups.
+	VecParts int
+	// MaxLanes is the widest group's lane count.
+	MaxLanes int
+	// GroupEvals / LaneEvals count group activations and active-lane
+	// evaluations during simulation.
+	GroupEvals uint64
+	LaneEvals  uint64
+}
+
+// VecInfo reports instance-vectorization statistics (all-zero unless the
+// simulator was compiled with EngineESSENTVec).
+func (s *Sim) VecInfo() VecStats {
+	if vv, ok := s.s.(interface{ VecInfo() sim.VecStats }); ok {
+		v := vv.VecInfo()
+		return VecStats{
+			EligibleParts: v.EligibleParts,
+			Classes:       v.Classes,
+			Groups:        v.Groups,
+			VecParts:      v.VecParts,
+			MaxLanes:      v.MaxLanes,
+			GroupEvals:    v.GroupEvals,
+			LaneEvals:     v.LaneEvals,
+		}
+	}
+	return VecStats{}
 }
 
 // NumPartitions reports the CCSS partition count (0 for other engines).

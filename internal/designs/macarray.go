@@ -1,0 +1,134 @@
+package designs
+
+import (
+	"fmt"
+
+	"essent/internal/dsl"
+	"essent/internal/firrtl"
+)
+
+// MACArrayConfig parameterizes the systolic multiply-accumulate array:
+// Rows×Cols processing elements, each an a/b pipeline register pair and a
+// saturating accumulator. Every PE is structurally identical — the array
+// is the stress design for the instance-vectorization pass, where one
+// compiled schedule should cover up to 64 PEs per equivalence class.
+type MACArrayConfig struct {
+	// Name becomes the circuit/top-module name.
+	Name string
+	// Rows and Cols set the PE grid (each must be ≥ 2).
+	Rows, Cols int
+	// DataW is the operand width (accumulators are 2×DataW wide).
+	DataW int
+}
+
+// MACArray is the default 16×16 configuration used by the vec experiments.
+func MACArray() MACArrayConfig {
+	return MACArrayConfig{Name: "mac16", Rows: 16, Cols: 16, DataW: 8}
+}
+
+// Well-known MAC-array port names.
+const (
+	MACEnInput     = "en"
+	MACClrInput    = "clr"
+	MACAInput      = "ain"
+	MACBInput      = "bin"
+	MACSumOutput   = "checksum"
+	MACCarryOutput = "satflag"
+)
+
+// BuildMACArray generates the systolic array circuit. Operands stream in
+// from per-row and per-column feed LFSRs (perturbed by the ain/bin
+// inputs), pipe east/south through the a/b registers, and multiply into a
+// saturating accumulator in every PE, gated by the global en input and
+// cleared by clr. Because a PE reads only register outputs of its
+// neighbors (never a combinational node of another PE), PE partitions
+// have no cross-instance combinational predecessors and vectorize
+// cleanly. The checksum output XORs all accumulators; satflag ORs the
+// per-PE saturation bits.
+func BuildMACArray(cfg MACArrayConfig) (*firrtl.Circuit, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("designs: MAC array needs at least a 2x2 grid")
+	}
+	if cfg.DataW < 2 || cfg.DataW > 16 {
+		return nil, fmt.Errorf("designs: MAC array DataW must be in 2..16")
+	}
+	w := cfg.DataW
+	aw := 2 * w // accumulator width
+	m := dsl.NewModule(cfg.Name)
+	m.Input("reset", 1)
+	en := m.Input(MACEnInput, 1)
+	clr := m.Input(MACClrInput, 1)
+	ain := m.Input(MACAInput, w)
+	bin := m.Input(MACBInput, w)
+	sumOut := m.Output(MACSumOutput, aw)
+	satOut := m.Output(MACCarryOutput, 1)
+
+	// Per-row (a) and per-column (b) feed generators: rotate-XOR LFSRs
+	// with distinct nonzero seeds, perturbed by the global stream inputs
+	// so the testbench can force activity or let the array idle.
+	feed := func(name string, i int, stream dsl.Signal) dsl.Signal {
+		seed := (uint64(i)*0x9E3779B9 + 0x1D) & ((1 << w) - 1)
+		if seed == 0 {
+			seed = 1
+		}
+		f := m.RegInit(name, w, seed)
+		fb := m.Named(name+"fb", f.Bit(w-1).Xor(f.Bit(w/2)))
+		m.Connect(f, f.Bits(w-2, 0).Cat(fb).Xor(stream).Bits(w-1, 0))
+		return f
+	}
+	aFeed := make([]dsl.Signal, cfg.Rows)
+	for i := range aFeed {
+		aFeed[i] = feed(fmt.Sprintf("afeed%d", i), i, ain)
+	}
+	bFeed := make([]dsl.Signal, cfg.Cols)
+	for j := range bFeed {
+		bFeed[j] = feed(fmt.Sprintf("bfeed%d", j), cfg.Rows+j, bin)
+	}
+
+	maxAcc := m.Lit((1<<uint(aw))-1, aw)
+	zero := m.Lit(0, aw)
+
+	aReg := make([][]dsl.Signal, cfg.Rows)
+	bReg := make([][]dsl.Signal, cfg.Rows)
+	checksum := zero
+	satflag := m.Lit(0, 1)
+	for i := 0; i < cfg.Rows; i++ {
+		aReg[i] = make([]dsl.Signal, cfg.Cols)
+		bReg[i] = make([]dsl.Signal, cfg.Cols)
+		for j := 0; j < cfg.Cols; j++ {
+			pe := fmt.Sprintf("pe_%d_%d", i, j)
+			// Operand pipeline: a flows east, b flows south; edge PEs read
+			// the feed registers. Every source is a register output.
+			westA := aFeed[i]
+			if j > 0 {
+				westA = aReg[i][j-1]
+			}
+			northB := bFeed[j]
+			if i > 0 {
+				northB = bReg[i-1][j]
+			}
+			a := m.RegInit(pe+"_a", w, 0)
+			b := m.RegInit(pe+"_b", w, 0)
+			m.Connect(a, en.Mux(westA, a).Bits(w-1, 0))
+			m.Connect(b, en.Mux(northB, b).Bits(w-1, 0))
+			aReg[i][j] = a
+			bReg[i][j] = b
+
+			// Saturating accumulate: acc += a*b, held at max on overflow.
+			acc := m.RegInit(pe+"_acc", aw, 0)
+			prod := m.Named(pe+"_prod", a.Mul(b))
+			sum := m.Named(pe+"_sum", acc.Add(prod))
+			ovf := m.Named(pe+"_ovf", sum.Bit(aw))
+			sat := m.Named(pe+"_sat", ovf.Mux(maxAcc, sum.Bits(aw-1, 0)))
+			next := m.Named(pe+"_nx",
+				clr.Mux(zero, en.Mux(sat, acc)).Bits(aw-1, 0))
+			m.Connect(acc, next)
+
+			checksum = m.Named(pe+"_ck", checksum.Xor(acc).Bits(aw-1, 0))
+			satflag = m.Named(pe+"_sf", satflag.Or(ovf).Bits(0, 0))
+		}
+	}
+	m.Connect(sumOut, checksum)
+	m.Connect(satOut, satflag)
+	return &firrtl.Circuit{Name: cfg.Name, Modules: []*firrtl.Module{m.Build()}}, nil
+}

@@ -1,0 +1,197 @@
+package designs
+
+import (
+	"fmt"
+
+	"essent/internal/dsl"
+	"essent/internal/firrtl"
+)
+
+// NoCConfig parameterizes the mesh network-on-chip design: Rows×Cols XY-
+// routed routers with registered output ports and rate-gated packet
+// injectors. Routers are structurally identical up to their coordinate
+// constants, which the instance-vectorization pass turns into per-lane
+// constant slots; at low injection rates most routers are idle most
+// cycles, so the per-instance activity mask carries the paper's
+// low-activity win across the replicated fabric.
+type NoCConfig struct {
+	// Name becomes the circuit/top-module name.
+	Name string
+	// Rows and Cols set the router grid (each must be in 2..32).
+	Rows, Cols int
+	// PayloadW is the flit payload width (1..16).
+	PayloadW int
+	// RateBits sets the injection gate: a router injects when the low
+	// RateBits bits of its LFSR are zero (rate 2^-RateBits; 0..8).
+	RateBits int
+}
+
+// NoCMesh is the default 8×8 configuration used by the vec experiments.
+func NoCMesh() NoCConfig {
+	return NoCConfig{Name: "noc8", Rows: 8, Cols: 8, PayloadW: 8, RateBits: 4}
+}
+
+// Well-known NoC port names.
+const (
+	NoCEnInput    = "en"
+	NoCStimInput  = "stim"
+	NoCSinkOutput = "sink"
+	NoCBusyOutput = "busy"
+)
+
+// BuildNoCMesh generates the mesh circuit. Each router carries four
+// registered output ports (N/S/E/W) holding {valid, destX, destY,
+// payload} flits, a coordinate register pair, an injection LFSR, and a
+// local sink accumulator. Dimension-ordered XY routing steers flits east/
+// west first, then north/south; each output port arbitrates its
+// candidate inputs with fixed priority (W > E > N > S > injector) and no
+// backpressure — a colliding lower-priority flit is dropped, keeping the
+// router purely feed-forward. All cross-router edges are register
+// outputs, so router partitions vectorize with no cross-instance
+// combinational predecessors. The sink output XORs every router's sink
+// accumulator; busy ORs the output-port valid bits.
+func BuildNoCMesh(cfg NoCConfig) (*firrtl.Circuit, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 || cfg.Rows > 32 || cfg.Cols > 32 {
+		return nil, fmt.Errorf("designs: NoC grid must be 2..32 per side")
+	}
+	if cfg.PayloadW < 1 || cfg.PayloadW > 16 {
+		return nil, fmt.Errorf("designs: NoC PayloadW must be in 1..16")
+	}
+	if cfg.RateBits < 0 || cfg.RateBits > 8 {
+		return nil, fmt.Errorf("designs: NoC RateBits must be in 0..8")
+	}
+	cw := 1
+	for 1<<uint(cw) < cfg.Rows || 1<<uint(cw) < cfg.Cols {
+		cw++
+	}
+	pw := cfg.PayloadW
+	fw := 1 + 2*cw + pw // flit: {valid, destX, destY, payload}
+
+	m := dsl.NewModule(cfg.Name)
+	m.Input("reset", 1)
+	en := m.Input(NoCEnInput, 1)
+	stim := m.Input(NoCStimInput, 16)
+	sinkOut := m.Output(NoCSinkOutput, pw)
+	busyOut := m.Output(NoCBusyOutput, 1)
+
+	flit := func(valid, dx, dy, pay dsl.Signal) dsl.Signal {
+		return valid.Cat(dx).Cat(dy).Cat(pay)
+	}
+	fValid := func(f dsl.Signal) dsl.Signal { return f.Bit(fw - 1) }
+	fDx := func(f dsl.Signal) dsl.Signal { return f.Bits(fw-2, fw-1-cw) }
+	fDy := func(f dsl.Signal) dsl.Signal { return f.Bits(pw+cw-1, pw) }
+	fPay := func(f dsl.Signal) dsl.Signal { return f.Bits(pw-1, 0) }
+
+	type router struct {
+		outN, outS, outE, outW dsl.Signal // registered output ports
+	}
+	rt := make([][]router, cfg.Rows)
+	for y := range rt {
+		rt[y] = make([]router, cfg.Cols)
+		for x := range rt[y] {
+			p := fmt.Sprintf("r_%d_%d", y, x)
+			rt[y][x] = router{
+				outN: m.RegInit(p+"_on", fw, 0),
+				outS: m.RegInit(p+"_os", fw, 0),
+				outE: m.RegInit(p+"_oe", fw, 0),
+				outW: m.RegInit(p+"_ow", fw, 0),
+			}
+		}
+	}
+
+	deadFlit := m.Lit(0, fw)
+	sink := m.Lit(0, pw)
+	busy := m.Lit(0, 1)
+	for y := 0; y < cfg.Rows; y++ {
+		for x := 0; x < cfg.Cols; x++ {
+			p := fmt.Sprintf("r_%d_%d", y, x)
+			// Coordinate constants as self-held registers: each lane of a
+			// vectorized router class gathers its own (x, y) from the state
+			// table instead of specializing the schedule.
+			xc := m.RegInit(p+"_xc", cw, uint64(x))
+			yc := m.RegInit(p+"_yc", cw, uint64(y))
+			m.Connect(xc, xc.Bits(cw-1, 0))
+			m.Connect(yc, yc.Bits(cw-1, 0))
+
+			// Injection: a 16-bit LFSR gates, addresses, and fills new
+			// flits. The stim input XORs the feedback so the testbench can
+			// perturb traffic per lane.
+			seed := uint64(y*cfg.Cols+x)*0x6C62 + 0xB5
+			lfsr := m.RegInit(p+"_lf", 16, seed&0xFFFF|1)
+			fb := m.Named(p+"_fb",
+				lfsr.Bit(15).Xor(lfsr.Bit(14)).Xor(lfsr.Bit(12)).Xor(lfsr.Bit(3)))
+			m.Connect(lfsr, lfsr.Bits(14, 0).Cat(fb).Xor(stim).Bits(15, 0))
+			fire := en
+			if cfg.RateBits > 0 {
+				fire = m.Named(p+"_fire",
+					en.And(lfsr.Bits(cfg.RateBits-1, 0).Eq(m.Lit(0, cfg.RateBits))))
+			}
+			inj := m.Named(p+"_inj", flit(fire,
+				lfsr.Bits(4+cw, 5).Bits(cw-1, 0),
+				lfsr.Bits(9+cw, 10).Bits(cw-1, 0),
+				lfsr.Bits(pw-1, 0)))
+
+			// Candidate inputs: neighbor registered ports, priority
+			// W > E > N > S > injector. Mesh edges read a dead flit.
+			in := []dsl.Signal{deadFlit, deadFlit, deadFlit, deadFlit, inj}
+			if x > 0 {
+				in[0] = rt[y][x-1].outE // arriving from the west
+			}
+			if x < cfg.Cols-1 {
+				in[1] = rt[y][x+1].outW
+			}
+			if y > 0 {
+				in[2] = rt[y-1][x].outS // arriving from the north
+			}
+			if y < cfg.Rows-1 {
+				in[3] = rt[y+1][x].outN
+			}
+
+			// XY route: east/west until destX matches, then north/south.
+			wantE := make([]dsl.Signal, len(in))
+			wantW := make([]dsl.Signal, len(in))
+			wantN := make([]dsl.Signal, len(in))
+			wantS := make([]dsl.Signal, len(in))
+			wantL := make([]dsl.Signal, len(in))
+			for k, f := range in {
+				kp := fmt.Sprintf("%s_i%d", p, k)
+				v := m.Named(kp+"v", fValid(f))
+				dx, dy := fDx(f), fDy(f)
+				atX := m.Named(kp+"ax", dx.Eq(xc))
+				wantE[k] = m.Named(kp+"we", v.And(dx.Gt(xc)))
+				wantW[k] = m.Named(kp+"ww", v.And(dx.Lt(xc)))
+				wantN[k] = m.Named(kp+"wn", v.And(atX).And(dy.Lt(yc)))
+				wantS[k] = m.Named(kp+"ws", v.And(atX).And(dy.Gt(yc)))
+				wantL[k] = m.Named(kp+"wl", v.And(atX).And(dy.Eq(yc)))
+			}
+			// Fixed-priority arbitration per output port; losers drop.
+			arb := func(port string, want []dsl.Signal) dsl.Signal {
+				win := deadFlit
+				for k := len(in) - 1; k >= 0; k-- {
+					win = m.Named(fmt.Sprintf("%s_%s%d", p, port, k),
+						want[k].Mux(in[k], win))
+				}
+				return win
+			}
+			m.Connect(rt[y][x].outE, en.Mux(arb("ae", wantE), deadFlit).Bits(fw-1, 0))
+			m.Connect(rt[y][x].outW, en.Mux(arb("aw", wantW), deadFlit).Bits(fw-1, 0))
+			m.Connect(rt[y][x].outN, en.Mux(arb("an", wantN), deadFlit).Bits(fw-1, 0))
+			m.Connect(rt[y][x].outS, en.Mux(arb("as", wantS), deadFlit).Bits(fw-1, 0))
+
+			// Local delivery: XOR every delivered payload into the sink
+			// accumulator (highest-priority local winner per cycle).
+			del := arb("al", wantL)
+			sreg := m.RegInit(p+"_sink", pw, 0)
+			m.Connect(sreg,
+				fValid(del).Mux(sreg.Xor(fPay(del)), sreg).Bits(pw-1, 0))
+
+			sink = m.Named(p+"_ck", sink.Xor(sreg).Bits(pw-1, 0))
+			ob := rt[y][x]
+			busy = m.Named(p+"_by", busy.Or(fValid(ob.outE)).Or(fValid(ob.outW)).
+				Or(fValid(ob.outN)).Or(fValid(ob.outS)).Bits(0, 0))
+		}
+	}
+	m.Connect(sinkOut, sink)
+	m.Connect(busyOut, busy)
+	return &firrtl.Circuit{Name: cfg.Name, Modules: []*firrtl.Module{m.Build()}}, nil
+}

@@ -1,0 +1,260 @@
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/sim"
+)
+
+func compileCircuit(t *testing.T, circ *firrtl.Circuit, optimize bool) *netlist.Design {
+	t.Helper()
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimize {
+		if d, _, err = opt.Optimize(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func buildMAC(t *testing.T, cfg MACArrayConfig, optimize bool) *netlist.Design {
+	t.Helper()
+	circ, err := BuildMACArray(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compileCircuit(t, circ, optimize)
+}
+
+func buildNoC(t *testing.T, cfg NoCConfig, optimize bool) *netlist.Design {
+	t.Helper()
+	circ, err := BuildNoCMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compileCircuit(t, circ, optimize)
+}
+
+// vecInfo extracts the vectorization statistics from a Simulator.
+func vecInfo(s sim.Simulator) sim.VecStats {
+	if vv, ok := s.(interface{ VecInfo() sim.VecStats }); ok {
+		return vv.VecInfo()
+	}
+	return sim.VecStats{}
+}
+
+// TestMACArrayVectorizes asserts the design meets its purpose: most PE
+// partitions land in equivalence classes, raw and optimized.
+func TestMACArrayVectorizes(t *testing.T) {
+	for _, optimize := range []bool{false, true} {
+		t.Run(fmt.Sprintf("opt=%v", optimize), func(t *testing.T) {
+			d := buildMAC(t, MACArrayConfig{Name: "mac8", Rows: 8, Cols: 8, DataW: 8},
+				optimize)
+			s, err := sim.New(d, sim.Options{Engine: sim.EngineCCSSVec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vi := vecInfo(s)
+			t.Logf("mac8 opt=%v: %d nodes, vec %+v", optimize, d.NumNodes(), vi)
+			if vi.Groups == 0 || vi.MaxLanes < 4 {
+				t.Fatalf("MAC array did not vectorize: %+v", vi)
+			}
+		})
+	}
+}
+
+// TestNoCMeshVectorizes asserts router partitions group despite their
+// per-instance coordinate constants.
+func TestNoCMeshVectorizes(t *testing.T) {
+	for _, optimize := range []bool{false, true} {
+		t.Run(fmt.Sprintf("opt=%v", optimize), func(t *testing.T) {
+			d := buildNoC(t, NoCConfig{Name: "noc4", Rows: 4, Cols: 4,
+				PayloadW: 8, RateBits: 3}, optimize)
+			s, err := sim.New(d, sim.Options{Engine: sim.EngineCCSSVec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vi := vecInfo(s)
+			t.Logf("noc4 opt=%v: %d nodes, vec %+v", optimize, d.NumNodes(), vi)
+			if vi.Groups == 0 || vi.MaxLanes < 4 {
+				t.Fatalf("NoC mesh did not vectorize: %+v", vi)
+			}
+		})
+	}
+}
+
+// driveVec runs simulators in lockstep under identical random stimulus,
+// requiring bit-exact architectural state (registers, memories, cycle
+// count) and identical work Stats against the reference at every
+// checkpoint interval. Names in noStats skip the Stats comparison (used
+// for an uninterrupted run compared against restored ones, whose first
+// post-restore step wakes readers of every changed state element).
+func driveVec(t *testing.T, d *netlist.Design, ref sim.Simulator,
+	others map[string]sim.Simulator, noStats map[string]bool,
+	cycles int, seed int64) {
+	t.Helper()
+	sims := []sim.Simulator{ref}
+	for _, s := range others {
+		sims = append(sims, s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	resetID, hasReset := d.SignalByName("reset")
+	for cyc := 0; cyc < cycles; cyc++ {
+		if hasReset {
+			v := uint64(0)
+			if cyc < 2 {
+				v = 1
+			}
+			for _, s := range sims {
+				s.Poke(resetID, v)
+			}
+		}
+		for _, in := range d.Inputs {
+			if hasReset && in == resetID {
+				continue
+			}
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			v := rng.Uint64()
+			for _, s := range sims {
+				s.Poke(in, v)
+			}
+		}
+		for _, s := range sims {
+			if err := s.Step(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cyc%10 == 9 || cyc == cycles-1 {
+			want, err := sim.Capture(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, s := range others {
+				got, err := sim.Capture(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Regs, want.Regs) ||
+					!reflect.DeepEqual(got.Mems, want.Mems) ||
+					got.Cycle != want.Cycle {
+					t.Fatalf("cycle %d: %s architectural state diverged", cyc, name)
+				}
+				if !noStats[name] && *s.Stats() != *ref.Stats() {
+					t.Fatalf("cycle %d: %s stats diverged:\n got %+v\nwant %+v",
+						cyc, name, *s.Stats(), *ref.Stats())
+				}
+				for _, out := range d.Outputs {
+					if got, want := s.Peek(out), ref.Peek(out); got != want {
+						t.Fatalf("cycle %d: %s output %s = %d, want %d",
+							cyc, name, d.Signals[out].Name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func newVec(t *testing.T, d *netlist.Design, opts sim.Options) sim.Simulator {
+	t.Helper()
+	opts.Engine = sim.EngineCCSSVec
+	s, err := sim.New(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestVecDesignEquivalence checks vec-mode evaluation is bit-exact
+// (state and Stats) against the NoVec ablation and plain scalar CCSS on
+// the MAC array, the NoC mesh, and the SoC, raw and optimized, with the
+// worker pool included.
+func TestVecDesignEquivalence(t *testing.T) {
+	socCirc, err := Build(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		d      *netlist.Design
+		cycles int
+	}{
+		{"mac8-raw", buildMAC(t, MACArrayConfig{Name: "mac8", Rows: 8, Cols: 8,
+			DataW: 8}, false), 120},
+		{"mac8-opt", buildMAC(t, MACArrayConfig{Name: "mac8", Rows: 8, Cols: 8,
+			DataW: 8}, true), 120},
+		{"noc4-opt", buildNoC(t, NoCConfig{Name: "noc4", Rows: 4, Cols: 4,
+			PayloadW: 8, RateBits: 3}, true), 120},
+		{"soc-tiny", compileCircuit(t, socCirc, false), 80},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := newVec(t, tc.d, sim.Options{NoVec: true})
+			others := map[string]sim.Simulator{
+				"vec":         newVec(t, tc.d, sim.Options{}),
+				"vec-lanes5":  newVec(t, tc.d, sim.Options{MaxVecLanes: 5}),
+				"vec-workers": newVec(t, tc.d, sim.Options{Workers: 4}),
+			}
+			scalar, err := sim.New(tc.d, sim.Options{Engine: sim.EngineCCSS})
+			if err != nil {
+				t.Fatal(err)
+			}
+			others["scalar-ccss"] = scalar
+			driveVec(t, tc.d, ref, others, nil, tc.cycles, int64(len(tc.name)))
+		})
+	}
+}
+
+// TestVecDesignCheckpoint round-trips a vec-mode run through an
+// engine-neutral snapshot: restored vec, restored NoVec, and the
+// uninterrupted original must stay in lockstep afterwards.
+func TestVecDesignCheckpoint(t *testing.T) {
+	d := buildMAC(t, MACArrayConfig{Name: "mac8", Rows: 8, Cols: 8, DataW: 8}, true)
+	orig := newVec(t, d, sim.Options{})
+	rng := rand.New(rand.NewSource(41))
+	inputs := d.Inputs
+	poke := func(s sim.Simulator, r *rand.Rand) {
+		for _, in := range inputs {
+			if r.Intn(3) == 0 {
+				s.Poke(in, r.Uint64())
+			}
+		}
+	}
+	for cyc := 0; cyc < 60; cyc++ {
+		poke(orig, rng)
+		if err := orig.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := sim.Capture(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredVec := newVec(t, d, sim.Options{})
+	restoredNoVec := newVec(t, d, sim.Options{NoVec: true})
+	for name, s := range map[string]sim.Simulator{
+		"vec": restoredVec, "novec": restoredNoVec} {
+		if err := sim.Restore(s, snap); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// The restored engines must match each other exactly (state and
+	// Stats); the uninterrupted original must match in architectural
+	// state but legitimately differs in Stats on the first post-restore
+	// step, which wakes the readers of every state element the restore
+	// changed relative to the fresh engine.
+	others := map[string]sim.Simulator{
+		"restored-vec": restoredVec, "uninterrupted": orig}
+	driveVec(t, d, restoredNoVec, others,
+		map[string]bool{"uninterrupted": true}, 60, 42)
+}

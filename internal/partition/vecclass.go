@@ -1,0 +1,98 @@
+package partition
+
+// Instance-vectorization support: structural equivalence classes of
+// compiled partitions. Replicated module instances (systolic PEs, NoC
+// routers, per-core tiles) partition into structurally identical pieces;
+// detecting them lets an engine compile one schedule per class and
+// evaluate every instance as a lane of the batch row kernels. This file
+// holds the engine-neutral half: a canonical-form hasher (the structural
+// twin of sim.DesignFingerprint, but over compiled partition bodies
+// instead of whole designs) and the instance↔lane binding record.
+
+// MaxClassLanes caps the instances evaluated per compiled class: one
+// lane per bit of the activity mask word.
+const MaxClassLanes = 64
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// ClassHasher computes a canonical structural hash of one compiled
+// partition. Structure words (opcodes, widths, schedule-entry kinds,
+// boundary shapes) mix in verbatim through Word; operand identities
+// (value-table offsets, signal IDs) mix through Ref, which renames them
+// by first appearance — the i-th distinct identity hashes as i. Two
+// partitions that are identical up to a consistent renaming of their
+// operands therefore collide, including instances whose per-instance
+// constants (coordinates, IDs) live at different pool offsets. The hash
+// is a pre-filter only: equal sums still require an exact lockstep walk
+// before two partitions may share a schedule.
+type ClassHasher struct {
+	h     uint64
+	names map[int32]uint64
+}
+
+// NewClassHasher returns an empty hasher (one per partition; the
+// renaming table must not leak across partitions).
+func NewClassHasher() *ClassHasher {
+	return &ClassHasher{h: fnvOffset, names: make(map[int32]uint64)}
+}
+
+// Word mixes one structural word (FNV-1a, byte-serialized).
+func (c *ClassHasher) Word(v uint64) {
+	h := c.h
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	c.h = h
+}
+
+// Ref mixes an operand identity under first-appearance renaming.
+func (c *ClassHasher) Ref(id int32) {
+	n, ok := c.names[id]
+	if !ok {
+		n = uint64(len(c.names))
+		c.names[id] = n
+	}
+	c.Word(n)
+}
+
+// Sum returns the canonical hash.
+func (c *ClassHasher) Sum() uint64 { return c.h }
+
+// GroupByHash buckets ids by their canonical hash, preserving the input
+// (schedule) order inside each bucket and across bucket leaders.
+// Singleton buckets are dropped: a partition with a unique hash has no
+// structural twin.
+func GroupByHash(ids []int, hashOf map[int]uint64) [][]int {
+	bucketAt := make(map[uint64]int)
+	var buckets [][]int
+	for _, id := range ids {
+		h := hashOf[id]
+		bi, ok := bucketAt[h]
+		if !ok {
+			bi = len(buckets)
+			bucketAt[h] = bi
+			buckets = append(buckets, nil)
+		}
+		buckets[bi] = append(buckets[bi], id)
+	}
+	out := buckets[:0]
+	for _, b := range buckets {
+		if len(b) >= 2 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// InstanceBinding records the lane assignment of one compiled
+// equivalence class: Members lists the runtime partition IDs in lane
+// order, and the class evaluates once at Leader's schedule position
+// (Members[0] == Leader, the earliest member in schedule order).
+type InstanceBinding struct {
+	Leader  int
+	Members []int
+}

@@ -1,0 +1,60 @@
+package partition
+
+import "testing"
+
+// Two op sequences identical up to a consistent renaming must collide;
+// an inconsistent renaming must not.
+func TestClassHasherRenaming(t *testing.T) {
+	hash := func(ops [][2]int32, shape uint64) uint64 {
+		h := NewClassHasher()
+		for _, op := range ops {
+			h.Word(shape)
+			h.Ref(op[0])
+			h.Ref(op[1])
+		}
+		return h.Sum()
+	}
+	// a = f(x, y); b = f(a, y)
+	h1 := hash([][2]int32{{10, 20}, {30, 20}}, 7)
+	// Same structure at different offsets.
+	h2 := hash([][2]int32{{100, 200}, {300, 200}}, 7)
+	if h1 != h2 {
+		t.Fatalf("renamed twins must collide: %x vs %x", h1, h2)
+	}
+	// Second op reads a fresh operand instead of the shared one.
+	h3 := hash([][2]int32{{100, 200}, {300, 400}}, 7)
+	if h1 == h3 {
+		t.Fatalf("different sharing structure must not collide")
+	}
+	// Different shape word.
+	h4 := hash([][2]int32{{10, 20}, {30, 20}}, 8)
+	if h1 == h4 {
+		t.Fatalf("different shapes must not collide")
+	}
+}
+
+func TestGroupByHash(t *testing.T) {
+	ids := []int{5, 9, 2, 7, 11}
+	hs := map[int]uint64{5: 1, 9: 2, 2: 1, 7: 3, 11: 2}
+	got := GroupByHash(ids, hs)
+	if len(got) != 2 {
+		t.Fatalf("want 2 buckets, got %v", got)
+	}
+	// Schedule (input) order preserved inside buckets.
+	if got[0][0] != 5 || got[0][1] != 2 {
+		t.Fatalf("bucket order: %v", got[0])
+	}
+	if got[1][0] != 9 || got[1][1] != 11 {
+		t.Fatalf("bucket order: %v", got[1])
+	}
+}
+
+func TestInstanceBinding(t *testing.T) {
+	b := InstanceBinding{Leader: 3, Members: []int{3, 8, 12}}
+	if b.Members[0] != b.Leader {
+		t.Fatal("lane 0 must be the leader")
+	}
+	if MaxClassLanes != 64 {
+		t.Fatalf("MaxClassLanes = %d", MaxClassLanes)
+	}
+}

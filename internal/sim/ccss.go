@@ -286,76 +286,97 @@ func (c *CCSS) Step(n int) error {
 	return nil
 }
 
+// scanInputs detects external input changes and wakes dependent
+// partitions. Inputs only change through pokes, so the scan runs only on
+// steps following one (poked also covers Reset via wakeAll).
+func (c *CCSS) scanInputs() {
+	if !c.poked {
+		return
+	}
+	c.poked = false
+	m := c.machine
+	t := m.t
+	for i := range c.inputs {
+		in := &c.inputs[i]
+		m.stats.InputChecks++
+		changed := false
+		for w := int32(0); w < in.words; w++ {
+			if t[in.off+w] != c.prevIn[in.prevOff+w] {
+				changed = true
+				c.prevIn[in.prevOff+w] = t[in.off+w]
+			}
+		}
+		if changed {
+			for _, p := range in.consumers {
+				c.flags[p] = true
+			}
+			m.stats.Wakes += uint64(len(in.consumers))
+		}
+	}
+}
+
+// evalPart evaluates one woken partition: save old outputs, run the
+// instruction span, compare-and-wake, mark dirty registers.
+func (c *CCSS) evalPart(p int) {
+	m := c.machine
+	t := m.t
+	part := &c.parts[p]
+	c.flags[p] = false
+	m.stats.PartEvals++
+	// Save old output values (Fig. 1: deactivate, save, compute).
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		copy(c.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
+	}
+	m.runRange(part.schedStart, part.schedEnd)
+	// Change detection and push triggering.
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		m.stats.OutputCompares++
+		changed := false
+		for w := int32(0); w < o.words; w++ {
+			if t[o.off+w] != c.oldVals[o.oldOff+w] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			m.stats.SignalChanges++
+			for _, q := range o.consumers {
+				c.flags[q] = true
+			}
+			m.stats.Wakes += uint64(len(o.consumers))
+		}
+	}
+	// Non-elided registers written here must be committed and
+	// compared at the cycle boundary.
+	c.dirtyRegs = append(c.dirtyRegs, part.regs...)
+}
+
 func (c *CCSS) stepOne() error {
 	if c.stopErr != nil {
 		return c.stopErr
 	}
-	m := c.machine
-	t := m.t
-
-	// Detect external input changes and wake dependent partitions.
-	// Inputs only change through pokes, so the scan runs only on steps
-	// following one (poked also covers Reset via wakeAll).
-	if c.poked {
-		c.poked = false
-		for i := range c.inputs {
-			in := &c.inputs[i]
-			m.stats.InputChecks++
-			changed := false
-			for w := int32(0); w < in.words; w++ {
-				if t[in.off+w] != c.prevIn[in.prevOff+w] {
-					changed = true
-					c.prevIn[in.prevOff+w] = t[in.off+w]
-				}
-			}
-			if changed {
-				for _, p := range in.consumers {
-					c.flags[p] = true
-				}
-				m.stats.Wakes += uint64(len(in.consumers))
-			}
-		}
-	}
+	c.scanInputs()
 
 	// Walk the static partition schedule (singular execution).
+	m := c.machine
 	for p := range c.parts {
-		part := &c.parts[p]
 		m.stats.PartChecks++
-		if !c.flags[p] && !part.alwaysOn {
+		if !c.flags[p] && !c.parts[p].alwaysOn {
 			continue
 		}
-		c.flags[p] = false
-		m.stats.PartEvals++
-		// Save old output values (Fig. 1: deactivate, save, compute).
-		for oi := range part.outputs {
-			o := &part.outputs[oi]
-			copy(c.oldVals[o.oldOff:o.oldOff+o.words], t[o.off:o.off+o.words])
-		}
-		m.runRange(part.schedStart, part.schedEnd)
-		// Change detection and push triggering.
-		for oi := range part.outputs {
-			o := &part.outputs[oi]
-			m.stats.OutputCompares++
-			changed := false
-			for w := int32(0); w < o.words; w++ {
-				if t[o.off+w] != c.oldVals[o.oldOff+w] {
-					changed = true
-					break
-				}
-			}
-			if changed {
-				m.stats.SignalChanges++
-				for _, q := range o.consumers {
-					c.flags[q] = true
-				}
-				m.stats.Wakes += uint64(len(o.consumers))
-			}
-		}
-		// Non-elided registers written here must be committed and
-		// compared at the cycle boundary.
-		c.dirtyRegs = append(c.dirtyRegs, part.regs...)
+		c.evalPart(p)
 	}
+	return c.finishCycle()
+}
 
+// finishCycle commits state after the partition walk: dirty two-phase
+// registers with change detection + wakeups, then pending memory writes.
+// Every CCSS-family scan (scalar and vectorized) ends a cycle here.
+func (c *CCSS) finishCycle() error {
+	m := c.machine
+	t := m.t
 	err := m.evalErr
 	m.evalErr = nil
 

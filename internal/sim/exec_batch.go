@@ -427,8 +427,17 @@ func (c *batchCtx) execBatchNarrow(in *instr, lanes []int) {
 	if in.c >= 0 {
 		cc = bt[int(in.c)*L : int(in.c)*L+L]
 	}
-	if len(lanes) == L {
-		c.execBatchNarrowDense(in, d, a, bb, cc)
+	execRowNarrow(in, lanes, d, a, bb, cc)
+}
+
+// execRowNarrow evaluates one narrow instruction over pre-sliced operand
+// rows (each len == lane count) for the given active lanes. Shared
+// between the batch engine (rows sliced from bt by signal offset) and the
+// instance-vectorized engine (rows sliced from a group's slot buffer).
+// Semantics per lane must match execNarrow bit for bit.
+func execRowNarrow(in *instr, lanes []int, d, a, bb, cc []uint64) {
+	if len(lanes) == len(d) {
+		execRowNarrowDense(in, d, a, bb, cc)
 		return
 	}
 	dm := in.dmask
@@ -566,10 +575,10 @@ func (c *batchCtx) execBatchNarrow(in *instr, lanes []int) {
 	}
 }
 
-// execBatchNarrowDense is execBatchNarrow with every lane active: plain
+// execRowNarrowDense is execRowNarrow with every lane active: plain
 // row loops, no lane indirection. The re-slices pin the operand lengths
 // to len(d) so the per-element bounds checks vanish.
-func (c *batchCtx) execBatchNarrowDense(in *instr, d, a, bb, cc []uint64) {
+func execRowNarrowDense(in *instr, d, a, bb, cc []uint64) {
 	if a != nil {
 		a = a[:len(d)]
 	}
@@ -721,15 +730,26 @@ func (c *batchCtx) execBatchFused(in *instr, lanes []int) {
 	d := bt[int(in.dst)*L : int(in.dst)*L+L]
 	a := bt[int(in.a)*L : int(in.a)*L+L]
 	bb := bt[int(in.b)*L : int(in.b)*L+L]
-	if len(lanes) == L {
-		c.execBatchFusedDense(in, d, a, bb)
+	var cc, mm []uint64
+	if in.code == IFCmpMux {
+		cc = bt[int(in.c)*L : int(in.c)*L+L]
+		mm = bt[int(in.mem)*L : int(in.mem)*L+L]
+	}
+	execRowFused(in, lanes, d, a, bb, cc, mm)
+}
+
+// execRowFused evaluates one fused superinstruction over pre-sliced
+// operand rows for the given active lanes; cc/mm are the true/false ways
+// of IFCmpMux (nil otherwise). Shared with the instance-vectorized
+// engine like execRowNarrow.
+func execRowFused(in *instr, lanes []int, d, a, bb, cc, mm []uint64) {
+	if len(lanes) == len(d) {
+		execRowFusedDense(in, d, a, bb, cc, mm)
 		return
 	}
 	dm := in.dmask
 	switch in.code {
 	case IFCmpMux:
-		cc := bt[int(in.c)*L : int(in.c)*L+L]
-		mm := bt[int(in.mem)*L : int(in.mem)*L+L]
 		pick := func(l int, sel bool) {
 			if sel {
 				d[l] = cc[l] & dm
@@ -778,17 +798,15 @@ func (c *batchCtx) execBatchFused(in *instr, lanes []int) {
 	}
 }
 
-// execBatchFusedDense is execBatchFused with every lane active.
-func (c *batchCtx) execBatchFusedDense(in *instr, d, a, bb []uint64) {
-	bt := c.b.bt
-	L := c.b.L
+// execRowFusedDense is execRowFused with every lane active.
+func execRowFusedDense(in *instr, d, a, bb, cc, mm []uint64) {
 	a = a[:len(d)]
 	bb = bb[:len(d)]
 	dm := in.dmask
 	switch in.code {
 	case IFCmpMux:
-		cc := bt[int(in.c)*L : int(in.c)*L+L][:len(d)]
-		mm := bt[int(in.mem)*L : int(in.mem)*L+L][:len(d)]
+		cc = cc[:len(d)]
+		mm = mm[:len(d)]
 		pick := func(l int, sel bool) {
 			if sel {
 				d[l] = cc[l] & dm

@@ -24,6 +24,12 @@ type Options struct {
 	// (verify.Strict, the zero value, fails construction on any proven
 	// violation; Warn prints and continues; Off skips the checks).
 	Verify verify.Mode
+	// NoVec disables instance vectorization on EngineCCSSVec (the
+	// ablation switch: compile and run as plain scalar CCSS).
+	NoVec bool
+	// MaxVecLanes caps instances per equivalence class on EngineCCSSVec
+	// (2..64; 0 = 64).
+	MaxVecLanes int
 }
 
 // New constructs the requested simulation engine for a design. The caller
@@ -43,6 +49,11 @@ func New(d *netlist.Design, opts Options) (Simulator, error) {
 	case EngineCCSSParallel:
 		return NewParallelCCSS(d, ParallelOptions{
 			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse,
+			Verify: opts.Verify})
+	case EngineCCSSVec:
+		return NewVecCCSS(d, VecCCSSOptions{
+			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse,
+			MaxLanes: opts.MaxVecLanes, NoVec: opts.NoVec,
 			Verify: opts.Verify})
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", opts.Engine)

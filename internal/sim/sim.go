@@ -34,6 +34,11 @@ const (
 	// concurrently, level by level (a follow-on extension; needs a
 	// multi-core host to pay off).
 	EngineCCSSParallel
+	// EngineCCSSVec groups structurally identical partitions (replicated
+	// module instances) into equivalence classes and evaluates each
+	// class once per cycle across all instances through the lane-major
+	// row kernels, with a per-instance activity mask.
+	EngineCCSSVec
 )
 
 func (e Engine) String() string {
@@ -48,6 +53,8 @@ func (e Engine) String() string {
 		return "CCSS"
 	case EngineCCSSParallel:
 		return "CCSS-parallel"
+	case EngineCCSSVec:
+		return "CCSS-vec"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -74,7 +81,7 @@ func EngineCapabilities(e Engine) Capabilities {
 	case EngineFullCycle, EngineFullCycleOpt:
 		return Capabilities{Name: "Full-cycle", StaticSchedule: true,
 			SingularExecution: true, CoarseningMethod: "N/A"}
-	case EngineCCSS, EngineCCSSParallel:
+	case EngineCCSS, EngineCCSSParallel, EngineCCSSVec:
 		return Capabilities{Name: "ESSENT (CCSS)", ConditionalExecution: true,
 			CoarsenedSchedule: true, StaticSchedule: true, SingularExecution: true,
 			CoarseningMethod: "acyclic partitioner", CoarseningAutomated: true,

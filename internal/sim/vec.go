@@ -1,0 +1,957 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+
+	"essent/internal/netlist"
+	"essent/internal/partition"
+	"essent/internal/sched"
+	"essent/internal/verify"
+	"essent/pkg/simrt"
+)
+
+// VecCCSS is the instance-vectorized CCSS engine: after partitioning,
+// structurally identical partitions (replicated module instances —
+// systolic PEs, NoC routers, per-core tiles) are grouped into
+// equivalence classes of up to 64 members, one schedule is compiled per
+// class over a slot-indexed lane-major row buffer, and the whole class
+// evaluates through the batch row kernels with a per-instance activity
+// mask — the paper's low-activity thesis applied spatially: an idle
+// router or tile costs one mask bit test.
+//
+// The scalar value table t stays authoritative: each group evaluation
+// gathers its boundary reads from t into the rows (active lanes only),
+// runs the class program, and scatters outputs/state back with the same
+// compare-and-wake the scalar walk performs. Member-interior temps stay
+// in the persistent per-group row buffer, which makes a lane's stale
+// values across evaluations behave exactly like the scalar machine's
+// stale t entries under mux-shadow skips.
+type VecCCSS struct {
+	*CCSS
+
+	groups []vecGroup
+	// groupAt maps runtime partition ID → group index (-1 scalar);
+	// isLeader marks the member at whose position the group evaluates.
+	groupAt  []int32
+	isLeader []bool
+
+	workers int
+	wbufs   []vecWorkerBuf
+
+	vst VecStats
+}
+
+// VecCCSSOptions configures the instance-vectorized engine.
+type VecCCSSOptions struct {
+	// Cp is the partitioning threshold (0 = paper default).
+	Cp int
+	// NoElide / NoMuxShadow / NoFuse are the usual ablation knobs,
+	// passed through to the underlying CCSS compilation.
+	NoElide     bool
+	NoMuxShadow bool
+	NoFuse      bool
+	// Workers > 1 evaluates large groups' lanes in parallel.
+	Workers int
+	// MaxLanes caps instances per class (2..64; 0 = 64).
+	MaxLanes int
+	// NoVec is the ablation switch: compile and run as plain scalar
+	// CCSS (no class detection), bit-exact against the vectorized mode.
+	NoVec bool
+	// Verify selects static-verification enforcement (includes the
+	// SM-VEC rules over the compiled classes).
+	Verify verify.Mode
+}
+
+// VecStats reports what the class-detection pass found and what the
+// engine executed.
+type VecStats struct {
+	// EligibleParts counts partitions passing the vectorization filter.
+	EligibleParts int
+	// Classes counts canonical-hash buckets with ≥2 members.
+	Classes int
+	// Groups counts compiled classes; VecParts sums their lanes.
+	Groups   int
+	VecParts int
+	// MaxLanes is the widest compiled class.
+	MaxLanes int
+	// GroupEvals counts group evaluations; LaneEvals sums active lanes
+	// over them (GroupEvals × mean activity).
+	GroupEvals uint64
+	LaneEvals  uint64
+}
+
+// vecGroup is one compiled equivalence class.
+type vecGroup struct {
+	// parts lists member partitions in lane order; parts[0] is the
+	// leader, at whose schedule position the class evaluates.
+	parts []int32
+	lanes int
+
+	// prog is the class schedule: for instruction kinds (seInstr,
+	// seSkipIfZeroF/NonzeroF) idx indexes vinstrs; for plain skips
+	// (seSkipIfZero/Nonzero) idx is the selector slot.
+	prog    []schedEntry
+	vinstrs []instr // operands/dst rewritten to slot indices
+	nslots  int
+
+	// loads are slots read before written (class boundary reads, and
+	// elided registers updated in place): gathered from t per active
+	// lane before evaluation.
+	loads []int32
+	// laneOff[s*lanes+l] is slot s's machine value-table offset in lane
+	// l (lane 0 = leader offsets, lane l = φ_l of them).
+	laneOff []int32
+
+	// outs are the partition outputs: scattered with change detection
+	// and per-lane consumer wakes. stores are written slots holding
+	// architectural state not under change detection (elided registers
+	// without cross readers, register next values, design output
+	// ports): scattered unconditionally.
+	outs   []vecOut
+	stores []int32
+
+	// regs lists, per lane, the member's non-elided registers to mark
+	// dirty for the cycle-boundary commit.
+	regs [][]int32
+
+	// buf is the persistent slot-major row buffer [nslots × lanes].
+	buf []uint64
+
+	laneScratch []int
+}
+
+type vecOut struct {
+	slot int32
+	// consumers[l] are the partitions lane l wakes on change.
+	consumers [][]int32
+}
+
+type vecWorkerBuf struct {
+	stats Stats
+	wakes []int32
+	dirty []int32
+	pan   any
+}
+
+// NewVecCCSS compiles the instance-vectorized engine.
+func NewVecCCSS(d *netlist.Design, opts VecCCSSOptions) (*VecCCSS, error) {
+	plan, err := sched.PlanCCSSOpts(d, sched.PlanOptions{
+		Cp: opts.Cp, NoElide: opts.NoElide, NoMuxShadow: opts.NoMuxShadow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, err := newCCSSFromPlan(d, plan, opts.NoFuse, opts.Verify)
+	if err != nil {
+		return nil, err
+	}
+	v := &VecCCSS{CCSS: c, workers: opts.Workers}
+	v.groupAt = make([]int32, len(c.parts))
+	for i := range v.groupAt {
+		v.groupAt[i] = -1
+	}
+	v.isLeader = make([]bool, len(c.parts))
+	if !opts.NoVec {
+		maxLanes := opts.MaxLanes
+		if maxLanes <= 0 || maxLanes > partition.MaxClassLanes {
+			maxLanes = partition.MaxClassLanes
+		}
+		if maxLanes < 2 {
+			maxLanes = 2
+		}
+		v.buildGroups(maxLanes)
+		if opts.Verify != verify.Off {
+			if err := verify.Enforce(opts.Verify, v.verifyVec(), nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if v.workers > 1 {
+		v.wbufs = make([]vecWorkerBuf, v.workers)
+	}
+	return v, nil
+}
+
+// VecInfo returns the class-detection and execution statistics.
+func (v *VecCCSS) VecInfo() VecStats { return v.vst }
+
+// NumGroups returns the compiled class count.
+func (v *VecCCSS) NumGroups() int { return len(v.groups) }
+
+// ---------------------------------------------------------------------
+// Class detection and compilation.
+// ---------------------------------------------------------------------
+
+// vecEligible reports whether partition p may join a class: pure
+// narrow/fused combinational body (no sinks, no memory reads, no wide
+// or signed lanes), single-word outputs and register storage, and not
+// always-on.
+func (v *VecCCSS) vecEligible(p int) bool {
+	part := &v.parts[p]
+	if part.alwaysOn || part.schedEnd == part.schedStart {
+		return false
+	}
+	m := v.machine
+	for i := part.schedStart; i < part.schedEnd; i++ {
+		e := &m.sched[i]
+		switch e.kind {
+		case seInstr, seSkipIfZeroF, seSkipIfNonzeroF:
+			in := &m.instrs[e.idx]
+			if in.code == IMemRead {
+				return false
+			}
+			if in.kind != kNarrow && in.kind != kFused {
+				return false
+			}
+		case seSkipIfZero, seSkipIfNonzero:
+			// Selector read becomes a slot.
+		default:
+			// Displays, checks, memory writes stay scalar.
+			return false
+		}
+	}
+	for oi := range part.outputs {
+		if part.outputs[oi].words != 1 {
+			return false
+		}
+	}
+	for _, ri := range part.regs {
+		if v.regNext[ri].words() != 1 || v.regOut[ri].words() != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// readOps collects the read-operand table offsets of in into buf,
+// returning the count. Must agree with the exec kernels' per-code
+// operand usage: unused fields hold stale values and must not be
+// translated to slots.
+func readOps(in *instr, buf *[4]int32) int {
+	switch in.code {
+	case ICopy, IShl, IShr, INeg, INot, IAndr, IOrr, IXorr, IBits, IHead, ITail:
+		buf[0] = in.a
+		return 1
+	case IMux:
+		buf[0], buf[1], buf[2] = in.a, in.b, in.c
+		return 3
+	case IFCmpMux:
+		buf[0], buf[1], buf[2], buf[3] = in.a, in.b, in.c, in.mem
+		return 4
+	default:
+		buf[0], buf[1] = in.a, in.b
+		return 2
+	}
+}
+
+// sameShape reports structural equality of two instructions modulo
+// operand identities (offsets and the out signal).
+func sameShape(x, y *instr) bool {
+	return x.code == y.code && x.kind == y.kind && x.wide == y.wide &&
+		x.sa == y.sa && x.sb == y.sb && x.sc == y.sc &&
+		x.aw == y.aw && x.bw == y.bw && x.cw == y.cw && x.dw == y.dw &&
+		x.p0 == y.p0 && x.p1 == y.p1 && x.dmask == y.dmask
+}
+
+// hashPart computes the canonical structural hash of partition p: the
+// schedule walk's shapes verbatim, operand identities under
+// first-appearance renaming, and the boundary signature (output and
+// register storage shapes). Consumer lists are member-specific and
+// excluded.
+func (v *VecCCSS) hashPart(p int) uint64 {
+	h := partition.NewClassHasher()
+	m := v.machine
+	part := &v.parts[p]
+	var ops [4]int32
+	for i := part.schedStart; i < part.schedEnd; i++ {
+		e := &m.sched[i]
+		h.Word(uint64(e.kind))
+		switch e.kind {
+		case seInstr, seSkipIfZeroF, seSkipIfNonzeroF:
+			in := &m.instrs[e.idx]
+			var sbits uint64
+			if in.sa {
+				sbits |= 1
+			}
+			if in.sb {
+				sbits |= 2
+			}
+			if in.sc {
+				sbits |= 4
+			}
+			h.Word(uint64(in.code) | uint64(in.kind)<<8 | sbits<<16)
+			h.Word(uint64(uint32(in.aw)) | uint64(uint32(in.bw))<<32)
+			h.Word(uint64(uint32(in.cw)) | uint64(uint32(in.dw))<<32)
+			h.Word(uint64(uint32(in.p0)) | uint64(uint32(in.p1))<<32)
+			h.Word(in.dmask)
+			n := readOps(in, &ops)
+			for k := 0; k < n; k++ {
+				h.Ref(ops[k])
+			}
+			h.Ref(in.dst)
+			h.Word(uint64(uint32(e.n)))
+		case seSkipIfZero, seSkipIfNonzero:
+			h.Ref(e.idx)
+			h.Word(uint64(uint32(e.n)))
+		}
+	}
+	h.Word(uint64(len(part.outputs)))
+	for oi := range part.outputs {
+		h.Word(uint64(part.outputs[oi].words))
+		h.Ref(part.outputs[oi].off)
+	}
+	h.Word(uint64(len(part.regs)))
+	for _, ri := range part.regs {
+		h.Ref(v.regNext[ri].off)
+	}
+	return h.Sum()
+}
+
+// matchMember attempts the exact lockstep walk binding member mp to
+// leader lp. On success it returns φ: leader offset → member offset,
+// injective (two distinct leader slots never collapse onto one member
+// offset — a collapsed pair with a write would make later reads
+// ambiguous between old and new values). The boundary must correspond
+// under φ: outputs by offset and width, non-elided register next
+// storage as a set.
+func (v *VecCCSS) matchMember(lp, mp int) (map[int32]int32, bool) {
+	m := v.machine
+	a, b := &v.parts[lp], &v.parts[mp]
+	n := a.schedEnd - a.schedStart
+	if n != b.schedEnd-b.schedStart {
+		return nil, false
+	}
+	phi := make(map[int32]int32)
+	rev := make(map[int32]int32)
+	bind := func(lo, mo int32) bool {
+		if x, ok := phi[lo]; ok {
+			return x == mo
+		}
+		if _, ok := rev[mo]; ok {
+			return false
+		}
+		phi[lo] = mo
+		rev[mo] = lo
+		return true
+	}
+	var opsA, opsB [4]int32
+	for k := int32(0); k < n; k++ {
+		ea, eb := &m.sched[a.schedStart+k], &m.sched[b.schedStart+k]
+		if ea.kind != eb.kind || ea.n != eb.n {
+			return nil, false
+		}
+		switch ea.kind {
+		case seInstr, seSkipIfZeroF, seSkipIfNonzeroF:
+			ia, ib := &m.instrs[ea.idx], &m.instrs[eb.idx]
+			if !sameShape(ia, ib) {
+				return nil, false
+			}
+			na := readOps(ia, &opsA)
+			readOps(ib, &opsB)
+			for j := 0; j < na; j++ {
+				if !bind(opsA[j], opsB[j]) {
+					return nil, false
+				}
+			}
+			if !bind(ia.dst, ib.dst) {
+				return nil, false
+			}
+		case seSkipIfZero, seSkipIfNonzero:
+			if !bind(ea.idx, eb.idx) {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	if len(a.outputs) != len(b.outputs) || len(a.regs) != len(b.regs) {
+		return nil, false
+	}
+	boff := make(map[int32]int32, len(b.outputs))
+	for oi := range b.outputs {
+		boff[b.outputs[oi].off] = b.outputs[oi].words
+	}
+	for oi := range a.outputs {
+		mo, ok := phi[a.outputs[oi].off]
+		if !ok {
+			return nil, false
+		}
+		if w, ok := boff[mo]; !ok || w != a.outputs[oi].words {
+			return nil, false
+		}
+	}
+	bnext := make(map[int32]bool, len(b.regs))
+	for _, ri := range b.regs {
+		bnext[v.regNext[ri].off] = true
+	}
+	for _, ri := range a.regs {
+		mo, ok := phi[v.regNext[ri].off]
+		if !ok || !bnext[mo] {
+			return nil, false
+		}
+	}
+	return phi, true
+}
+
+// partPreds reconstructs the partition DAG's predecessor lists with
+// edge types from the plan: data edges from cross-partition node
+// adjacency, ordering edges (reader scheduled before the in-place
+// writer) from elided registers' cross-partition readers.
+func (v *VecCCSS) partPreds() (data, ord [][]int32) {
+	plan := v.plan
+	dg := plan.DG
+	np := len(v.parts)
+	partOfNode := make([]int32, dg.G.Len())
+	for i := range partOfNode {
+		partOfNode[i] = -1
+	}
+	for p := range plan.Parts {
+		for _, n := range plan.Parts[p].Members {
+			partOfNode[n] = int32(p)
+		}
+	}
+	data = make([][]int32, np)
+	for p := range plan.Parts {
+		for _, u := range plan.Parts[p].Members {
+			for _, vn := range dg.G.Out(u) {
+				q := partOfNode[vn]
+				if q >= 0 && q != int32(p) {
+					data[q] = append(data[q], int32(p))
+				}
+			}
+		}
+	}
+	ord = make([][]int32, np)
+	d := v.machine.d
+	for ri := range d.Regs {
+		if ri >= len(plan.Elided) || !plan.Elided[ri] {
+			continue
+		}
+		w := partOfNode[int(d.Regs[ri].Next)]
+		if w < 0 {
+			continue
+		}
+		for _, q := range plan.RegReaderParts[ri] {
+			if int32(q) != w {
+				ord[w] = append(ord[w], int32(q))
+			}
+		}
+	}
+	for p := 0; p < np; p++ {
+		data[p] = dedupInt32(data[p])
+		ord[p] = dedupInt32(ord[p])
+	}
+	return data, ord
+}
+
+func dedupInt32(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// buildGroups runs class detection: eligibility filter, canonical-hash
+// bucketing, then greedy grouping in schedule order with the exact
+// lockstep match and the schedule-legality check.
+//
+// Legality: member p evaluates at its leader L's (earlier) position.
+// Every data predecessor X of p must already be final by then —
+// effPos(X) < pos(L), where effPos is X's own leader position if X is
+// grouped — and must not sit in p's own group (intra-class data flow
+// would need intra-evaluation ordering). Ordering predecessors
+// (readers of an elided register p writes) are legal inside the group
+// — all lanes gather before any lane scatters — and must otherwise
+// also satisfy effPos(X) < pos(L). The rule stays sound under later
+// regrouping because grouping only ever moves a partition's effective
+// position earlier (leaders precede members in schedule order).
+func (v *VecCCSS) buildGroups(maxLanes int) {
+	dataPreds, ordPreds := v.partPreds()
+
+	var eligible []int
+	hashOf := make(map[int]uint64)
+	for p := range v.parts {
+		if v.vecEligible(p) {
+			eligible = append(eligible, p)
+			hashOf[p] = v.hashPart(p)
+		}
+	}
+	v.vst.EligibleParts = len(eligible)
+	buckets := partition.GroupByHash(eligible, hashOf)
+	v.vst.Classes = len(buckets)
+
+	// grpOf tracks build-time membership: partition → open-group index.
+	grpOf := make([]int32, len(v.parts))
+	for i := range grpOf {
+		grpOf[i] = -1
+	}
+	type openGroup struct {
+		members []int
+		phis    []map[int32]int32 // phis[0] == nil (leader identity)
+	}
+	var open []openGroup
+
+	legal := func(p int, gi int32, leader int) bool {
+		for _, x := range dataPreds[p] {
+			if grpOf[x] == gi {
+				return false
+			}
+			ep := x
+			if g := grpOf[x]; g >= 0 {
+				ep = int32(open[g].members[0])
+			}
+			if int(ep) >= leader {
+				return false
+			}
+		}
+		for _, x := range ordPreds[p] {
+			if grpOf[x] == gi {
+				continue
+			}
+			ep := x
+			if g := grpOf[x]; g >= 0 {
+				ep = int32(open[g].members[0])
+			}
+			if int(ep) >= leader {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, bucket := range buckets {
+		first := len(open)
+		for _, cand := range bucket {
+			joined := false
+			for gi := first; gi < len(open); gi++ {
+				g := &open[gi]
+				if len(g.members) >= maxLanes {
+					continue
+				}
+				if !legal(cand, int32(gi), g.members[0]) {
+					continue
+				}
+				phi, ok := v.matchMember(g.members[0], cand)
+				if !ok {
+					continue
+				}
+				g.members = append(g.members, cand)
+				g.phis = append(g.phis, phi)
+				grpOf[cand] = int32(gi)
+				joined = true
+				break
+			}
+			if !joined {
+				open = append(open, openGroup{
+					members: []int{cand},
+					phis:    []map[int32]int32{nil},
+				})
+				grpOf[cand] = int32(len(open) - 1)
+			}
+		}
+	}
+
+	stateOffs := v.stateOffsets()
+	for gi := range open {
+		g := &open[gi]
+		if len(g.members) < 2 {
+			grpOf[g.members[0]] = -1
+			continue
+		}
+		vg := v.finalizeGroup(g.members, g.phis, stateOffs)
+		if vg == nil {
+			for _, p := range g.members {
+				grpOf[p] = -1
+			}
+			continue
+		}
+		idx := int32(len(v.groups))
+		v.groups = append(v.groups, *vg)
+		for _, p := range g.members {
+			v.groupAt[p] = idx
+		}
+		v.isLeader[g.members[0]] = true
+		v.vst.Groups++
+		v.vst.VecParts += len(g.members)
+		if len(g.members) > v.vst.MaxLanes {
+			v.vst.MaxLanes = len(g.members)
+		}
+	}
+}
+
+// stateOffsets collects every single-word value-table offset holding
+// architectural state a partition body may write: elided registers'
+// output storage, every register's next storage, and the design's
+// output ports. Any class slot landing on one of these in any lane must
+// scatter back to t (checkpoint capture and the cycle-boundary commit
+// read t, and external observers peek output ports).
+func (v *VecCCSS) stateOffsets() map[int32]bool {
+	m := v.machine
+	d := m.d
+	offs := make(map[int32]bool)
+	for ri := range d.Regs {
+		if ri < len(v.plan.Elided) && v.plan.Elided[ri] {
+			offs[m.off[d.Regs[ri].Out]] = true
+		}
+		offs[v.regNext[ri].off] = true
+	}
+	for _, out := range d.Outputs {
+		offs[m.off[out]] = true
+	}
+	return offs
+}
+
+// finalizeGroup compiles one class: walk the leader's schedule once,
+// assigning slots to offsets in first-appearance order (a first
+// appearance as a read marks a boundary load), rewrite the instruction
+// stream into slot space, and derive the scatter sets. Returns nil if
+// an output was never assigned a slot (nothing in the walk wrote or
+// read it — cannot happen for a well-formed schedule, but fall back to
+// scalar rather than miscompile).
+func (v *VecCCSS) finalizeGroup(members []int, phis []map[int32]int32,
+	stateOffs map[int32]bool) *vecGroup {
+	m := v.machine
+	leader := members[0]
+	part := &v.parts[leader]
+	lanes := len(members)
+
+	g := &vecGroup{lanes: lanes}
+	g.parts = make([]int32, lanes)
+	for i, p := range members {
+		g.parts[i] = int32(p)
+	}
+
+	slotOf := make(map[int32]int32)
+	var slotOffs []int32 // slot → leader offset
+	written := make(map[int32]bool)
+	slot := func(off int32, read bool) int32 {
+		s, ok := slotOf[off]
+		if !ok {
+			s = int32(len(slotOffs))
+			slotOf[off] = s
+			slotOffs = append(slotOffs, off)
+			if read {
+				g.loads = append(g.loads, s)
+			}
+		}
+		return s
+	}
+
+	var ops [4]int32
+	for i := part.schedStart; i < part.schedEnd; i++ {
+		e := &m.sched[i]
+		switch e.kind {
+		case seInstr, seSkipIfZeroF, seSkipIfNonzeroF:
+			in := m.instrs[e.idx]
+			n := readOps(&in, &ops)
+			vi := in
+			vi.a, vi.b, vi.c, vi.mem = -1, -1, -1, -1
+			slots := [4]int32{}
+			for k := 0; k < n; k++ {
+				slots[k] = slot(ops[k], true)
+			}
+			switch in.code {
+			case ICopy, IShl, IShr, INeg, INot, IAndr, IOrr, IXorr,
+				IBits, IHead, ITail:
+				vi.a = slots[0]
+			case IMux:
+				vi.a, vi.b, vi.c = slots[0], slots[1], slots[2]
+			case IFCmpMux:
+				vi.a, vi.b, vi.c, vi.mem = slots[0], slots[1], slots[2], slots[3]
+			default:
+				vi.a, vi.b = slots[0], slots[1]
+			}
+			ds := slot(in.dst, false)
+			written[ds] = true
+			vi.dst = ds
+			g.prog = append(g.prog, schedEntry{kind: e.kind,
+				idx: int32(len(g.vinstrs)), n: e.n})
+			g.vinstrs = append(g.vinstrs, vi)
+		case seSkipIfZero, seSkipIfNonzero:
+			g.prog = append(g.prog, schedEntry{kind: e.kind,
+				idx: slot(e.idx, true), n: e.n})
+		}
+	}
+	g.nslots = len(slotOffs)
+
+	// Per-lane offsets: lane 0 is the leader verbatim, lane l maps
+	// through φ_l. Every slot offset appeared in the walk, so φ_l is
+	// total over them by construction.
+	g.laneOff = make([]int32, g.nslots*lanes)
+	for s, off := range slotOffs {
+		g.laneOff[s*lanes] = off
+		for l := 1; l < lanes; l++ {
+			mo, ok := phis[l][off]
+			if !ok {
+				return nil
+			}
+			g.laneOff[s*lanes+l] = mo
+		}
+	}
+
+	// Outputs: change detection + per-lane consumer wakes.
+	outSlots := make(map[int32]bool)
+	for oi := range part.outputs {
+		o := &part.outputs[oi]
+		s, ok := slotOf[o.off]
+		if !ok {
+			return nil
+		}
+		vo := vecOut{slot: s, consumers: make([][]int32, lanes)}
+		vo.consumers[0] = o.consumers
+		for l := 1; l < lanes; l++ {
+			mp := &v.parts[members[l]]
+			moff := phis[l][o.off]
+			found := false
+			for mi := range mp.outputs {
+				if mp.outputs[mi].off == moff {
+					vo.consumers[l] = mp.outputs[mi].consumers
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+		g.outs = append(g.outs, vo)
+		outSlots[s] = true
+	}
+
+	// Stores: written slots holding state in any lane, minus outputs.
+	for s := range written {
+		if outSlots[s] {
+			continue
+		}
+		for l := 0; l < lanes; l++ {
+			if stateOffs[g.laneOff[int(s)*lanes+l]] {
+				g.stores = append(g.stores, s)
+				break
+			}
+		}
+	}
+	sort.Slice(g.stores, func(i, j int) bool { return g.stores[i] < g.stores[j] })
+	sort.Slice(g.loads, func(i, j int) bool { return g.loads[i] < g.loads[j] })
+
+	g.regs = make([][]int32, lanes)
+	for l, p := range members {
+		g.regs[l] = v.parts[p].regs
+	}
+
+	g.buf = make([]uint64, g.nslots*lanes)
+	g.laneScratch = make([]int, 0, lanes)
+	return g
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------
+
+// Step simulates n cycles through the vectorized walk.
+func (v *VecCCSS) Step(n int) error {
+	for i := 0; i < n; i++ {
+		if err := v.stepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *VecCCSS) stepOne() error {
+	if v.stopErr != nil {
+		return v.stopErr
+	}
+	v.scanInputs()
+	m := v.machine
+	for p := range v.parts {
+		m.stats.PartChecks++
+		if g := v.groupAt[p]; g >= 0 {
+			// Members evaluate at their leader's position; wakes
+			// arriving later in the walk can only come from the
+			// cycle-boundary commit and are collected next cycle —
+			// the legality rule placed every data predecessor
+			// before the leader.
+			if v.isLeader[p] {
+				v.runGroup(&v.groups[g])
+			}
+			continue
+		}
+		if !v.flags[p] && !v.parts[p].alwaysOn {
+			continue
+		}
+		v.evalPart(p)
+	}
+	return v.finishCycle()
+}
+
+// vecParMinActive is the active-lane threshold below which parallel
+// group evaluation is never worth the goroutine fan-out.
+const vecParMinActive = 16
+
+// runGroup evaluates one class: collect member flags into the activity
+// mask, gather boundary reads for active lanes, run the class program,
+// scatter with compare-and-wake. Inactive lanes cost their flag test
+// only.
+func (v *VecCCSS) runGroup(g *vecGroup) {
+	var mask simrt.LaneMask
+	for l, p := range g.parts {
+		if v.flags[p] {
+			v.flags[p] = false
+			mask |= 1 << uint(l)
+		}
+	}
+	if mask == 0 {
+		return
+	}
+	m := v.machine
+	n := mask.Count()
+	m.stats.PartEvals += uint64(n)
+	v.vst.GroupEvals++
+	v.vst.LaneEvals += uint64(n)
+	g.laneScratch = mask.Lanes(g.laneScratch[:0])
+	lanes := g.laneScratch
+
+	// Phase 1: gather boundary reads from t (active lanes only —
+	// inactive lanes keep their rows, exactly as the scalar machine
+	// keeps a sleeping partition's t entries).
+	t := m.t
+	L := g.lanes
+	for _, s := range g.loads {
+		row := g.buf[int(s)*L : int(s)*L+L]
+		offs := g.laneOff[int(s)*L : int(s)*L+L]
+		for _, l := range lanes {
+			row[l] = t[offs[l]]
+		}
+	}
+
+	if v.workers > 1 && n >= vecParMinActive {
+		v.runGroupParallel(g, mask, lanes)
+		return
+	}
+
+	// Phase 2: evaluate into the row buffer.
+	m.stats.OpsEvaluated += execGroup(g, mask, lanes)
+
+	// Phase 3: scatter, compare, wake, mark dirty registers.
+	v.scatterLanes(g, lanes, &m.stats, nil, &v.dirtyRegs)
+}
+
+// scatterLanes writes the evaluated lanes back to t. Outputs get the
+// scalar walk's compare-and-wake (the pre-scatter t value is the old
+// value — nothing else writes these offsets); stores write
+// unconditionally. When wakeBuf is non-nil (parallel workers), wakes
+// are buffered instead of setting flags directly.
+func (v *VecCCSS) scatterLanes(g *vecGroup, lanes []int, st *Stats,
+	wakeBuf *[]int32, dirty *[]int32) {
+	t := v.machine.t
+	L := g.lanes
+	for oi := range g.outs {
+		o := &g.outs[oi]
+		row := g.buf[int(o.slot)*L : int(o.slot)*L+L]
+		offs := g.laneOff[int(o.slot)*L : int(o.slot)*L+L]
+		for _, l := range lanes {
+			st.OutputCompares++
+			nv := row[l]
+			if t[offs[l]] != nv {
+				t[offs[l]] = nv
+				st.SignalChanges++
+				cons := o.consumers[l]
+				if wakeBuf != nil {
+					*wakeBuf = append(*wakeBuf, cons...)
+				} else {
+					for _, q := range cons {
+						v.flags[q] = true
+					}
+				}
+				st.Wakes += uint64(len(cons))
+			}
+		}
+	}
+	for _, s := range g.stores {
+		row := g.buf[int(s)*L : int(s)*L+L]
+		offs := g.laneOff[int(s)*L : int(s)*L+L]
+		for _, l := range lanes {
+			t[offs[l]] = row[l]
+		}
+	}
+	for _, l := range lanes {
+		if rs := g.regs[l]; len(rs) > 0 {
+			*dirty = append(*dirty, rs...)
+		}
+	}
+}
+
+// runGroupParallel splits the active lanes into contiguous chunks, one
+// goroutine each: evaluation writes disjoint buffer rows, scatter
+// writes disjoint t offsets (each lane owns its member's storage), and
+// wakes/stats/dirty registers buffer per worker for a deterministic
+// serial merge in lane order. The boundary gathers already ran — every
+// cross-lane read (an elided register another lane writes) sees the
+// pre-evaluation value, as the gather-before-scatter contract requires.
+func (v *VecCCSS) runGroupParallel(g *vecGroup, mask simrt.LaneMask, lanes []int) {
+	nw := v.workers
+	if max := len(lanes) / 8; nw > max {
+		nw = max
+	}
+	if nw < 2 {
+		nw = 2
+	}
+	chunk := (len(lanes) + nw - 1) / nw
+	var wg sync.WaitGroup
+	used := 0
+	for w := 0; w*chunk < len(lanes); w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(lanes) {
+			hi = len(lanes)
+		}
+		wb := &v.wbufs[w]
+		wb.stats = Stats{}
+		wb.wakes = wb.wakes[:0]
+		wb.dirty = wb.dirty[:0]
+		wb.pan = nil
+		used = w + 1
+		sub := lanes[lo:hi]
+		var subMask simrt.LaneMask
+		for _, l := range sub {
+			subMask |= 1 << uint(l)
+		}
+		wg.Add(1)
+		go func(wb *vecWorkerBuf, sub []int, subMask simrt.LaneMask) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					wb.pan = r
+				}
+			}()
+			wb.stats.OpsEvaluated += execGroup(g, subMask, sub)
+			v.scatterLanes(g, sub, &wb.stats, &wb.wakes, &wb.dirty)
+		}(wb, sub, subMask)
+	}
+	wg.Wait()
+	m := v.machine
+	for w := 0; w < used; w++ {
+		wb := &v.wbufs[w]
+		if wb.pan != nil {
+			panic(wb.pan)
+		}
+		m.stats.OpsEvaluated += wb.stats.OpsEvaluated
+		m.stats.OutputCompares += wb.stats.OutputCompares
+		m.stats.SignalChanges += wb.stats.SignalChanges
+		m.stats.Wakes += wb.stats.Wakes
+		for _, q := range wb.wakes {
+			v.flags[q] = true
+		}
+		v.dirtyRegs = append(v.dirtyRegs, wb.dirty...)
+	}
+}
+
+var _ Simulator = (*VecCCSS)(nil)
