@@ -26,6 +26,9 @@
 //	benchall -only vec -lanes 16,64
 //	                              # instance-vectorization sweep: vec vs NoVec
 //	                              # on the replicated MAC-array/NoC designs
+//	benchall -only sa -designs r16
+//	                              # static activity analysis: proof coverage,
+//	                              # compile cost, CCSS speedup vs ablation
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced workload scale")
 		only  = flag.String("only", "",
-			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost, ckptcost, pack, vec")
+			"run one experiment: table1..4, fig5..7, ablation, scaling, lanes, verifycost, ckptcost, pack, vec, sa")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files to this directory")
 		jsonPath = flag.String("json", "",
 			`write Table III results as JSON records to this file ("-" for stdout)`)
@@ -111,6 +114,12 @@ experiment (default list with -only ckptcost)`)
 		// the SoC design set entirely.
 		runVecSweep(scale, *lanesFlag, *laneWorkers, *designsFlag,
 			*jsonPath, writeCSV)
+		return
+	}
+	if *only == "sa" {
+		// The SA sweep compiles its own r16/fab/mac16 cells; skip the
+		// SoC design set entirely.
+		runSASweep(scale, *designsFlag, *jsonPath, writeCSV)
 		return
 	}
 
@@ -451,10 +460,47 @@ func runVecSweep(scale exp.Scale, lanesFlag string, workers int,
 	}
 }
 
+// runSASweep runs the static-activity experiment: proof coverage and
+// analysis cost per design, plus CCSS throughput of the SA-optimized
+// netlist against the NoSA ablation.
+func runSASweep(scale exp.Scale, designsFlag, jsonPath string,
+	writeCSV func(string, func(*os.File) error)) {
+	var designFilter []string
+	if designsFlag != "" {
+		for _, part := range strings.Split(designsFlag, ",") {
+			designFilter = append(designFilter, strings.TrimSpace(part))
+		}
+	}
+	fmt.Println("running static activity analysis sweep (SA vs ablation)...")
+	rows, err := exp.SASweep(scale, designFilter)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(exp.RenderSA(rows))
+	writeCSV("sa.csv", func(f *os.File) error { return exp.WriteSACSV(f, rows) })
+	if jsonPath != "" {
+		out := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := exp.WriteSAJSON(out, rows); err != nil {
+			fatal(err)
+		}
+		if jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+		}
+	}
+}
+
 // experiments are the valid -only values.
 var experiments = []string{"table1", "table2", "table3", "table4",
 	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost",
-	"ckptcost", "pack", "vec"}
+	"ckptcost", "pack", "vec", "sa"}
 
 // validateFlags rejects contradictory flag combinations up front, before
 // any design compiles — previously `-only lanes -workers 4` silently ran

@@ -30,6 +30,12 @@ func main() {
 			"disable instance vectorization on -engine vec (ablation)")
 		maxVecLanes = flag.Int("max-vec-lanes", 0,
 			"cap instances per equivalence class for -engine vec (2..64; 0 = 64)")
+		minVecLanes = flag.Int("vec-min-lanes", 0,
+			"cost-model lane floor for -engine vec: classes packing fewer lanes "+
+				"fall back to scalar (0 = tuned default 8; 2 accepts every class)")
+		nosa = flag.Bool("nosa", false,
+			"disable static activity analysis in compilation (ablation: no "+
+				"SA constant folding, pack widening, or vec guard signatures)")
 		cycles     = flag.Int("cycles", 100000, "maximum cycles to simulate")
 		verbose    = flag.Bool("v", false, "print design printf output")
 		stats      = flag.Bool("stats", true, "print work statistics")
@@ -108,7 +114,8 @@ func main() {
 	}
 
 	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp,
-		NoVec: *novec, MaxVecLanes: *maxVecLanes, Verify: vmode})
+		NoVec: *novec, MaxVecLanes: *maxVecLanes, MinVecLanes: *minVecLanes,
+		NoSA: *nosa, Verify: vmode})
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +130,14 @@ func main() {
 	if vi := sim.VecInfo(); vi.Groups > 0 {
 		fmt.Printf("vectorized: %d partitions in %d groups (%d classes, widest %d lanes)\n",
 			vi.VecParts, vi.Groups, vi.Classes, vi.MaxLanes)
+		if vi.SharedGuardGroups > 0 {
+			fmt.Printf("  %d group(s) share a static toggle-condition signature\n",
+				vi.SharedGuardGroups)
+		}
+	}
+	if vi := sim.VecInfo(); vi.DroppedGroups > 0 {
+		fmt.Printf("vec floor: %d class(es) (%d partitions) below %d lanes fell back to scalar\n",
+			vi.DroppedGroups, vi.DroppedParts, vi.MinLanes)
 	}
 
 	if *resume {
@@ -272,6 +287,10 @@ func validateFlags() error {
 		if set["max-vec-lanes"] {
 			return errors.New("-max-vec-lanes configures -engine vec lane grouping" +
 				" and needs -engine vec")
+		}
+		if set["vec-min-lanes"] {
+			return errors.New("-vec-min-lanes configures the -engine vec cost-model" +
+				" floor and needs -engine vec")
 		}
 	}
 	return nil

@@ -141,6 +141,14 @@ type Options struct {
 	// MaxVecLanes caps instances per equivalence class for
 	// EngineESSENTVec (2..64; 0 = 64).
 	MaxVecLanes int
+	// MinVecLanes is the vectorizer's cost-model floor: equivalence
+	// classes that fragment below this many lanes fall back to scalar
+	// evaluation (0 = the tuned default of 8; 2 accepts every class).
+	MinVecLanes int
+	// NoSA ablates static activity analysis everywhere it feeds the
+	// compile: the optimizer's known-bits folds and the vectorizer's
+	// toggle-condition signatures.
+	NoSA bool
 	// Verify selects static-verification enforcement (VerifyStrict, the
 	// zero value, by default).
 	Verify VerifyMode
@@ -178,8 +186,9 @@ func toDiagnostics(in []verify.Diagnostic) []Diagnostic {
 }
 
 // Lint parses FIRRTL source, compiles the netlist, and returns every
-// lint finding — the error rules plus advisory output (dead signals) —
-// without building a simulator. An empty slice means a clean design.
+// lint finding — the error rules, advisory output (dead signals), and
+// the static-activity rules (SA-CONST/SA-DEAD/SA-WIDTH) — without
+// building a simulator. An empty slice means a clean design.
 func Lint(source string) ([]Diagnostic, error) {
 	circuit, err := firrtl.Parse(source)
 	if err != nil {
@@ -189,7 +198,9 @@ func Lint(source string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return toDiagnostics(verify.Lint(d)), nil
+	diags := verify.Lint(d)
+	diags = append(diags, verify.SA(d)...)
+	return toDiagnostics(diags), nil
 }
 
 // Stats reports simulation work; see the field comments on the Fig. 7
@@ -230,11 +241,11 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 	wantOpt := opts.Engine == EngineFullCycleOpt || opts.Engine == EngineESSENT ||
 		opts.Engine == EngineESSENTParallel || opts.Engine == EngineESSENTVec
 	if wantOpt && !opts.NoOptimize {
-		if d, _, err = opt.Optimize(d); err != nil {
+		if d, _, err = opt.OptimizeOpts(d, opt.Options{NoSA: opts.NoSA}); err != nil {
 			return nil, err
 		}
 	}
-	engine := sim.Options{Verify: opts.Verify.internal()}
+	engine := sim.Options{Verify: opts.Verify.internal(), NoSA: opts.NoSA}
 	switch opts.Engine {
 	case EngineEventDriven:
 		engine.Engine = sim.EngineEventDriven
@@ -251,6 +262,7 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 		engine.Engine, engine.Cp, engine.Workers =
 			sim.EngineCCSSVec, opts.Cp, opts.Workers
 		engine.NoVec, engine.MaxVecLanes = opts.NoVec, opts.MaxVecLanes
+		engine.MinVecLanes = opts.MinVecLanes
 	default:
 		return nil, fmt.Errorf("essent: unknown engine %v", opts.Engine)
 	}
@@ -636,6 +648,17 @@ type VecStats struct {
 	VecParts int
 	// MaxLanes is the widest group's lane count.
 	MaxLanes int
+	// MinLanes is the cost-model floor applied; DroppedGroups /
+	// DroppedParts count classes (and their partitions) that packed
+	// fewer lanes than the floor and fell back to the scalar path.
+	MinLanes      int
+	DroppedGroups int
+	DroppedParts  int
+	// GatedParts counts vectorizable partitions carrying a static
+	// toggle-condition signature; SharedGuardGroups counts compiled
+	// groups whose lanes all share one signature.
+	GatedParts        int
+	SharedGuardGroups int
 	// GroupEvals / LaneEvals count group activations and active-lane
 	// evaluations during simulation.
 	GroupEvals uint64
@@ -648,13 +671,18 @@ func (s *Sim) VecInfo() VecStats {
 	if vv, ok := s.s.(interface{ VecInfo() sim.VecStats }); ok {
 		v := vv.VecInfo()
 		return VecStats{
-			EligibleParts: v.EligibleParts,
-			Classes:       v.Classes,
-			Groups:        v.Groups,
-			VecParts:      v.VecParts,
-			MaxLanes:      v.MaxLanes,
-			GroupEvals:    v.GroupEvals,
-			LaneEvals:     v.LaneEvals,
+			EligibleParts:     v.EligibleParts,
+			Classes:           v.Classes,
+			Groups:            v.Groups,
+			VecParts:          v.VecParts,
+			MaxLanes:          v.MaxLanes,
+			MinLanes:          v.MinLanes,
+			DroppedGroups:     v.DroppedGroups,
+			DroppedParts:      v.DroppedParts,
+			GatedParts:        v.GatedParts,
+			SharedGuardGroups: v.SharedGuardGroups,
+			GroupEvals:        v.GroupEvals,
+			LaneEvals:         v.LaneEvals,
 		}
 	}
 	return VecStats{}

@@ -73,13 +73,18 @@ func TestMACArrayVectorizes(t *testing.T) {
 }
 
 // TestNoCMeshVectorizes asserts router partitions group despite their
-// per-instance coordinate constants.
+// per-instance coordinate constants. The mesh's classes are fragmented
+// (few lanes each), so detection is asserted with the cost-model floor
+// relaxed; under the default floor the same classes must fall back to
+// the scalar path — shipping them is the measured regression the floor
+// exists to prevent.
 func TestNoCMeshVectorizes(t *testing.T) {
 	for _, optimize := range []bool{false, true} {
 		t.Run(fmt.Sprintf("opt=%v", optimize), func(t *testing.T) {
 			d := buildNoC(t, NoCConfig{Name: "noc4", Rows: 4, Cols: 4,
 				PayloadW: 8, RateBits: 3}, optimize)
-			s, err := sim.New(d, sim.Options{Engine: sim.EngineCCSSVec})
+			s, err := sim.New(d, sim.Options{Engine: sim.EngineCCSSVec,
+				MinVecLanes: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,6 +92,20 @@ func TestNoCMeshVectorizes(t *testing.T) {
 			t.Logf("noc4 opt=%v: %d nodes, vec %+v", optimize, d.NumNodes(), vi)
 			if vi.Groups == 0 || vi.MaxLanes < 4 {
 				t.Fatalf("NoC mesh did not vectorize: %+v", vi)
+			}
+			def, err := sim.New(d, sim.Options{Engine: sim.EngineCCSSVec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dvi := vecInfo(def)
+			t.Logf("noc4 opt=%v default floor: %+v", optimize, dvi)
+			if dvi.MaxLanes >= dvi.MinLanes {
+				// A class at or above the floor may legitimately ship; the
+				// fragmented ones must not.
+				return
+			}
+			if dvi.Groups != 0 || dvi.DroppedGroups == 0 {
+				t.Fatalf("fragmented NoC classes not dropped by the default floor: %+v", dvi)
 			}
 		})
 	}
@@ -200,10 +219,14 @@ func TestVecDesignEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ref := newVec(t, tc.d, sim.Options{NoVec: true})
+			// MinVecLanes 2 keeps the fragmented designs (noc4) on the
+			// vectorized path so the equivalence check exercises it; the
+			// default floor would legitimately fall back to scalar there.
 			others := map[string]sim.Simulator{
-				"vec":         newVec(t, tc.d, sim.Options{}),
-				"vec-lanes5":  newVec(t, tc.d, sim.Options{MaxVecLanes: 5}),
-				"vec-workers": newVec(t, tc.d, sim.Options{Workers: 4}),
+				"vec":          newVec(t, tc.d, sim.Options{MinVecLanes: 2}),
+				"vec-lanes5":   newVec(t, tc.d, sim.Options{MaxVecLanes: 5, MinVecLanes: 2}),
+				"vec-workers":  newVec(t, tc.d, sim.Options{Workers: 4, MinVecLanes: 2}),
+				"vec-deffloor": newVec(t, tc.d, sim.Options{}),
 			}
 			scalar, err := sim.New(tc.d, sim.Options{Engine: sim.EngineCCSS})
 			if err != nil {

@@ -1,0 +1,288 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"essent/internal/designs"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/sa"
+	"essent/internal/sim"
+)
+
+// SARow is one design's measurement of the static-activity experiment:
+// what the analysis proves, what it costs at compile time, and the
+// end-to-end CCSS throughput of the SA-optimized netlist against the
+// ablated one.
+type SARow struct {
+	Design  string `json:"design"`
+	Signals int    `json:"signals"`
+	// ProvenConstPct / ProvenGatedPct / ProvenNarrowPct are the
+	// fractions of signals proven constant, observability- or
+	// hold-guarded, and narrower than declared.
+	ProvenConstPct  float64 `json:"proven_const_pct"`
+	ProvenGatedPct  float64 `json:"proven_gated_pct"`
+	ProvenNarrowPct float64 `json:"proven_narrow_pct"`
+	GatedRegs       int     `json:"gated_regs"`
+	// AnalysisMs is the cost of the analysis itself; FixpointIters its
+	// register-fixpoint iteration count.
+	AnalysisMs    float64 `json:"analysis_ms"`
+	FixpointIters int     `json:"fixpoint_iters"`
+	// SAConstFolded / SAMuxElided count the optimizer rewrites the
+	// analysis enabled beyond plain constant folding.
+	SAConstFolded int `json:"sa_const_folded"`
+	SAMuxElided   int `json:"sa_mux_elided"`
+	// End-to-end CCSS run of the same stimulus on both netlists.
+	Cycles     uint64  `json:"cycles"`
+	SecondsSA  float64 `json:"seconds_sa"`
+	SecondsAbl float64 `json:"seconds_ablated"`
+	// Speedup is ablated time over SA time (>1 means SA helped).
+	Speedup float64 `json:"speedup"`
+}
+
+// saReps mirrors the other sweeps' interleaved min-of estimator.
+const saReps = 3
+
+// saCycles sizes the self-stimulated throughput runs.
+func saCycles(scale Scale, nodes int) int {
+	c := scale.MaxCycles / 200
+	if nodes > 20_000 {
+		c /= 4
+	}
+	if c < 1_000 {
+		c = 1_000
+	}
+	if c > 25_000 {
+		c = 25_000
+	}
+	return c
+}
+
+// saDesign is one cell of the SA experiment.
+type saDesign struct {
+	name string
+	raw  *netlist.Design
+	// enable is poked high for self-stimulated designs (NoSignal for
+	// the SoC, which free-runs after reset).
+	enable netlist.SignalID
+}
+
+// saDesigns compiles the experiment's cells: the r16 SoC, the interrupt
+// fabric, and the 16×16 MAC array — the designs the analysis targets
+// (stall-FSM gating, 1-bit control, per-instance enables).
+func saDesigns(designFilter []string) ([]saDesign, error) {
+	keep := func(name string) bool {
+		if len(designFilter) == 0 {
+			return true
+		}
+		for _, f := range designFilter {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	var out []saDesign
+	if keep("r16") {
+		circ, err := designs.Build(designs.R16())
+		if err != nil {
+			return nil, err
+		}
+		d, err := netlist.Compile(circ)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, saDesign{"r16", d, netlist.NoSignal})
+	}
+	if keep("fab") {
+		circ, err := designs.BuildFabric(designs.Fabric())
+		if err != nil {
+			return nil, err
+		}
+		d, err := netlist.Compile(circ)
+		if err != nil {
+			return nil, err
+		}
+		en, ok := d.SignalByName(designs.FabricSeedInput)
+		if !ok {
+			return nil, fmt.Errorf("exp: fabric has no %s input",
+				designs.FabricSeedInput)
+		}
+		out = append(out, saDesign{"fab", d, en})
+	}
+	if keep("mac16") {
+		circ, err := designs.BuildMACArray(designs.MACArrayConfig{
+			Name: "mac16", Rows: 16, Cols: 16, DataW: 8})
+		if err != nil {
+			return nil, err
+		}
+		d, err := netlist.Compile(circ)
+		if err != nil {
+			return nil, err
+		}
+		en, ok := d.SignalByName(designs.MACEnInput)
+		if !ok {
+			return nil, fmt.Errorf("exp: mac16 has no %s input",
+				designs.MACEnInput)
+		}
+		out = append(out, saDesign{"mac16", d, en})
+	}
+	return out, nil
+}
+
+// SASweep measures the static activity analysis per design: proof
+// coverage and compile cost on the raw netlist, then CCSS throughput of
+// the SA-optimized netlist against the NoSA ablation under identical
+// self-stimulation. A nil filter selects r16, fab, and mac16.
+func SASweep(scale Scale, designFilter []string) ([]SARow, error) {
+	cells, err := saDesigns(designFilter)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SARow
+	for _, cd := range cells {
+		r, err := sa.Analyze(cd.raw, sa.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: analyze %s: %w", cd.name, err)
+		}
+		dSA, ost, err := opt.Optimize(cd.raw)
+		if err != nil {
+			return nil, err
+		}
+		dAbl, _, err := opt.OptimizeOpts(cd.raw, opt.Options{NoSA: true})
+		if err != nil {
+			return nil, err
+		}
+		n := float64(r.Stats.Signals)
+		row := SARow{
+			Design:          cd.name,
+			Signals:         r.Stats.Signals,
+			ProvenConstPct:  100 * float64(r.Stats.ProvenConst) / n,
+			ProvenGatedPct:  100 * float64(r.Stats.ProvenGated) / n,
+			ProvenNarrowPct: 100 * float64(r.Stats.ProvenNarrow) / n,
+			GatedRegs:       r.Stats.GatedRegs,
+			AnalysisMs:      float64(r.Stats.Analysis) / float64(time.Millisecond),
+			FixpointIters:   r.Stats.Iters,
+			SAConstFolded:   ost.SAConstFolded,
+			SAMuxElided:     ost.SAMuxElided,
+			Cycles:          uint64(saCycles(scale, cd.raw.NumNodes())),
+		}
+		var tSA, tAbl []float64
+		for rep := 0; rep < saReps; rep++ {
+			for vi, d := range []*netlist.Design{dAbl, dSA} {
+				elapsed, err := runSAOnce(cd, d, int(row.Cycles))
+				if err != nil {
+					return nil, err
+				}
+				if vi == 0 {
+					tAbl = append(tAbl, elapsed.Seconds())
+				} else {
+					tSA = append(tSA, elapsed.Seconds())
+				}
+			}
+		}
+		row.SecondsSA = minOf(tSA)
+		row.SecondsAbl = minOf(tAbl)
+		if row.SecondsSA > 0 {
+			row.Speedup = row.SecondsAbl / row.SecondsSA
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runSAOnce times one self-stimulated CCSS run of a compiled netlist.
+func runSAOnce(cd saDesign, d *netlist.Design, cycles int) (time.Duration, error) {
+	s, err := sim.New(d, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err != nil {
+		return 0, err
+	}
+	if cd.enable != netlist.NoSignal {
+		// The enable lives in the raw netlist; resolve it by name in
+		// this one (optimization renumbers signals).
+		name := cd.raw.Signals[cd.enable].Name
+		id, ok := d.SignalByName(name)
+		if !ok {
+			return 0, fmt.Errorf("exp: %s lost input %s", cd.name, name)
+		}
+		s.Poke(id, 1)
+	}
+	if reset, ok := d.SignalByName("reset"); ok {
+		s.Poke(reset, 1)
+		if err := s.Step(2); err != nil {
+			return 0, err
+		}
+		s.Poke(reset, 0)
+	}
+	start := time.Now()
+	const chunk = 1024
+	for done := 0; done < cycles; done += chunk {
+		n := chunk
+		if cycles-done < n {
+			n = cycles - done
+		}
+		if err := s.Step(n); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RenderSA formats the static-activity table (the EXPERIMENTS.md §SA
+// rows).
+func RenderSA(rows []SARow) string {
+	var b strings.Builder
+	b.WriteString("Static activity analysis (proof coverage, compile cost, CCSS speedup)\n")
+	b.WriteString("  Design Signals  Const%  Gated%  Narrow%  GatedRegs  Ms      Folds  Speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %7d %7.1f %7.1f %8.1f %10d %7.1f %6d %7.2fx\n",
+			pad(r.Design, 6), r.Signals, r.ProvenConstPct, r.ProvenGatedPct,
+			r.ProvenNarrowPct, r.GatedRegs, r.AnalysisMs,
+			r.SAConstFolded+r.SAMuxElided, r.Speedup)
+	}
+	return b.String()
+}
+
+// WriteSACSV emits the sweep as plot-ready CSV.
+func WriteSACSV(w io.Writer, rows []SARow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "signals", "proven_const_pct",
+		"proven_gated_pct", "proven_narrow_pct", "gated_regs", "analysis_ms",
+		"fixpoint_iters", "sa_const_folded", "sa_mux_elided", "cycles",
+		"seconds_sa", "seconds_ablated", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Design, strconv.Itoa(r.Signals),
+			fmt.Sprintf("%.2f", r.ProvenConstPct),
+			fmt.Sprintf("%.2f", r.ProvenGatedPct),
+			fmt.Sprintf("%.2f", r.ProvenNarrowPct),
+			strconv.Itoa(r.GatedRegs),
+			fmt.Sprintf("%.3f", r.AnalysisMs),
+			strconv.Itoa(r.FixpointIters),
+			strconv.Itoa(r.SAConstFolded), strconv.Itoa(r.SAMuxElided),
+			strconv.FormatUint(r.Cycles, 10),
+			fmt.Sprintf("%.4f", r.SecondsSA),
+			fmt.Sprintf("%.4f", r.SecondsAbl),
+			fmt.Sprintf("%.4f", r.Speedup),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSAJSON emits the sweep as an indented JSON array.
+func WriteSAJSON(w io.Writer, rows []SARow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

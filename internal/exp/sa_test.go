@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSASweep(t *testing.T) {
+	scale := testScale()
+	scale.MaxCycles = 200_000 // keeps saCycles at its floor
+	rows, err := SASweep(scale, []string{"fab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Design != "fab" || r.Signals == 0 {
+		t.Fatalf("design metadata missing: %+v", r)
+	}
+	if r.ProvenGatedPct <= 0 {
+		t.Fatalf("fabric gating not proven: %+v", r)
+	}
+	if r.AnalysisMs <= 0 || r.FixpointIters == 0 {
+		t.Fatalf("analysis cost not measured: %+v", r)
+	}
+	if r.Cycles == 0 || r.SecondsSA <= 0 || r.SecondsAbl <= 0 || r.Speedup <= 0 {
+		t.Fatalf("empty measurement: %+v", r)
+	}
+	out := RenderSA(rows)
+	if !strings.Contains(out, "fab") {
+		t.Fatalf("render missing cell:\n%s", out)
+	}
+	var csvb, jsonb bytes.Buffer
+	if err := WriteSACSV(&csvb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csvb.String()), "\n")); got != 2 {
+		t.Fatalf("CSV rows = %d, want 2", got)
+	}
+	var back []SARow
+	if err := WriteSAJSON(&jsonb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(jsonb.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("JSON round-trip lost rows")
+	}
+}

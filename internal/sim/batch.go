@@ -193,6 +193,10 @@ type BatchOptions struct {
 	// NoPack disables the word-packed bit-parallel kernels (ablation:
 	// every 1-bit op falls back to the per-lane row loop).
 	NoPack bool
+	// NoSA disables the static-activity widening of packing eligibility
+	// (proven-1-bit signals in wider declarations; ablation knob —
+	// results stay bit-exact, fewer ops pack).
+	NoSA bool
 	// Workers enables the worker pool: total worker count including the
 	// dispatcher. 0 or 1 runs single-threaded (the deterministic default;
 	// the pool reorders printf output and check-error selection within a
@@ -319,7 +323,11 @@ func NewBatchCCSS(d *netlist.Design, opts BatchOptions) (*BatchCCSS, error) {
 		// Partition outputs are deliberately NOT kept live: a packed
 		// destination that is only read packed elides its row, and its
 		// change detection runs on the slot word instead (outSlot).
-		if pp := buildPackPlan(m, b.pranges, nil); pp != nil {
+		var sa1 []bool
+		if !opts.NoSA {
+			sa1 = saPackBits(m)
+		}
+		if pp := buildPackPlan(m, b.pranges, nil, sa1); pp != nil {
 			if opts.Verify != verify.Off {
 				if err := verify.Enforce(opts.Verify,
 					verifyPackPlan(m, pp, b.pranges, nil), nil); err != nil {

@@ -30,6 +30,13 @@ type Options struct {
 	// MaxVecLanes caps instances per equivalence class on EngineCCSSVec
 	// (2..64; 0 = 64).
 	MaxVecLanes int
+	// MinVecLanes is the vectorizer's cost-model floor on EngineCCSSVec:
+	// classes that pack fewer lanes than the floor fall back to the
+	// scalar path (0 = the tuned default of 8; 2 accepts every class).
+	MinVecLanes int
+	// NoSA ablates static activity analysis during engine compilation
+	// (vectorizer toggle-condition signatures and pack widening).
+	NoSA bool
 }
 
 // New constructs the requested simulation engine for a design. The caller
@@ -53,7 +60,8 @@ func New(d *netlist.Design, opts Options) (Simulator, error) {
 	case EngineCCSSVec:
 		return NewVecCCSS(d, VecCCSSOptions{
 			Cp: opts.Cp, Workers: opts.Workers, NoFuse: opts.NoFuse,
-			MaxLanes: opts.MaxVecLanes, NoVec: opts.NoVec,
+			MaxLanes: opts.MaxVecLanes, MinLanes: opts.MinVecLanes,
+			NoVec: opts.NoVec, NoSA: opts.NoSA,
 			Verify: opts.Verify})
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %v", opts.Engine)

@@ -5,6 +5,7 @@ import (
 
 	"essent/internal/bits"
 	"essent/internal/netlist"
+	"essent/internal/sa"
 	"essent/internal/verify"
 )
 
@@ -158,6 +159,9 @@ type packPlan struct {
 	// regSlot maps register index to its commit-merge slots ({-1,-1}
 	// when the register output is not packed).
 	regSlot []packRegMerge
+	// saWidened records that the plan was built with the static-activity
+	// widening table; the SM-PACK verifier re-derives the same table.
+	saWidened bool
 
 	// Pass statistics (PackStats; kept out of Stats so per-lane counters
 	// stay bit-exact with the sequential engine).
@@ -201,72 +205,138 @@ func packOffsetClass(m *machine) (offW []int32, offU []bool) {
 	return offW, offU
 }
 
+// saPackBits computes the static-activity widening table for the packing
+// pass: per table word offset, whether the stored value provably never
+// exceeds one bit even though the declaration is wider. Beyond declared
+// 1-bit offsets (which packOffsetClass already admits), this covers
+// unsigned signals internal/sa proves to a one-bit effective width and
+// single-word unsigned constants whose value is 0 or 1. Inputs need no
+// exclusion — the analysis cannot narrow them below their declared width
+// (pokes may drive any declared value), so only genuinely 1-bit inputs
+// ever enter the packed table. Returns nil (no widening) when the
+// analysis fails.
+//
+// Soundness note for fault injection: flipping a high row bit of a
+// widened offset puts the row outside the proven range, and the packed
+// mirror truncates the corrupted value to bit 0. Runs stay deterministic
+// (identical fault plans yield identical executions) but an injected
+// fault's visible effect may differ from the unpacked engines' — the
+// same caveat activity masks already carry.
+func saPackBits(m *machine) []bool {
+	r, err := sa.Analyze(m.d, sa.Options{NoGuards: true})
+	if err != nil {
+		return nil
+	}
+	sa1 := make([]bool, len(m.t))
+	for i := range m.d.Signals {
+		if off := m.off[i]; off >= 0 && m.nw[i] == 1 &&
+			r.ProvenOneBit(netlist.SignalID(i)) {
+			sa1[off] = true
+		}
+	}
+	for i := range m.d.Consts {
+		c := &m.d.Consts[i]
+		if c.Signed || bits.Words(c.Width) != 1 {
+			continue
+		}
+		if c.Words[0] <= 1 {
+			sa1[m.constOff[i]] = true
+		}
+	}
+	return sa1
+}
+
 // packablePcode classifies one instruction: the packed opcode it lowers
 // to, or ok=false. Eligible ops have a 1-bit result and 1-bit unsigned
 // operands; on unfused narrow instructions the operand widths are exact,
 // on fused ones the table-offset classes decide.
-func packablePcode(in *instr, offW []int32, offU []bool) (pcode, bool) {
+//
+// sa1 (nil when static activity analysis is ablated) widens eligibility
+// to proven-1-bit offsets, but only for ops whose scalar result depends
+// solely on operand *values* when those values are 0/1 — copy, the or/
+// xor reductions, tail, neg, not, the bitwise/arithmetic-mod-2 pairs,
+// the unsigned comparisons, and mux. Ops whose semantics read the
+// declared operand width itself — andr (all-ones test against the
+// declared width), bit extracts and head (shift distances derived from
+// declared widths) — keep the exact-width requirement: a proven-1-bit
+// value in a wider declaration would make the packed rewrite compute a
+// different function.
+func packablePcode(in *instr, offW []int32, offU []bool, sa1 []bool) (pcode, bool) {
+	saOne := func(off int32) bool {
+		return sa1 != nil && off >= 0 && sa1[off]
+	}
 	oneBit := func(off int32) bool {
-		return off >= 0 && offW[off] == 1 && offU[off]
+		return off >= 0 && (offW[off] == 1 && offU[off] || saOne(off))
+	}
+	// opOne: operand holds a 1-bit value — exactly declared so, or proven.
+	opOne := func(off int32, w int32) bool {
+		return w == 1 || saOne(off)
 	}
 	// A kNarrow instruction's operands are unsigned by kind, but the
 	// destination signal may still be declared signed — its table offset
-	// class decides, same as fused operands.
-	if in.dmask != 1 || !oneBit(in.dst) {
+	// class decides, same as fused operands. A proven-1-bit destination
+	// with a wider dmask is sound: the proof says every reachable scalar
+	// result already fits in bit 0.
+	if (in.dmask != 1 || !(offW[in.dst] == 1 && offU[in.dst])) && !saOne(in.dst) {
 		return 0, false
 	}
 	switch in.kind {
 	case kNarrow:
 		switch in.code {
-		case ICopy, INeg, IAndr, IOrr, IXorr, IBits, ITail, IHead:
-			// All identity on a 1-bit operand: -a&1 = a, the reductions
-			// of one bit are that bit, and a 1-bit extract is a copy.
+		case IAndr, IBits, IHead:
+			// Width-dependent semantics: identity only at declared 1 bit.
 			if in.aw == 1 {
 				return pCopy, true
 			}
+		case ICopy, INeg, IOrr, IXorr, ITail:
+			// All identity on a 1-bit value: -a&1 = a, the or/xor
+			// reductions of {0,1} are the value, and tail keeps bit 0.
+			if opOne(in.a, in.aw) {
+				return pCopy, true
+			}
 		case INot:
-			if in.aw == 1 {
+			if opOne(in.a, in.aw) {
 				return pNot, true
 			}
 		case IAnd, IMul:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pAnd, true
 			}
 		case IOr:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pOr, true
 			}
 		case IXor, IAdd, ISub:
 			// 1-bit add/sub are addition mod 2.
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pXor, true
 			}
 		case IEq:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pEq, true
 			}
 		case INeq:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pNeq, true
 			}
 		case ILt:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pLt, true
 			}
 		case ILeq:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pLeq, true
 			}
 		case IGt:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pGt, true
 			}
 		case IGeq:
-			if in.aw == 1 && in.bw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) {
 				return pGeq, true
 			}
 		case IMux:
-			if in.aw == 1 && in.bw == 1 && in.cw == 1 {
+			if opOne(in.a, in.aw) && opOne(in.b, in.bw) && opOne(in.c, in.cw) {
 				return pMux, true
 			}
 		}
@@ -388,6 +458,10 @@ type packMaint struct {
 	regOutOf      []int32 // non-elided register index per offset, -1 none
 	elidedStorage []bool  // offset is an elided register's in-place storage
 	constOffs     []bool
+	// sa1 is the static-activity widening table (nil when ablated); the
+	// verifier re-derives the identical table so both sides classify
+	// register-merge sources the same way.
+	sa1 []bool
 }
 
 func newPackMaint(m *machine, ranges [][2]int32) *packMaint {
@@ -465,7 +539,9 @@ func (pm *packMaint) classOf(m *machine, offW []int32, offU []bool,
 	case pm.regOutOf[off] >= 0:
 		ri := pm.regOutOf[off]
 		next := m.off[m.d.Regs[ri].Next]
-		if next >= 0 && offW[next] == 1 && offU[next] && depth < 4 &&
+		nextOne := next >= 0 && (offW[next] == 1 && offU[next] ||
+			pm.sa1 != nil && pm.sa1[next])
+		if nextOne && depth < 4 &&
 			pm.classOf(m, offW, offU, next, depth+1) != pmNone {
 			return pmRegOut
 		}
@@ -490,10 +566,11 @@ func packOperands(in *instr, pc pcode, dst []int32) []int32 {
 }
 
 // buildPackPlan runs the bit-packing pass over a compiled machine and
-// its per-partition schedule ranges. It returns nil when nothing is
-// packable.
+// its per-partition schedule ranges. sa1 is the static-activity widening
+// table (saPackBits; nil disables widening). It returns nil when nothing
+// is packable.
 func buildPackPlan(m *machine, ranges [][2]int32,
-	keepLive []netlist.SignalID) *packPlan {
+	keepLive []netlist.SignalID, sa1 []bool) *packPlan {
 	offW, offU := packOffsetClass(m)
 
 	willPack := make([]bool, len(m.instrs))
@@ -511,7 +588,7 @@ func buildPackPlan(m *machine, ranges [][2]int32,
 		if fusedSkip[ii] {
 			continue
 		}
-		if pc, ok := packablePcode(&m.instrs[ii], offW, offU); ok {
+		if pc, ok := packablePcode(&m.instrs[ii], offW, offU, sa1); ok {
 			willPack[ii] = true
 			pcodeOf[ii] = pc
 		}
@@ -521,6 +598,7 @@ func buildPackPlan(m *machine, ranges [][2]int32,
 	// cascade: a demoted instruction's destination is still
 	// instruction-produced, so its readers keep their pmInstr class).
 	pm := newPackMaint(m, ranges)
+	pm.sa1 = sa1
 	any := false
 	var ops []int32
 	for ii := range m.instrs {
@@ -550,6 +628,7 @@ func buildPackPlan(m *machine, ranges [][2]int32,
 		packedInstr: willPack,
 		partPacked:  make([]bool, len(ranges)),
 		ranges:      make([][2]int32, len(ranges)),
+		saWidened:   sa1 != nil,
 	}
 	for i := range pp.slotOf {
 		pp.slotOf[i] = -1
@@ -842,14 +921,24 @@ func verifyPackPlan(m *machine, pp *packPlan, ranges [][2]int32,
 		return diags
 	}
 
-	// SM-PACK-WIDTH: packed offsets are 1-bit unsigned.
+	// SM-PACK-WIDTH: packed offsets are 1-bit unsigned — declared so, or
+	// (for an SA-widened plan) proven so by re-running the analysis.
 	offW, offU := packOffsetClass(m)
+	var sa1 []bool
+	if pp.saWidened {
+		sa1 = saPackBits(m)
+	}
 	for s, off := range pp.offOf {
-		if offW[off] != 1 || !offU[off] {
-			errf("SM-PACK-WIDTH", fmt.Sprintf("slot %d (offset %d)", s, off),
-				"packing a multi-bit or signed value truncates lanes to bit 0",
-				"packed offset is %d bits wide (unsigned=%v)", offW[off], offU[off])
+		if offW[off] == 1 && offU[off] {
+			continue
 		}
+		if sa1 != nil && sa1[off] {
+			continue
+		}
+		errf("SM-PACK-WIDTH", fmt.Sprintf("slot %d (offset %d)", s, off),
+			"packing a multi-bit or signed value truncates lanes to bit 0",
+			"packed offset is %d bits wide (unsigned=%v) and not proven 1-bit",
+			offW[off], offU[off])
 	}
 
 	// Row-required set and maintainer classification, re-derived from
@@ -857,6 +946,7 @@ func verifyPackPlan(m *machine, pp *packPlan, ranges [][2]int32,
 	live := m.engineLiveOffsets(keepLive)
 	rowReq := packRowRequired(m, live, pp.packedInstr)
 	pm := newPackMaint(m, ranges)
+	pm.sa1 = sa1
 
 	// Readers of each offset in the base instruction stream (for the
 	// elided-scatter rule).

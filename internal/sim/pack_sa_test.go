@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"essent/internal/netlist"
+	"essent/internal/randckt"
+)
+
+// saPackSrc declares its flag network at 8 bits, but every flag's value
+// set is provably {0, 1}: the analysis must widen pack eligibility to
+// cover it, while the NoSA ablation packs only the declared-1-bit tail.
+const saPackSrc = `
+circuit W :
+  module W :
+    input clock : Clock
+    input a : UInt<1>
+    input b : UInt<1>
+    input w : UInt<8>
+    output o : UInt<8>
+    output p : UInt<1>
+    reg f : UInt<8>, clock
+    reg s : UInt<8>, clock
+    node g = mux(a, UInt<8>(1), UInt<8>(0))
+    node h = and(g, mux(b, UInt<8>(1), UInt<8>(0)))
+    node k = xor(h, f)
+    f <= k
+    s <= tail(add(s, w), 1)
+    node t = bits(w, 2, 2)
+    node u = and(t, b)
+    o <= or(f, s)
+    p <= xor(u, bits(k, 0, 0))
+`
+
+// TestPackSAWidensEligibility: the analysis must admit the 8-bit flag
+// network into the packed table; the ablation must not, and the two
+// engines must stay bit-exact (state and Stats) per lane under
+// divergent stimulus.
+func TestPackSAWidensEligibility(t *testing.T) {
+	d := compileSrc(t, saPackSrc)
+	wide, err := NewBatchCCSS(d, BatchOptions{Lanes: 8, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := NewBatchCCSS(d, BatchOptions{Lanes: 8, Cp: 8, NoSA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, ns := wide.PackStats(), narrow.PackStats()
+	t.Logf("sa %+v, nosa %+v", ws, ns)
+	if ws.PackedOps <= ns.PackedOps {
+		t.Fatalf("SA did not widen pack eligibility: sa %+v, nosa %+v", ws, ns)
+	}
+
+	ins := []string{"a", "b", "w"}
+	rng := rand.New(rand.NewSource(7))
+	for cyc := 0; cyc < 120; cyc++ {
+		name := ins[rng.Intn(len(ins))]
+		id, _ := d.SignalByName(name)
+		for l := 0; l < 8; l++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			v := rng.Uint64()
+			wide.PokeLane(l, id, v)
+			narrow.PokeLane(l, id, v)
+		}
+		wide.Step(1)
+		narrow.Step(1)
+		for l := 0; l < 8; l++ {
+			if got, want := batchLaneState(wide, l), batchLaneState(narrow, l); got != want {
+				t.Fatalf("cyc %d lane %d SA diverged from ablation:\nsa:   %s\nnosa: %s",
+					cyc, l, got, want)
+			}
+			if got, want := wide.LaneStats(l), narrow.LaneStats(l); got != want {
+				t.Fatalf("cyc %d lane %d SA stats diverged:\nsa:   %+v\nnosa: %+v",
+					cyc, l, got, want)
+			}
+		}
+	}
+}
+
+// TestPackSAFuzzEquivalence runs random circuits on SA-widened and
+// ablated batch engines in lockstep — the widened rewrite must never
+// change a lane's architectural state or work Stats.
+func TestPackSAFuzzEquivalence(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		d, err := netlist.Compile(randckt.Generate(seed+5200, randckt.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := NewBatchCCSS(d, BatchOptions{Lanes: 4, Cp: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrow, err := NewBatchCCSS(d, BatchOptions{Lanes: 4, Cp: 8, NoSA: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for cyc := 0; cyc < 50; cyc++ {
+			if len(d.Inputs) > 0 {
+				in := d.Inputs[rng.Intn(len(d.Inputs))]
+				for l := 0; l < 4; l++ {
+					if rng.Intn(2) == 0 {
+						continue
+					}
+					v := rng.Uint64()
+					wide.PokeLane(l, in, v)
+					narrow.PokeLane(l, in, v)
+				}
+			}
+			wide.Step(1)
+			narrow.Step(1)
+			for l := 0; l < 4; l++ {
+				if got, want := batchLaneState(wide, l), batchLaneState(narrow, l); got != want {
+					t.Fatalf("seed %d cyc %d lane %d SA diverged:\nsa:   %s\nnosa: %s",
+						seed, cyc, l, got, want)
+				}
+				if got, want := wide.LaneStats(l), narrow.LaneStats(l); got != want {
+					t.Fatalf("seed %d cyc %d lane %d SA stats diverged:\nsa:   %+v\nnosa: %+v",
+						seed, cyc, l, got, want)
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"essent/internal/netlist"
 	"essent/internal/partition"
+	"essent/internal/sa"
 	"essent/internal/sched"
 	"essent/internal/verify"
 	"essent/pkg/simrt"
@@ -55,9 +56,19 @@ type VecCCSSOptions struct {
 	Workers int
 	// MaxLanes caps instances per class (2..64; 0 = 64).
 	MaxLanes int
+	// MinLanes is the cost-model floor: a compiled class packing fewer
+	// lanes falls back to the scalar path (per-group gather/scatter
+	// overhead swamps the kernel win on fragmented classes — the NoC
+	// regression). 0 selects the tuned default (8); 2 accepts every
+	// class the legality checks admit.
+	MinLanes int
 	// NoVec is the ablation switch: compile and run as plain scalar
 	// CCSS (no class detection), bit-exact against the vectorized mode.
 	NoVec bool
+	// NoSA disables static activity analysis during class detection
+	// (guard-signature affinity packing; ablation knob — grouping may
+	// differ, results stay bit-exact).
+	NoSA bool
 	// Verify selects static-verification enforcement (includes the
 	// SM-VEC rules over the compiled classes).
 	Verify verify.Mode
@@ -73,8 +84,20 @@ type VecStats struct {
 	// Groups counts compiled classes; VecParts sums their lanes.
 	Groups   int
 	VecParts int
-	// MaxLanes is the widest compiled class.
+	// MaxLanes is the widest compiled class; MinLanes is the cost-model
+	// floor the build applied.
 	MaxLanes int
+	MinLanes int
+	// DroppedGroups counts classes that matched and passed legality but
+	// fell below the lane floor (their DroppedParts members run scalar).
+	DroppedGroups int
+	DroppedParts  int
+	// GatedParts counts eligible partitions with a nonzero static
+	// toggle-condition signature; SharedGuardGroups counts compiled
+	// classes whose lanes all share one such signature (their activity
+	// masks move in lockstep).
+	GatedParts        int
+	SharedGuardGroups int
 	// GroupEvals counts group evaluations; LaneEvals sums active lanes
 	// over them (GroupEvals × mean activity).
 	GroupEvals uint64
@@ -160,7 +183,17 @@ func NewVecCCSS(d *netlist.Design, opts VecCCSSOptions) (*VecCCSS, error) {
 		if maxLanes < 2 {
 			maxLanes = 2
 		}
-		v.buildGroups(maxLanes)
+		minLanes := opts.MinLanes
+		if minLanes <= 0 {
+			minLanes = defaultMinVecLanes
+		}
+		if minLanes < 2 {
+			minLanes = 2
+		}
+		if minLanes > maxLanes {
+			minLanes = maxLanes
+		}
+		v.buildGroups(maxLanes, minLanes, opts.NoSA)
 		if opts.Verify != verify.Off {
 			if err := verify.Enforce(opts.Verify, v.verifyVec(), nil); err != nil {
 				return nil, err
@@ -459,9 +492,85 @@ func dedupInt32(xs []int32) []int32 {
 	return out
 }
 
+// defaultMinVecLanes is the tuned lane floor: the PR 7 sweep showed
+// classes below ~8 lanes losing to scalar on fragmented designs (noc8
+// shipped at 0.74× with ~5-lane groups) while dense classes (r16 4×4,
+// mac16) sit at or above it.
+const defaultMinVecLanes = 8
+
+// guardSignatures computes, per partition, a hash of the partition's
+// *external* static toggle condition: the set of observability and
+// register-hold guard literals (from internal/sa) whose guard signal
+// lives outside the partition. Partitions sharing a signature are gated
+// by the same condition and so toggle in lockstep — packing them into
+// the same class keeps the group activity mask all-or-nothing. Internal
+// literals are excluded deliberately: replicated instances gate on
+// structurally identical but distinct local enables, and keying on those
+// would split every class of independently-enabled instances (the mac16
+// shape) down to singletons.
+//
+// Returns nil (no affinity) when analysis is ablated or fails.
+func (v *VecCCSS) guardSignatures(noSA bool) []uint64 {
+	if noSA {
+		return nil
+	}
+	d := v.machine.d
+	r, err := sa.Analyze(d, sa.Options{})
+	if err != nil {
+		return nil
+	}
+	plan := v.plan
+	sigs := make([]uint64, len(plan.Parts))
+	nsig := len(d.Signals)
+	member := make([]int32, nsig)
+	for i := range member {
+		member[i] = -1
+	}
+	for p := range plan.Parts {
+		for _, n := range plan.Parts[p].Members {
+			if n < nsig {
+				member[n] = int32(p)
+			}
+		}
+	}
+	var lits []sa.Guard
+	for p := range plan.Parts {
+		lits = lits[:0]
+		add := func(g sa.Guard) {
+			if g.Sig == netlist.NoSignal || member[g.Sig] == int32(p) {
+				return
+			}
+			for _, x := range lits {
+				if x == g {
+					return
+				}
+			}
+			lits = append(lits, g)
+		}
+		for _, n := range plan.Parts[p].Members {
+			if n >= nsig || !r.Observed[n] {
+				continue
+			}
+			for _, g := range r.Guards[n] {
+				add(g)
+			}
+		}
+		for _, ri := range plan.Parts[p].Regs {
+			add(r.RegHold[ri])
+		}
+		sa.SortGuards(lits)
+		sigs[p] = sa.SignatureOf(lits)
+	}
+	return sigs
+}
+
 // buildGroups runs class detection: eligibility filter, canonical-hash
 // bucketing, then greedy grouping in schedule order with the exact
-// lockstep match and the schedule-legality check.
+// lockstep match and the schedule-legality check. Two cost-model inputs
+// shape the result: candidates prefer joining a group whose leader
+// shares their static toggle-condition signature (correlated lanes keep
+// group evaluations all-or-nothing), and any compiled class packing
+// fewer than minLanes lanes is dropped back to the scalar path.
 //
 // Legality: member p evaluates at its leader L's (earlier) position.
 // Every data predecessor X of p must already be final by then —
@@ -473,8 +582,9 @@ func dedupInt32(xs []int32) []int32 {
 // also satisfy effPos(X) < pos(L). The rule stays sound under later
 // regrouping because grouping only ever moves a partition's effective
 // position earlier (leaders precede members in schedule order).
-func (v *VecCCSS) buildGroups(maxLanes int) {
+func (v *VecCCSS) buildGroups(maxLanes, minLanes int, noSA bool) {
 	dataPreds, ordPreds := v.partPreds()
+	v.vst.MinLanes = minLanes
 
 	var eligible []int
 	hashOf := make(map[int]uint64)
@@ -485,6 +595,12 @@ func (v *VecCCSS) buildGroups(maxLanes int) {
 		}
 	}
 	v.vst.EligibleParts = len(eligible)
+	sigOf := v.guardSignatures(noSA)
+	for _, p := range eligible {
+		if sigOf != nil && sigOf[p] != 0 {
+			v.vst.GatedParts++
+		}
+	}
 	buckets := partition.GroupByHash(eligible, hashOf)
 	v.vst.Classes = len(buckets)
 
@@ -527,62 +643,141 @@ func (v *VecCCSS) buildGroups(maxLanes int) {
 		return true
 	}
 
-	for _, bucket := range buckets {
-		first := len(open)
-		for _, cand := range bucket {
-			joined := false
-			for gi := first; gi < len(open); gi++ {
-				g := &open[gi]
-				if len(g.members) >= maxLanes {
-					continue
-				}
-				if !legal(cand, int32(gi), g.members[0]) {
-					continue
-				}
-				phi, ok := v.matchMember(g.members[0], cand)
-				if !ok {
-					continue
-				}
-				g.members = append(g.members, cand)
-				g.phis = append(g.phis, phi)
-				grpOf[cand] = int32(gi)
-				joined = true
-				break
+	// tryJoin attempts to add cand to an existing open group in
+	// [first,len(open)); sameSigOnly restricts to groups whose leader
+	// shares cand's toggle-condition signature. Candidates are visited
+	// in schedule order, so any group a candidate joins has an earlier
+	// leader — the legality rule's invariant.
+	tryJoin := func(cand, first int, sameSigOnly bool) bool {
+		for gi := first; gi < len(open); gi++ {
+			g := &open[gi]
+			if sameSigOnly && sigOf[g.members[0]] != sigOf[cand] {
+				continue
 			}
-			if !joined {
-				open = append(open, openGroup{
-					members: []int{cand},
-					phis:    []map[int32]int32{nil},
-				})
-				grpOf[cand] = int32(len(open) - 1)
+			if len(g.members) >= maxLanes {
+				continue
 			}
+			if !legal(cand, int32(gi), g.members[0]) {
+				continue
+			}
+			phi, ok := v.matchMember(g.members[0], cand)
+			if !ok {
+				continue
+			}
+			g.members = append(g.members, cand)
+			g.phis = append(g.phis, phi)
+			grpOf[cand] = int32(gi)
+			return true
+		}
+		return false
+	}
+	// Reverting a multi-member group after packing is NOT sound in
+	// isolation: its members fall back to their own (later) schedule
+	// positions, which can invalidate the legality of other groups that
+	// counted on them resolving at an early leader. So the floor (and
+	// the finalize fallback) ban the affected partitions from candidacy
+	// and repack from scratch; every round bans at least one partition,
+	// so the loop terminates.
+	stateOffs := v.stateOffsets()
+	banned := make([]bool, len(v.parts))
+	var finals []*vecGroup
+	var finalMembers [][]int
+	for {
+		for i := range grpOf {
+			grpOf[i] = -1
+		}
+		open = open[:0]
+		for _, bucket := range buckets {
+			first := len(open)
+			for _, cand := range bucket {
+				if banned[cand] {
+					continue
+				}
+				// Signature affinity: partitions gated by the same
+				// external condition toggle together, so cluster them
+				// first; fall back to any structurally legal group.
+				joined := sigOf != nil && sigOf[cand] != 0 &&
+					tryJoin(cand, first, true)
+				if !joined {
+					joined = tryJoin(cand, first, false)
+				}
+				if !joined {
+					open = append(open, openGroup{
+						members: []int{cand},
+						phis:    []map[int32]int32{nil},
+					})
+					grpOf[cand] = int32(len(open) - 1)
+				}
+			}
+		}
+		// Cost-model floor: a matched class below the lane floor loses
+		// to scalar on gather/scatter overhead — revert it rather than
+		// ship a fragmented group (the noc8 regression).
+		repack := false
+		for gi := range open {
+			g := &open[gi]
+			if len(g.members) >= 2 && len(g.members) < minLanes {
+				v.vst.DroppedGroups++
+				v.vst.DroppedParts += len(g.members)
+				for _, p := range g.members {
+					banned[p] = true
+				}
+				repack = true
+			}
+		}
+		if repack {
+			continue
+		}
+		finals = finals[:0]
+		finalMembers = finalMembers[:0]
+		for gi := range open {
+			g := &open[gi]
+			if len(g.members) < 2 {
+				continue
+			}
+			vg := v.finalizeGroup(g.members, g.phis, stateOffs)
+			if vg == nil {
+				for _, p := range g.members {
+					banned[p] = true
+				}
+				repack = true
+				continue
+			}
+			finals = append(finals, vg)
+			finalMembers = append(finalMembers, g.members)
+		}
+		if !repack {
+			break
 		}
 	}
 
-	stateOffs := v.stateOffsets()
-	for gi := range open {
-		g := &open[gi]
-		if len(g.members) < 2 {
-			grpOf[g.members[0]] = -1
-			continue
-		}
-		vg := v.finalizeGroup(g.members, g.phis, stateOffs)
-		if vg == nil {
-			for _, p := range g.members {
-				grpOf[p] = -1
-			}
-			continue
-		}
+	for fi, vg := range finals {
+		members := finalMembers[fi]
 		idx := int32(len(v.groups))
 		v.groups = append(v.groups, *vg)
-		for _, p := range g.members {
+		for _, p := range members {
 			v.groupAt[p] = idx
 		}
-		v.isLeader[g.members[0]] = true
+		v.isLeader[members[0]] = true
 		v.vst.Groups++
-		v.vst.VecParts += len(g.members)
-		if len(g.members) > v.vst.MaxLanes {
-			v.vst.MaxLanes = len(g.members)
+		v.vst.VecParts += len(members)
+		if len(members) > v.vst.MaxLanes {
+			v.vst.MaxLanes = len(members)
+		}
+		if sigOf != nil {
+			shared := sigOf[members[0]]
+			if shared != 0 {
+				all := true
+				for _, p := range members[1:] {
+					if sigOf[p] != shared {
+						all = false
+						break
+					}
+				}
+				if all {
+					v.vst.SharedGuardGroups++
+				}
+			}
 		}
 	}
 }

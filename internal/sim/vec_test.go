@@ -48,7 +48,7 @@ func compileVecTest(t *testing.T, src string) *netlist.Design {
 // least one multi-lane class under the vec pass.
 func TestVecFindsClasses(t *testing.T) {
 	d := compileVecTest(t, replicatedSrc(8))
-	v, err := NewVecCCSS(d, VecCCSSOptions{})
+	v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestVecEquivalenceReplicated(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, err := NewVecCCSS(d, VecCCSSOptions{})
+		v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func TestVecEquivalenceFuzz(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		v, err := NewVecCCSS(d, VecCCSSOptions{})
+		v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -175,7 +175,7 @@ func TestVecEquivalenceFuzz(t *testing.T) {
 // lockstep afterwards.
 func TestVecCheckpointRoundTrip(t *testing.T) {
 	d := compileVecTest(t, replicatedSrc(8))
-	v, err := NewVecCCSS(d, VecCCSSOptions{})
+	v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestVecCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := NewVecCCSS(d, VecCCSSOptions{})
+	v2, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestVecMaxLanes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, err := NewVecCCSS(d, VecCCSSOptions{MaxLanes: cap})
+		v, err := NewVecCCSS(d, VecCCSSOptions{MaxLanes: cap, MinLanes: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func TestVecMaxLanes(t *testing.T) {
 func TestVecVerifierMutations(t *testing.T) {
 	build := func(t *testing.T) *VecCCSS {
 		d := compileVecTest(t, replicatedSrc(6))
-		v, err := NewVecCCSS(d, VecCCSSOptions{})
+		v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -405,5 +405,74 @@ func TestVecStrictVerifyOnConstruction(t *testing.T) {
 	d := compileVecTest(t, replicatedSrc(4))
 	if _, err := NewVecCCSS(d, VecCCSSOptions{Verify: verify.Strict}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVecMinLanesFloor: under the default cost-model floor a fragmented
+// class (fewer lanes than the floor) must fall back to the scalar path —
+// and stay bit-exact with scalar CCSS while doing so. MinLanes 2 must
+// re-admit the same class.
+func TestVecMinLanesFloor(t *testing.T) {
+	d := compileVecTest(t, replicatedSrc(8))
+	v, err := NewVecCCSS(d, VecCCSSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.VecInfo()
+	if st.MinLanes != defaultMinVecLanes {
+		t.Fatalf("default floor not applied: %+v", st)
+	}
+	if st.Groups != 0 || st.DroppedGroups == 0 || st.DroppedParts < 2 {
+		t.Fatalf("fragmented class not dropped by the floor: %+v", st)
+	}
+	ref, err := NewCCSS(d, CCSSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepCompare(t, ref, v, d, 11, 150)
+	if rs, vs := *ref.Stats(), *v.Stats(); rs != vs {
+		t.Fatalf("stats diverged:\nref: %+v\nvec: %+v", rs, vs)
+	}
+
+	accept, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast := accept.VecInfo(); ast.Groups == 0 || ast.DroppedGroups != 0 {
+		t.Fatalf("MinLanes 2 did not re-admit the class: %+v", ast)
+	}
+}
+
+// TestVecGuardSignatures: the replicated accumulator bank shares one
+// global enable, so the partitions carry a static toggle-condition
+// signature, the compiled class is signature-homogeneous, and the NoSA
+// ablation compiles the same lanes and stays bit-exact.
+func TestVecGuardSignatures(t *testing.T) {
+	d := compileVecTest(t, replicatedSrc(8))
+	v, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := v.VecInfo()
+	if st.Groups == 0 {
+		t.Fatalf("no classes found: %+v", st)
+	}
+	if st.GatedParts == 0 || st.SharedGuardGroups == 0 {
+		t.Fatalf("shared global enable not reflected in signatures: %+v", st)
+	}
+	ab, err := NewVecCCSS(d, VecCCSSOptions{MinLanes: 2, NoSA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast := ab.VecInfo()
+	if ast.GatedParts != 0 || ast.SharedGuardGroups != 0 {
+		t.Fatalf("NoSA still computed signatures: %+v", ast)
+	}
+	if ast.Groups != st.Groups || ast.VecParts != st.VecParts {
+		t.Fatalf("ablation changed class coverage: sa %+v vs nosa %+v", st, ast)
+	}
+	stepCompare(t, v, ab, d, 23, 150)
+	if rs, vs := *v.Stats(), *ab.Stats(); rs != vs {
+		t.Fatalf("stats diverged:\nsa: %+v\nnosa: %+v", rs, vs)
 	}
 }

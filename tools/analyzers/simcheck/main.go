@@ -1,0 +1,346 @@
+// Command simcheck is the repository's custom static checker. It
+// enforces three invariants the ordinary type checker cannot see (run
+// in CI alongside go vet and staticcheck):
+//
+//  1. engine-verify — every exported engine constructor in
+//     internal/sim (New*) must reach verify.Enforce through
+//     package-local calls, so no engine can be built without the
+//     static verifier having a say.
+//  2. stats-write — outside internal/sim, the *sim.Stats returned by
+//     Simulator.Stats() is read-only: callers comparing or printing
+//     work counters must not reset or edit them (that asymmetry broke
+//     lockstep Stats comparisons before the engines owned all resets).
+//  3. slot-index — outside internal/sim, no []uint64 may be indexed by
+//     a netlist.SignalID (directly or through an integer conversion):
+//     slot-table layout is the engines' private contract, everyone
+//     else goes through Peek/PeekWide.
+//
+// Usage: go run ./tools/analyzers/simcheck [packages...] (default ./...).
+// Builds the module's packages from source against `go list -export`
+// data — no dependencies outside the standard library.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	simPath     = "essent/internal/sim"
+	netlistPath = "essent/internal/netlist"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("simcheck: ok")
+}
+
+// listPkg is the subset of `go list -json` output simcheck consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+func run(patterns []string) ([]string, error) {
+	// Two passes: the target set (what we lint), then targets+deps with
+	// export data (what the type checker imports against).
+	targets, err := goList(patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var findings []string
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Uses:  map[*ast.Ident]types.Object{},
+			Types: map[ast.Expr]types.TypeAndValue{},
+		}
+		conf := types.Config{Importer: imp}
+		if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		findings = append(findings, Check(p.ImportPath, fset, files, info)...)
+	}
+	return findings, nil
+}
+
+func goList(patterns []string, deps bool) ([]listPkg, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard"}
+	if deps {
+		args = append(args, "-export", "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check runs every simcheck rule over one type-checked package and
+// returns the findings, "file:line: [rule] message" formatted.
+func Check(pkgPath string, fset *token.FileSet, files []*ast.File,
+	info *types.Info) []string {
+	var findings []string
+	report := func(pos token.Pos, rule, msg string) {
+		findings = append(findings, fmt.Sprintf("%s: [%s] %s",
+			fset.Position(pos), rule, msg))
+	}
+	if pkgPath == simPath {
+		checkEngineVerify(files, info, report)
+		return findings
+	}
+	checkStatsWrite(files, info, report)
+	checkSlotIndex(files, info, report)
+	return findings
+}
+
+// checkEngineVerify: every exported New* function must reach a
+// verify.Enforce call through package-local calls. Reachability is by
+// callee name (functions and methods pooled), an over-approximation
+// that can only hide a miss when an unrelated same-named callee calls
+// Enforce — acceptable for an existence check.
+func checkEngineVerify(files []*ast.File, info *types.Info,
+	report func(token.Pos, string, string)) {
+	const enforce = "verify.Enforce!"
+	calls := map[string][]string{}
+	var ctors []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var out []string
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					out = append(out, fun.Name)
+				case *ast.SelectorExpr:
+					if x, ok := fun.X.(*ast.Ident); ok {
+						if pn, ok := info.Uses[x].(*types.PkgName); ok &&
+							pn.Imported().Path() == "essent/internal/verify" &&
+							fun.Sel.Name == "Enforce" {
+							out = append(out, enforce)
+							return true
+						}
+					}
+					out = append(out, fun.Sel.Name)
+				}
+				return true
+			})
+			calls[fd.Name.Name] = append(calls[fd.Name.Name], out...)
+			if fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "New") &&
+				ast.IsExported(fd.Name.Name) {
+				ctors = append(ctors, fd)
+			}
+		}
+	}
+	for _, fd := range ctors {
+		seen := map[string]bool{}
+		work := []string{fd.Name.Name}
+		found := false
+		for len(work) > 0 && !found {
+			name := work[len(work)-1]
+			work = work[:len(work)-1]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, callee := range calls[name] {
+				if callee == enforce {
+					found = true
+					break
+				}
+				if _, local := calls[callee]; local && !seen[callee] {
+					work = append(work, callee)
+				}
+			}
+		}
+		if !found {
+			report(fd.Pos(), "engine-verify", fmt.Sprintf(
+				"engine constructor %s never reaches verify.Enforce", fd.Name.Name))
+		}
+	}
+}
+
+// isNamed reports whether t (or its pointee) is the named type path.Name.
+func isNamed(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// checkStatsWrite flags writes through a sim.Stats outside internal/sim:
+// assignments to *p or p.Field, and ++/-- on counters.
+func checkStatsWrite(files []*ast.File, info *types.Info,
+	report func(token.Pos, string, string)) {
+	// Only writes through a *sim.Stats count: a value copy (st := *s.
+	// Stats()) is the caller's own and freely editable.
+	isStatsPtr := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		_, ptr := tv.Type.(*types.Pointer)
+		return ptr && isNamed(tv.Type, simPath, "Stats")
+	}
+	isStatsLV := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.StarExpr:
+			return isStatsPtr(e.X)
+		case *ast.SelectorExpr:
+			return isStatsPtr(e.X)
+		}
+		return false
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if isStatsLV(lhs) {
+						report(lhs.Pos(), "stats-write",
+							"sim.Stats is engine-owned and read-only outside internal/sim")
+					}
+				}
+			case *ast.IncDecStmt:
+				if isStatsLV(n.X) {
+					report(n.X.Pos(), "stats-write",
+						"sim.Stats is engine-owned and read-only outside internal/sim")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSlotIndex flags []uint64 indexed by a netlist.SignalID (directly
+// or through an integer conversion of one) outside internal/sim.
+func checkSlotIndex(files []*ast.File, info *types.Info,
+	report func(token.Pos, string, string)) {
+	isSignalID := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if ok && isNamed(tv.Type, netlistPath, "SignalID") {
+			return true
+		}
+		// Unwrap one integer conversion: int(id), uint32(id), ...
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		if ftv, ok := info.Types[call.Fun]; !ok || !ftv.IsType() {
+			return false
+		}
+		atv, ok := info.Types[call.Args[0]]
+		return ok && isNamed(atv.Type, netlistPath, "SignalID")
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			xt, ok := info.Types[idx.X]
+			if !ok {
+				return true
+			}
+			sl, ok := xt.Type.Underlying().(*types.Slice)
+			if !ok {
+				return true
+			}
+			bt, ok := sl.Elem().Underlying().(*types.Basic)
+			if !ok || bt.Kind() != types.Uint64 {
+				return true
+			}
+			if isSignalID(idx.Index) {
+				report(idx.Pos(), "slot-index",
+					"[]uint64 indexed by netlist.SignalID: raw slot layout is "+
+						"internal/sim's contract, use Peek/PeekWide")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// mapImporter resolves imports from already-checked in-memory packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("test importer: unknown package %q", path)
+}
+
+// checkSrc type-checks one synthetic package and runs the simcheck
+// rules over it.
+func checkSrc(t *testing.T, imp mapImporter, path, src string) ([]string, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return Check(path, fset, []*ast.File{f}, info), pkg
+}
+
+// deps builds the synthetic netlist/sim/verify packages the rules match
+// against by import path.
+func deps(t *testing.T) mapImporter {
+	t.Helper()
+	imp := mapImporter{}
+	_, nl := checkSrc(t, imp, netlistPath, `
+package netlist
+type SignalID int32
+const NoSignal SignalID = -1
+`)
+	imp[netlistPath] = nl
+	_, vp := checkSrc(t, imp, "essent/internal/verify", `
+package verify
+type Mode int
+type Diagnostic struct{}
+func Enforce(m Mode, d []Diagnostic, w any) error { return nil }
+`)
+	imp["essent/internal/verify"] = vp
+	return imp
+}
+
+func wantRules(t *testing.T, findings []string, rules ...string) {
+	t.Helper()
+	if len(findings) != len(rules) {
+		t.Fatalf("got %d finding(s), want %d:\n%s",
+			len(findings), len(rules), strings.Join(findings, "\n"))
+	}
+	for i, r := range rules {
+		if !strings.Contains(findings[i], "["+r+"]") {
+			t.Fatalf("finding %d = %q, want rule %s", i, findings[i], r)
+		}
+	}
+}
+
+// TestEngineVerifyRule: a constructor reaching Enforce transitively is
+// clean; one that never does is flagged.
+func TestEngineVerifyRule(t *testing.T) {
+	imp := deps(t)
+	findings, simPkg := checkSrc(t, imp, simPath, `
+package sim
+import "essent/internal/verify"
+type Stats struct{ Cycles uint64 }
+type CCSS struct{ st Stats }
+func (c *CCSS) Stats() *Stats { return &c.st }
+func NewCCSS() (*CCSS, error) {
+	if err := verify.Enforce(0, nil, nil); err != nil {
+		return nil, err
+	}
+	return &CCSS{}, nil
+}
+func New() (*CCSS, error) { return NewCCSS() }
+func NewRogue() (*CCSS, error) { return &CCSS{}, nil }
+`)
+	imp[simPath] = simPkg
+	wantRules(t, findings, "engine-verify")
+	if !strings.Contains(findings[0], "NewRogue") {
+		t.Fatalf("wrong constructor flagged: %q", findings[0])
+	}
+}
+
+// TestStatsAndSlotRules: outside internal/sim, Stats writes and
+// SignalID-indexed []uint64 reads are flagged; read-only uses and
+// indexing other tables are not.
+func TestStatsAndSlotRules(t *testing.T) {
+	imp := deps(t)
+	_, simPkg := checkSrc(t, imp, simPath, `
+package sim
+import "essent/internal/verify"
+type Stats struct{ Cycles uint64 }
+type CCSS struct{ st Stats }
+func (c *CCSS) Stats() *Stats { return &c.st }
+func New() (*CCSS, error) {
+	if err := verify.Enforce(0, nil, nil); err != nil {
+		return nil, err
+	}
+	return &CCSS{}, nil
+}
+`)
+	imp[simPath] = simPkg
+	findings, _ := checkSrc(t, imp, "essent/internal/consumer", `
+package consumer
+import (
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+func bad(s *sim.CCSS, table []uint64, id netlist.SignalID) uint64 {
+	*s.Stats() = sim.Stats{}        // write through the pointer
+	s.Stats().Cycles = 0            // field write
+	s.Stats().Cycles++              // counter write
+	_ = table[id]                   // direct SignalID index
+	return table[int(id)]           // converted SignalID index
+}
+func good(s *sim.CCSS, partOf []int, id netlist.SignalID) uint64 {
+	st := *s.Stats()                // value copy is fine
+	st.Cycles = 0                   // editing the copy is fine
+	_ = partOf[int(id)]             // non-slot table is fine
+	return st.Cycles
+}
+`)
+	wantRules(t, findings, "stats-write", "stats-write", "stats-write",
+		"slot-index", "slot-index")
+}
