@@ -29,6 +29,9 @@
 //	benchall -only sa -designs r16
 //	                              # static activity analysis: proof coverage,
 //	                              # compile cost, CCSS speedup vs ablation
+//	benchall -only gen -designs r16
+//	                              # compiled backend: artifact build latency
+//	                              # cold vs warm, subprocess vs interpreter
 package main
 
 import (
@@ -74,6 +77,10 @@ experiment (default list with -only ckptcost)`)
 		_ = flag.Bool("novec", false,
 			"rejected: the vec sweep always measures both arms; the functional"+
 				" ablation switch is 'essent -engine vec -novec'")
+		// -backend likewise: the gen sweep always measures both backends.
+		_ = flag.String("backend", "",
+			"rejected: the gen sweep always measures both the compiled and"+
+				" interpreter backends; the functional switch is 'essent -backend compiled'")
 	)
 	flag.Parse()
 	if err := validateFlags(*only); err != nil {
@@ -120,6 +127,12 @@ experiment (default list with -only ckptcost)`)
 		// The SA sweep compiles its own r16/fab/mac16 cells; skip the
 		// SoC design set entirely.
 		runSASweep(scale, *designsFlag, *jsonPath, writeCSV)
+		return
+	}
+	if *only == "gen" {
+		// The gen sweep compiles its own r16/fab/mac16 cells; skip the
+		// SoC design set entirely.
+		runGenSweep(scale, *designsFlag, *jsonPath, writeCSV)
 		return
 	}
 
@@ -497,10 +510,47 @@ func runSASweep(scale exp.Scale, designsFlag, jsonPath string,
 	}
 }
 
+// runGenSweep runs the compiled-backend experiment: artifact build
+// latency cold and warm, then throughput and bit-exactness of the
+// supervised subprocess against the CCSS interpreter.
+func runGenSweep(scale exp.Scale, designsFlag, jsonPath string,
+	writeCSV func(string, func(*os.File) error)) {
+	var designFilter []string
+	if designsFlag != "" {
+		for _, part := range strings.Split(designsFlag, ",") {
+			designFilter = append(designFilter, strings.TrimSpace(part))
+		}
+	}
+	fmt.Println("running compiled-backend sweep (build, warm start, throughput)...")
+	rows, err := exp.GenSweep(scale, designFilter)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(exp.RenderGen(rows))
+	writeCSV("gen.csv", func(f *os.File) error { return exp.WriteGenCSV(f, rows) })
+	if jsonPath != "" {
+		out := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := exp.WriteGenJSON(out, rows); err != nil {
+			fatal(err)
+		}
+		if jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+		}
+	}
+}
+
 // experiments are the valid -only values.
 var experiments = []string{"table1", "table2", "table3", "table4",
 	"fig5", "fig6", "fig7", "ablation", "scaling", "lanes", "verifycost",
-	"ckptcost", "pack", "vec", "sa"}
+	"ckptcost", "pack", "vec", "sa", "gen"}
 
 // validateFlags rejects contradictory flag combinations up front, before
 // any design compiles — previously `-only lanes -workers 4` silently ran
@@ -538,6 +588,10 @@ func validateFlags(only string) error {
 		return fmt.Errorf("-laneworkers only applies to the lane, pack, and vec sweeps" +
 			" (use with -only lanes, -only pack, -only vec, or -lanes)")
 	}
+	if set["nopack"] && only == "gen" {
+		return fmt.Errorf("-nopack ablates the lane sweep's packing pass and" +
+			" contradicts -only gen (the gen sweep measures the CCSS artifact as built)")
+	}
 	if set["nopack"] && !wantLanes {
 		return fmt.Errorf("-nopack ablates the lane sweep's packing pass" +
 			" (the pack sweep always measures both; use with -only lanes or -lanes)")
@@ -546,6 +600,11 @@ func validateFlags(only string) error {
 		return fmt.Errorf("the vec sweep always measures both the vectorized and" +
 			" NoVec arms, so -novec contradicts -only vec; the functional ablation" +
 			" switch is `essent -engine vec -novec`")
+	}
+	if set["backend"] {
+		return fmt.Errorf("the gen sweep always measures both the compiled and" +
+			" interpreter backends, so -backend contradicts -only gen; the" +
+			" functional switch is `essent -backend compiled`")
 	}
 	if set["ckptevery"] && only != "ckptcost" {
 		return fmt.Errorf("-ckptevery configures the checkpoint-overhead experiment" +

@@ -25,6 +25,10 @@ func main() {
 		workload   = flag.String("workload", "", "RISC-V workload: dhrystone, matmul, pchase")
 		engineName = flag.String("engine", "essent",
 			"engine: essent, baseline, fullcycle-opt, event, parallel, vec")
+		backendName = flag.String("backend", "interp",
+			"execution vehicle: interp (in-process), compiled (build + run the "+
+				"design as a supervised subprocess), auto (compiled when its "+
+				"artifact is cached, interpreter otherwise)")
 		cp    = flag.Int("cp", 8, "ESSENT partitioning threshold Cp")
 		novec = flag.Bool("novec", false,
 			"disable instance vectorization on -engine vec (ablation)")
@@ -115,10 +119,11 @@ func main() {
 
 	sim, err := essent.Compile(src, essent.Options{Engine: engine, Cp: *cp,
 		NoVec: *novec, MaxVecLanes: *maxVecLanes, MinVecLanes: *minVecLanes,
-		NoSA: *nosa, Verify: vmode})
+		NoSA: *nosa, Verify: vmode, Backend: *backendName})
 	if err != nil {
 		fatal(err)
 	}
+	defer sim.Close()
 	if *verbose {
 		sim.SetOutput(os.Stdout)
 	}
@@ -254,6 +259,10 @@ func main() {
 			fmt.Printf("events queued:   %d\n", st.Events)
 		}
 	}
+	if rec := sim.BackendDegradation(); rec != nil {
+		fmt.Printf("note: compiled backend degraded to the interpreter (%s at cycle %d): %s\n",
+			rec.Cause, rec.Cycle, rec.Detail)
+	}
 }
 
 // validateFlags rejects contradictory flag combinations up front — a
@@ -278,6 +287,21 @@ func validateFlags() error {
 		set["watchdog-cycles"]) {
 		return errors.New("-vcd drives its own cycle loop and contradicts the" +
 			" checkpoint/watchdog flags")
+	}
+	backend, err := essent.ParseBackend(flag.Lookup("backend").Value.String())
+	if err != nil {
+		return err
+	}
+	if backend == "compiled" {
+		if eng, err := essent.ParseEngine(flag.Lookup("engine").Value.String()); err == nil {
+			switch eng {
+			case essent.EngineESSENT, essent.EngineBaseline, essent.EngineFullCycleOpt:
+			default:
+				return errors.New("-backend compiled supports -engine essent," +
+					" baseline, or fullcycle-opt; the parallel, vec, and event" +
+					" engines run in-process only")
+			}
+		}
 	}
 	if eng, err := essent.ParseEngine(flag.Lookup("engine").Value.String()); err == nil &&
 		eng != essent.EngineESSENTVec {

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"essent/internal/ckpt"
+	"essent/internal/codegen"
 	"essent/internal/firrtl"
 	"essent/internal/netlist"
 	"essent/internal/opt"
+	"essent/internal/serve"
 	"essent/internal/sim"
 	"essent/internal/vcd"
 	"essent/internal/verify"
@@ -152,6 +154,42 @@ type Options struct {
 	// Verify selects static-verification enforcement (VerifyStrict, the
 	// zero value, by default).
 	Verify VerifyMode
+	// Backend selects the execution vehicle: "interp" (the default) runs
+	// the in-process engine; "compiled" emits the design as a standalone
+	// Go simulator, builds it through a checksummed artifact cache, and
+	// drives the binary as a supervised subprocess (essent, baseline,
+	// and fullcycle-opt engines); "auto" uses the compiled backend when
+	// its artifact is already cached and otherwise runs the interpreter
+	// while warming the cache in the background.
+	Backend string
+	// ArtifactCacheDir overrides where compiled-backend artifacts are
+	// cached ("" = the user cache directory).
+	ArtifactCacheDir string
+}
+
+// ParseBackend resolves a -backend flag value, normalizing aliases.
+func ParseBackend(s string) (string, error) {
+	switch s {
+	case "", "interp", "interpreter":
+		return "interp", nil
+	case "compiled":
+		return "compiled", nil
+	case "auto":
+		return "auto", nil
+	}
+	return "", fmt.Errorf("essent: unknown backend %q (want interp, compiled, or auto)", s)
+}
+
+// artifactGen maps facade options onto a generated-artifact shape, or
+// reports that the engine has no compiled equivalent.
+func artifactGen(opts Options) (codegen.Options, bool) {
+	switch opts.Engine {
+	case EngineESSENT:
+		return codegen.Options{Mode: codegen.ModeCCSS, Cp: opts.Cp}, true
+	case EngineBaseline, EngineFullCycleOpt:
+		return codegen.Options{Mode: codegen.ModeFullCycle}, true
+	}
+	return codegen.Options{}, false
 }
 
 // Diagnostic is one structured verifier or linter finding: a rule ID
@@ -243,6 +281,32 @@ func CompileCircuit(circuit *firrtl.Circuit, opts Options) (*Sim, error) {
 	if wantOpt && !opts.NoOptimize {
 		if d, _, err = opt.OptimizeOpts(d, opt.Options{NoSA: opts.NoSA}); err != nil {
 			return nil, err
+		}
+	}
+	backend, err := ParseBackend(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if backend != "interp" {
+		gen, ok := artifactGen(opts)
+		switch {
+		case !ok && backend == "compiled":
+			return nil, fmt.Errorf(
+				"essent: the compiled backend supports the essent, baseline, and "+
+					"fullcycle-opt engines, not %v", opts.Engine)
+		case ok:
+			cfg := serve.Config{Gen: gen, CacheDir: opts.ArtifactCacheDir}
+			if backend == "auto" && !serve.Probe(d, gen, cfg) {
+				// Cold cache: interpret this run, warm the cache for the
+				// next one in the background.
+				go serve.EnsureArtifact(d, gen, cfg)
+			} else {
+				sess, err := serve.New(d, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return &Sim{s: sess, d: d}, nil
+			}
 		}
 	}
 	engine := sim.Options{Verify: opts.Verify.internal(), NoSA: opts.NoSA}
@@ -402,13 +466,46 @@ func (s *Sim) RestoreCheckpoint(path string) error {
 }
 
 // Degraded reports whether a recovered worker panic has routed a
-// parallel engine to sequential evaluation (always false for the
-// sequential engines).
+// parallel engine to sequential evaluation, or the compiled backend has
+// fallen back to the interpreter (always false for healthy sequential
+// engines).
 func (s *Sim) Degraded() bool {
 	if dg, ok := s.s.(interface{ Degraded() bool }); ok {
 		return dg.Degraded()
 	}
 	return false
+}
+
+// BackendDegradation records why the compiled backend abandoned its
+// subprocess for the in-process interpreter.
+type BackendDegradation struct {
+	// Cause is "build", "spawn", "crash-loop", or "divergence".
+	Cause string
+	// Detail is the final error's message.
+	Detail string
+	// Cycle is the last known-good cycle at the transition.
+	Cycle uint64
+}
+
+// BackendDegradation returns the compiled backend's fallback record,
+// or nil while the subprocess is healthy (and always nil for
+// in-process backends).
+func (s *Sim) BackendDegradation() *BackendDegradation {
+	if sess, ok := s.s.(*serve.Session); ok {
+		if rec := sess.Degradation(); rec != nil {
+			return &BackendDegradation{Cause: rec.Cause, Detail: rec.Detail,
+				Cycle: rec.Cycle}
+		}
+	}
+	return nil
+}
+
+// Close releases backend resources — the compiled backend's subprocess
+// and pipes. It is a no-op for in-process engines.
+func (s *Sim) Close() {
+	if c, ok := s.s.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // LatestCheckpoint returns the newest valid checkpoint file in dir,

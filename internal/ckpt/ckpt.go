@@ -10,34 +10,29 @@
 // recomputed on the first step after restore, so a snapshot taken under
 // one engine resumes bit-exactly under any other engine compiled from
 // the same design.
+//
+// The wire codec itself lives in pkg/ckptio (generated simulator
+// artifacts serialize the same format without importing internal
+// packages); this package converts between sim.State and the raw
+// ckptio.Snapshot and adds the file and pipe transports.
 package ckpt
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc64"
 	"os"
 	"path/filepath"
 
 	"essent/internal/sim"
+	"essent/pkg/ckptio"
 )
 
-// File format (little-endian):
-//
-//	magic   "ESNTCKP1" (8 bytes; the version digit is part of the magic)
-//	design  u32 length + bytes
-//	fingerprint u64
-//	cycle   u64
-//	stats   u32 count + count×u64 (sim.Stats fields in declaration
-//	        order; readers tolerate shorter/longer lists so the format
-//	        survives counter additions)
-//	inputs  u32 count + per entry: u32 words + words×u64
-//	regs    u32 count + per entry: u32 words + words×u64
-//	mems    u32 count + per entry: u32 words + words×u64
-//	crc     u64 CRC64/ECMA over everything above
-var magic = [8]byte{'E', 'S', 'N', 'T', 'C', 'K', 'P', '1'}
+// StatsWords flattens Stats into the on-disk word list; StatsFromWords
+// is its inverse. Exported for the serving backend, which exchanges
+// stats with subprocess artifacts in this flat form.
+func StatsWords(st *sim.Stats) []uint64 { return statsToWords(st) }
 
-var crcTable = crc64.MakeTable(crc64.ECMA)
+// StatsFromWords maps flat checkpoint words back onto sim.Stats.
+func StatsFromWords(ws []uint64) sim.Stats { return statsFromWords(ws) }
 
 // statsToWords flattens Stats into the on-disk list. Append-only: new
 // counters go at the end so old readers ignore them and old files read
@@ -65,143 +60,57 @@ func statsFromWords(ws []uint64) sim.Stats {
 	return st
 }
 
+// ToSnapshot converts a sim.State to the raw wire form. The sections
+// alias the State's slices (no copy); callers that mutate either side
+// afterwards must copy first.
+func ToSnapshot(st *sim.State) *ckptio.Snapshot {
+	return &ckptio.Snapshot{
+		Design:      st.Design,
+		Fingerprint: st.Fingerprint,
+		Cycle:       st.Cycle,
+		Stats:       statsToWords(&st.Stats),
+		Inputs:      st.Inputs,
+		Regs:        st.Regs,
+		Mems:        st.Mems,
+	}
+}
+
+// FromSnapshot converts a raw wire snapshot back to a sim.State
+// (sections alias; stats words map positionally onto sim.Stats).
+func FromSnapshot(sn *ckptio.Snapshot) *sim.State {
+	return &sim.State{
+		Design:      sn.Design,
+		Fingerprint: sn.Fingerprint,
+		Cycle:       sn.Cycle,
+		Stats:       statsFromWords(sn.Stats),
+		Inputs:      sn.Inputs,
+		Regs:        sn.Regs,
+		Mems:        sn.Mems,
+	}
+}
+
 // Encode serializes a State in the checkpoint format (checksum
 // included).
 func Encode(st *sim.State) []byte {
-	n := len(magic) + 4 + len(st.Design) + 8 + 8 + 4 + 11*8
-	for _, s := range [][][]uint64{st.Inputs, st.Regs, st.Mems} {
-		n += 4
-		for _, ws := range s {
-			n += 4 + 8*len(ws)
-		}
-	}
-	n += 8
-	buf := make([]byte, 0, n)
-	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Design)))
-	buf = append(buf, st.Design...)
-	buf = binary.LittleEndian.AppendUint64(buf, st.Fingerprint)
-	buf = binary.LittleEndian.AppendUint64(buf, st.Cycle)
-	sw := statsToWords(&st.Stats)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sw)))
-	for _, w := range sw {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
-	}
-	for _, sec := range [][][]uint64{st.Inputs, st.Regs, st.Mems} {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec)))
-		for _, ws := range sec {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ws)))
-			for _, w := range ws {
-				buf = binary.LittleEndian.AppendUint64(buf, w)
-			}
-		}
-	}
-	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
-	return buf
-}
-
-// decoder is a bounds-checked little-endian reader.
-type decoder struct {
-	b   []byte
-	pos int
-	err error
-}
-
-func (d *decoder) u32() uint32 {
-	if d.err != nil {
-		return 0
-	}
-	if d.pos+4 > len(d.b) {
-		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(d.b[d.pos:])
-	d.pos += 4
-	return v
-}
-
-func (d *decoder) u64() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	if d.pos+8 > len(d.b) {
-		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(d.b[d.pos:])
-	d.pos += 8
-	return v
-}
-
-func (d *decoder) bytes(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || d.pos+n > len(d.b) {
-		d.err = fmt.Errorf("ckpt: truncated at byte %d", d.pos)
-		return nil
-	}
-	v := d.b[d.pos : d.pos+n]
-	d.pos += n
-	return v
+	return ckptio.Encode(ToSnapshot(st))
 }
 
 // Decode parses and checksum-verifies a checkpoint.
 func Decode(buf []byte) (*sim.State, error) {
-	if len(buf) < len(magic)+8 {
-		return nil, fmt.Errorf("ckpt: file too short (%d bytes)", len(buf))
+	sn, err := ckptio.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	if string(buf[:len(magic)]) != string(magic[:]) {
-		return nil, fmt.Errorf("ckpt: bad magic %q", buf[:len(magic)])
-	}
-	body, tail := buf[:len(buf)-8], buf[len(buf)-8:]
-	want := binary.LittleEndian.Uint64(tail)
-	if got := crc64.Checksum(body, crcTable); got != want {
-		return nil, fmt.Errorf("ckpt: checksum mismatch (got %#x want %#x)", got, want)
-	}
-	d := &decoder{b: body, pos: len(magic)}
-	st := &sim.State{}
-	st.Design = string(d.bytes(int(d.u32())))
-	st.Fingerprint = d.u64()
-	st.Cycle = d.u64()
-	nw := int(d.u32())
-	if nw > 1024 {
-		return nil, fmt.Errorf("ckpt: implausible stats count %d", nw)
-	}
-	ws := make([]uint64, nw)
-	for i := range ws {
-		ws[i] = d.u64()
-	}
-	st.Stats = statsFromWords(ws)
-	for _, dst := range []*[][]uint64{&st.Inputs, &st.Regs, &st.Mems} {
-		cnt := int(d.u32())
-		if d.err != nil {
-			return nil, d.err
-		}
-		sec := make([][]uint64, cnt)
-		for i := range sec {
-			n := int(d.u32())
-			if d.err != nil {
-				return nil, d.err
-			}
-			if n > (len(body)-d.pos)/8+1 {
-				return nil, fmt.Errorf("ckpt: implausible entry length %d", n)
-			}
-			ws := make([]uint64, n)
-			for k := range ws {
-				ws[k] = d.u64()
-			}
-			sec[i] = ws
-		}
-		*dst = sec
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.pos != len(body) {
-		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(body)-d.pos)
-	}
-	return st, nil
+	return FromSnapshot(sn), nil
+}
+
+// StateHash digests a State's architectural content (cycle, inputs,
+// registers, memories — stats excluded) with the same algorithm the
+// generated artifacts use, so a host-side interpreter state can be
+// compared against a subprocess hash frame without shipping the full
+// snapshot.
+func StateHash(st *sim.State) uint64 {
+	return ToSnapshot(st).StateHash()
 }
 
 // tmpSuffix marks in-progress writes; Latest skips leftovers from a

@@ -38,7 +38,7 @@ func compileCkpt(t *testing.T, src string) *netlist.Design {
 	return d
 }
 
-func newSim(t *testing.T, d *netlist.Design, engine sim.Engine) sim.Simulator {
+func newSim(t testing.TB, d *netlist.Design, engine sim.Engine) sim.Simulator {
 	t.Helper()
 	s, err := sim.New(d, sim.Options{Engine: engine, Cp: 8})
 	if err != nil {
@@ -48,7 +48,7 @@ func newSim(t *testing.T, d *netlist.Design, engine sim.Engine) sim.Simulator {
 }
 
 // randState captures a nontrivial State from a random circuit run.
-func randState(t *testing.T, seed int64, cycles int) *sim.State {
+func randState(t testing.TB, seed int64, cycles int) *sim.State {
 	t.Helper()
 	d, err := netlist.Compile(randckt.Generate(seed, randckt.DefaultConfig()))
 	if err != nil {

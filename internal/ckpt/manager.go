@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"essent/internal/sim"
@@ -17,7 +18,10 @@ const snapExt = ".essnap"
 
 // Manager writes a rolling series of checkpoints into one directory,
 // pruning to the newest Keep files, and accumulates overhead counters
-// for the experiment harness.
+// for the experiment harness. Save is safe for concurrent use: the
+// write itself is atomic (tmp+rename) regardless, and the mutex keeps
+// the counters and prune bookkeeping coherent when several goroutines
+// (e.g. per-lane supervisors) share one manager.
 type Manager struct {
 	// Dir receives the checkpoint files (created if missing).
 	Dir string
@@ -33,6 +37,8 @@ type Manager struct {
 
 	// LastPath is the most recently written checkpoint.
 	LastPath string
+
+	mu sync.Mutex
 }
 
 func (mg *Manager) keep() int {
@@ -50,6 +56,8 @@ func (mg *Manager) Path(cycle uint64) string {
 // Save writes one checkpoint and prunes old ones to the retention
 // bound.
 func (mg *Manager) Save(st *sim.State) (string, error) {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	if err := os.MkdirAll(mg.Dir, 0o777); err != nil {
 		return "", fmt.Errorf("ckpt: %w", err)
 	}

@@ -1,0 +1,48 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"essent/internal/sim"
+)
+
+// Streaming transport: checkpoints over pipes and sockets, not just
+// files. Each snapshot travels as a u32 length prefix followed by the
+// standard ESNTCKP1 bytes — the payload carries its own magic and CRC,
+// so a torn or corrupted stream fails verification exactly like a torn
+// file. maxStream bounds the length prefix against a garbage peer.
+const maxStream = 1 << 30
+
+// Write streams one checkpoint onto w (length-prefixed ESNTCKP1).
+func Write(w io.Writer, st *sim.State) error {
+	buf := Encode(st)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckpt: stream write: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("ckpt: stream write: %w", err)
+	}
+	return nil
+}
+
+// Read consumes one length-prefixed checkpoint from r, verifying its
+// checksum before returning the decoded state.
+func Read(r io.Reader) (*sim.State, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: stream read: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxStream {
+		return nil, fmt.Errorf("ckpt: implausible stream length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("ckpt: stream read: %w", err)
+	}
+	return Decode(buf)
+}

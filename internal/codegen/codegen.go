@@ -53,6 +53,13 @@ type Options struct {
 	// of the batch engine's bit-packing pass: single-use 1-bit producers
 	// inline into their consumers; ablation knob).
 	NoPack bool
+	// Serve emits the serving-backend surface: design fingerprint
+	// constants, ckptio snapshot Capture/Restore, the architectural
+	// StateHash, flat Stats counters mirroring the interpreter's
+	// activity accounting, and a signal table covering every named
+	// signal — everything pipeproto.Child requires. Off by default so
+	// bench-only output stays lean.
+	Serve bool
 }
 
 // Generate emits Go source for a simulator of the design.
@@ -105,7 +112,43 @@ type gen struct {
 	// pass statistic (see pack.go).
 	inlineExpr   map[int32]string
 	inlinedCount int
+	// pendOps accumulates instruction counts between control-flow
+	// boundaries; flushOps emits them as one stats increment (Serve
+	// mode's OpsEvaluated accounting).
+	pendOps int
 }
+
+// countOp records one evaluated instruction for the Serve-mode
+// OpsEvaluated counter.
+func (g *gen) countOp() {
+	if g.opts.Serve {
+		g.pendOps++
+	}
+}
+
+// flushOps emits the pending instruction count. Must be called before
+// emitting a branch that conditionally skips instructions, and at the
+// end of every straight-line function body.
+func (g *gen) flushOps() {
+	if g.pendOps > 0 {
+		g.p("s.stats[%d] += %d", statOps, g.pendOps)
+		g.pendOps = 0
+	}
+}
+
+// Flat stats indices, matching sim.Stats field order (the checkpoint
+// format's append-only stats word list).
+const (
+	statCycles         = 0
+	statOps            = 1
+	statSignalChanges  = 2
+	statPartChecks     = 3
+	statInputChecks    = 4
+	statPartEvals      = 5
+	statOutputCompares = 6
+	statWakes          = 7
+	statFusedPairs     = 9
+)
 
 // computeShadows runs the arm-exclusivity analysis with the program's
 // scopes: partition IDs for CCSS, one scope for full-cycle.
@@ -152,6 +195,9 @@ func (g *gen) emit() string {
 	g.p(`  "fmt"`)
 	g.p(`  "io"`)
 	g.p("")
+	if g.opts.Serve {
+		g.p(`  "essent/pkg/ckptio"`)
+	}
 	g.p(`  "essent/pkg/simrt"`)
 	g.p(`)`)
 	g.p("")
@@ -159,6 +205,9 @@ func (g *gen) emit() string {
 	g.emitStruct()
 	g.emitNew()
 	g.emitAccessors()
+	if g.opts.Serve {
+		g.emitServe()
+	}
 	if g.opts.Mode == ModeCCSS {
 		g.emitCCSSStep()
 	} else {
@@ -191,7 +240,13 @@ type AssertError struct {
 
 func (e *AssertError) Error() string {
 	return fmt.Sprintf("assertion failed at cycle %%d: %%s", e.Cycle, e.Msg)
-}`)
+}
+
+// StopInfo classifies this error over the serve protocol.
+func (e *StopError) StopInfo() (int, uint64) { return e.Code, e.Cycle }
+
+// AssertInfo classifies this error over the serve protocol.
+func (e *AssertError) AssertInfo() (string, uint64) { return e.Msg, e.Cycle }`)
 	g.p("")
 }
 
@@ -216,6 +271,10 @@ func (g *gen) emitStruct() {
 		g.p("  pd []bool")
 		g.p("  prevIn []uint64")
 		g.p("  old []uint64")
+		g.p("  poked bool")
+	}
+	if g.opts.Serve {
+		g.p("  stats [11]uint64")
 	}
 	g.p("}")
 	g.p("")
@@ -275,6 +334,10 @@ func (g *gen) emitNew() {
 		g.p("  for i := range s.flags { s.flags[i] = true }")
 		g.p("  for i := range s.pd { s.pd[i] = false }")
 		g.p("  for i := range s.prevIn { s.prevIn[i] = ^uint64(0) }")
+		g.p("  s.poked = true")
+	}
+	if g.opts.Serve {
+		g.p("  for i := range s.stats { s.stats[i] = 0 }")
 	}
 	if len(pr.MemWrites) > 0 {
 		g.p("  for i := range s.pendValid { s.pendValid[i] = false }")
@@ -311,20 +374,45 @@ func (g *gen) oldWords() int32 {
 func (g *gen) emitAccessors() {
 	pr := g.prog
 	d := pr.D
-	g.p("// signalInfo maps port and register names to {offset, width, words}.")
-	g.p("var signalInfo = map[string][3]int{")
+	seen := map[string]bool{}
 	emitSig := func(id netlist.SignalID) {
 		s := &d.Signals[id]
+		if s.Name == "" || seen[s.Name] {
+			return
+		}
+		seen[s.Name] = true
 		g.p("  %q: {%d, %d, %d},", s.Name, pr.Off[id], s.Width, bits.Words(s.Width))
 	}
-	for _, in := range d.Inputs {
-		emitSig(in)
-	}
-	for _, o := range d.Outputs {
-		emitSig(o)
-	}
-	for ri := range d.Regs {
-		emitSig(d.Regs[ri].Out)
+	if g.opts.Serve {
+		// The serving backend peeks arbitrary named signals (the host's
+		// Simulator.Peek contract), so the table covers everything with
+		// a name, ports and registers first so they win name collisions.
+		g.p("// signalInfo maps every named signal to {offset, width, words}.")
+		g.p("var signalInfo = map[string][3]int{")
+		for _, in := range d.Inputs {
+			emitSig(in)
+		}
+		for _, o := range d.Outputs {
+			emitSig(o)
+		}
+		for ri := range d.Regs {
+			emitSig(d.Regs[ri].Out)
+		}
+		for id := range d.Signals {
+			emitSig(netlist.SignalID(id))
+		}
+	} else {
+		g.p("// signalInfo maps port and register names to {offset, width, words}.")
+		g.p("var signalInfo = map[string][3]int{")
+		for _, in := range d.Inputs {
+			emitSig(in)
+		}
+		for _, o := range d.Outputs {
+			emitSig(o)
+		}
+		for ri := range d.Regs {
+			emitSig(d.Regs[ri].Out)
+		}
 	}
 	g.p("}")
 	g.p("")
@@ -334,6 +422,10 @@ func (g *gen) emitAccessors() {
 	}
 	g.p("}")
 	g.p("")
+	poked := ""
+	if g.opts.Mode == ModeCCSS {
+		poked = "\n\ts.poked = true"
+	}
 	g.p(`// Poke sets a port or register by name (low 64 bits).
 func (s *Sim) Poke(name string, v uint64) bool {
 	info, ok := signalInfo[name]
@@ -343,7 +435,26 @@ func (s *Sim) Poke(name string, v uint64) bool {
 	s.t[info[0]] = v & mask64c(info[1])
 	for w := 1; w < info[2]; w++ {
 		s.t[info[0]+w] = 0
+	}` + poked + `
+	return true
+}
+
+// PokeWords sets a signal from limb words (wide pokes).
+func (s *Sim) PokeWords(name string, v []uint64) bool {
+	info, ok := signalInfo[name]
+	if !ok {
+		return false
 	}
+	for w := 0; w < info[2]; w++ {
+		var x uint64
+		if w < len(v) {
+			x = v[w]
+		}
+		if (w+1)*64 > info[1] {
+			x &= mask64c(info[1] - w*64)
+		}
+		s.t[info[0]+w] = x
+	}` + poked + `
 	return true
 }
 
@@ -354,6 +465,23 @@ func (s *Sim) Peek(name string) uint64 {
 		return 0
 	}
 	return s.t[info[0]]
+}
+
+// PeekWords reads a signal's words by name.
+func (s *Sim) PeekWords(name string) ([]uint64, bool) {
+	info, ok := signalInfo[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]uint64(nil), s.t[info[0]:info[0]+info[2]]...), true
+}
+
+// SetOutput redirects printf output (nil restores the default sink).
+func (s *Sim) SetOutput(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	s.Out = w
 }
 
 func mask64c(w int) uint64 {
@@ -398,6 +526,7 @@ func (s *Sim) Cycles() uint64 { return s.cycle }`)
 	g.p("  for k := 1; k < w; k++ { m[addr*w+k] = 0 }")
 	if g.opts.Mode == ModeCCSS {
 		g.p("  for _, p := range memWake[mi] { s.flags[p] = true }")
+		g.p("  s.poked = true")
 	}
 	g.p("  return true")
 	g.p("}")

@@ -73,6 +73,10 @@ func (g *gen) emitInstrShadowAware(in *sim.GenInstr) {
 // dst = F }` — §III-B's conditional evaluation of multiplexor ways.
 // Reset muxes (Unlikely) put the likely arm first.
 func (g *gen) emitShadowedMux(in *sim.GenInstr, arms *sched.MuxArms) {
+	// The two arms evaluate different instruction counts; flush the
+	// straight-line tally before branching and close out each arm so the
+	// ops counter reflects the path actually taken.
+	g.flushOps()
 	emitArm := func(cone []netlist.SignalID, assign string) {
 		for _, sig := range cone {
 			ii := g.prog.InstrOf[sig]
@@ -81,6 +85,8 @@ func (g *gen) emitShadowedMux(in *sim.GenInstr, arms *sched.MuxArms) {
 			}
 		}
 		g.p("%s", assign)
+		g.countOp()
+		g.flushOps()
 	}
 	tAssign := g.muxArmAssign(in, true)
 	fAssign := g.muxArmAssign(in, false)
@@ -124,6 +130,7 @@ func (g *gen) muxArmAssign(in *sim.GenInstr, tArm bool) string {
 }
 
 func (g *gen) emitInstr(in *sim.GenInstr) {
+	g.countOp()
 	if in.Wide {
 		g.emitWide(in)
 		return
@@ -460,6 +467,9 @@ func (g *gen) emitCommit() {
 			for _, p := range pr.Plan.MemReaderParts[w.Mem] {
 				g.p("        s.flags[%d] = true", p)
 			}
+			if g.opts.Serve && len(pr.Plan.MemReaderParts[w.Mem]) > 0 {
+				g.p("        s.stats[%d] += %d", statWakes, len(pr.Plan.MemReaderParts[w.Mem]))
+			}
 			g.p("      }")
 		} else {
 			g.p("      copy(s.mems[%d][int(a)*%d:int(a)*%d+%d], s.pendData[%d])",
@@ -487,6 +497,9 @@ func (g *gen) emitCCSSRegCommits() {
 			r := &d.Regs[ri]
 			no, oo := pr.Off[r.Next], pr.Off[r.Out]
 			nw := int32(bits.Words(d.Signals[r.Out].Width))
+			if g.opts.Serve {
+				g.p("    s.stats[%d]++", statOutputCompares)
+			}
 			if nw == 1 {
 				g.p("    if s.t[%d] != s.t[%d] { // %s", oo, no, r.Name)
 				g.p("      s.t[%d] = s.t[%d]", oo, no)
@@ -495,8 +508,14 @@ func (g *gen) emitCCSSRegCommits() {
 					oo, oo+nw, no, no+nw, r.Name)
 				g.p("      copy(s.t[%d:%d], s.t[%d:%d])", oo, oo+nw, no, no+nw)
 			}
+			if g.opts.Serve {
+				g.p("      s.stats[%d]++", statSignalChanges)
+			}
 			for _, p := range pr.Plan.RegReaderParts[ri] {
 				g.p("      s.flags[%d] = true", p)
+			}
+			if g.opts.Serve && len(pr.Plan.RegReaderParts[ri]) > 0 {
+				g.p("      s.stats[%d] += %d", statWakes, len(pr.Plan.RegReaderParts[ri]))
 			}
 			g.p("    }")
 		}
@@ -519,6 +538,9 @@ func (g *gen) emitFullCycleStep() {
 	g.p("    s.evalErr = nil")
 	g.p("    s.commit()")
 	g.p("    s.cycle++")
+	if g.opts.Serve {
+		g.p("    s.stats[%d]++", statCycles)
+	}
 	g.p("    if err != nil { s.stopErr = err; return err }")
 	g.p("  }")
 	g.p("  return nil")
@@ -531,6 +553,7 @@ func (g *gen) emitFullCycleStep() {
 		for _, e := range g.prog.Sched[lo:hi] {
 			g.emitEntry(e)
 		}
+		g.flushOps()
 		g.p("}")
 		g.p("")
 	}
@@ -548,7 +571,13 @@ func (g *gen) emitCCSSStep() {
 	g.p("func (s *Sim) Step(n int) error {")
 	g.p("  for i := 0; i < n; i++ {")
 	g.p("    if s.stopErr != nil { return s.stopErr }")
-	g.p("    s.detectInputs()")
+	// Inputs only change through pokes, so the scan runs only on steps
+	// following one (poked also covers Reset) — same gating as the
+	// interpreter's scanInputs.
+	g.p("    if s.poked { s.poked = false; s.detectInputs() }")
+	if g.opts.Serve {
+		g.p("    s.stats[%d] += %d", statPartChecks, len(plan.Parts))
+	}
 	for pi := range plan.Parts {
 		if plan.Parts[pi].AlwaysOn {
 			g.p("    s.p%d()", pi)
@@ -560,6 +589,9 @@ func (g *gen) emitCCSSStep() {
 	g.p("    s.evalErr = nil")
 	g.p("    s.commit()")
 	g.p("    s.cycle++")
+	if g.opts.Serve {
+		g.p("    s.stats[%d]++", statCycles)
+	}
 	g.p("    if err != nil { s.stopErr = err; return err }")
 	g.p("  }")
 	g.p("  return nil")
@@ -568,6 +600,9 @@ func (g *gen) emitCCSSStep() {
 
 	// Input change detection.
 	g.p("func (s *Sim) detectInputs() {")
+	if g.opts.Serve && len(d.Inputs) > 0 {
+		g.p("  s.stats[%d] += %d", statInputChecks, len(d.Inputs))
+	}
 	prevOff := int32(0)
 	for i, in := range d.Inputs {
 		words := int32(bits.Words(d.Signals[in].Width))
@@ -583,6 +618,9 @@ func (g *gen) emitCCSSStep() {
 		for _, p := range plan.InputConsumers[i] {
 			g.p("    s.flags[%d] = true", p)
 		}
+		if g.opts.Serve && len(plan.InputConsumers[i]) > 0 {
+			g.p("    s.stats[%d] += %d", statWakes, len(plan.InputConsumers[i]))
+		}
 		g.p("  }")
 		prevOff += words
 	}
@@ -593,6 +631,9 @@ func (g *gen) emitCCSSStep() {
 	for pi := range plan.Parts {
 		part := &plan.Parts[pi]
 		g.p("func (s *Sim) p%d() {", pi)
+		if g.opts.Serve {
+			g.p("  s.stats[%d]++", statPartEvals)
+		}
 		// Save old outputs.
 		var narrowOlds []string
 		var wideOlds []string
@@ -621,18 +662,28 @@ func (g *gen) emitCCSSStep() {
 			}
 			g.emitEntry(pr.Sched[pos])
 		}
+		g.flushOps()
 		// Change detection + wakes.
 		for oi, o := range part.Outputs {
 			w := d.Signals[o.Sig].Width
 			off := pr.Off[o.Sig]
+			if g.opts.Serve {
+				g.p("  s.stats[%d]++", statOutputCompares)
+			}
 			if w <= 64 {
 				g.p("  if s.t[%d] != %s {", off, narrowOlds[oi])
 			} else {
 				words := int32(bits.Words(w))
 				g.p("  if !simrt.EqualWords(s.t[%d:%d], %s) {", off, off+words, wideOlds[oi])
 			}
+			if g.opts.Serve {
+				g.p("    s.stats[%d]++", statSignalChanges)
+			}
 			for _, q := range o.Consumers {
 				g.p("    s.flags[%d] = true", q)
+			}
+			if g.opts.Serve && len(o.Consumers) > 0 {
+				g.p("    s.stats[%d] += %d", statWakes, len(o.Consumers))
 			}
 			g.p("  }")
 		}

@@ -1,0 +1,186 @@
+package codegen
+
+import (
+	"fmt"
+
+	"essent/internal/bits"
+	"essent/internal/netlist"
+	"essent/internal/sim"
+)
+
+// emitServe emits the serving-backend surface on the generated Sim:
+// identity constants, ckptio snapshot capture/restore, the
+// architectural state hash, and the flat stats accessor — together with
+// the accessors and Step emitted elsewhere this satisfies
+// pipeproto.Child, so an artifact main is a single Serve call.
+func (g *gen) emitServe() {
+	pr := g.prog
+	d := pr.D
+
+	g.p("// Design identity: the host refuses an artifact whose fingerprint")
+	g.p("// does not match its own compiled netlist.")
+	g.p("const designName = %q", d.Name)
+	g.p("const designFingerprint uint64 = %#x", sim.DesignFingerprint(d))
+	g.p("")
+	g.p("// DesignName returns the design's name.")
+	g.p("func (s *Sim) DesignName() string { return designName }")
+	g.p("")
+	g.p("// Fingerprint returns the design's state-layout fingerprint.")
+	g.p("func (s *Sim) Fingerprint() uint64 { return designFingerprint }")
+	g.p("")
+
+	// State layout tables, in design declaration order (the snapshot
+	// section order every engine agrees on).
+	g.p("// inputLayout/regLayout hold {offset, words} per design input and")
+	g.p("// register; regTopMask masks each register's top word on restore.")
+	g.p("var inputLayout = [][2]int{")
+	for _, in := range d.Inputs {
+		g.p("  {%d, %d},", pr.Off[in], bits.Words(d.Signals[in].Width))
+	}
+	g.p("}")
+	g.p("")
+	g.p("var regLayout = [][2]int{")
+	for ri := range d.Regs {
+		out := d.Regs[ri].Out
+		g.p("  {%d, %d},", pr.Off[out], bits.Words(d.Signals[out].Width))
+	}
+	g.p("}")
+	g.p("")
+	g.p("var regTopMask = []uint64{")
+	for ri := range d.Regs {
+		w := d.Signals[d.Regs[ri].Out].Width
+		top := w % 64
+		if top == 0 {
+			g.p("  %#x,", uint64(0xffffffffffffffff))
+		} else {
+			g.p("  %#x,", uint64(1)<<uint(top)-1)
+		}
+	}
+	g.p("}")
+	g.p("")
+
+	g.p(`// snapshot gathers the architectural state in the engine-neutral
+// section order.
+func (s *Sim) snapshot() *ckptio.Snapshot {
+	snap := &ckptio.Snapshot{
+		Design:      designName,
+		Fingerprint: designFingerprint,
+		Cycle:       s.cycle,
+		Stats:       s.StatsWords(),
+	}
+	snap.Inputs = make([][]uint64, len(inputLayout))
+	for i, l := range inputLayout {
+		snap.Inputs[i] = append([]uint64(nil), s.t[l[0]:l[0]+l[1]]...)
+	}
+	snap.Regs = make([][]uint64, len(regLayout))
+	for i, l := range regLayout {
+		snap.Regs[i] = append([]uint64(nil), s.t[l[0]:l[0]+l[1]]...)
+	}
+	snap.Mems = make([][]uint64, len(s.mems))
+	for i, m := range s.mems {
+		snap.Mems[i] = append([]uint64(nil), m...)
+	}
+	return snap
+}
+
+// Capture serializes the architectural state (ESNTCKP1 bytes).
+func (s *Sim) Capture() []byte { return ckptio.Encode(s.snapshot()) }
+
+// StateHash digests the architectural state (stats excluded).
+func (s *Sim) StateHash() uint64 { return s.snapshot().StateHash() }
+
+// StatsWords returns the flat work counters (sim.Stats field order).
+func (s *Sim) StatsWords() []uint64 { return append([]uint64(nil), s.stats[:]...) }`)
+	g.p("")
+
+	// Restore: architectural writes, stats continuation, full re-arm.
+	g.p("// Restore resumes from a snapshot captured under any engine of the")
+	g.p("// same design. Activity tracking is fully re-armed so every")
+	g.p("// combinational value recomputes on the next step.")
+	g.p("func (s *Sim) Restore(buf []byte) error {")
+	g.p("  snap, err := ckptio.Decode(buf)")
+	g.p("  if err != nil { return err }")
+	g.p("  if snap.Fingerprint != designFingerprint {")
+	g.p(`    return fmt.Errorf("snapshot fingerprint %%#x does not match design %%q (%%#x)",`)
+	g.p("      snap.Fingerprint, designName, designFingerprint)")
+	g.p("  }")
+	g.p("  if len(snap.Inputs) != len(inputLayout) || len(snap.Regs) != len(regLayout) ||")
+	g.p("    len(snap.Mems) != len(s.mems) {")
+	g.p(`    return fmt.Errorf("snapshot shape mismatch for design %%q", designName)`)
+	g.p("  }")
+	g.p("  for i, l := range inputLayout {")
+	g.p("    if len(snap.Inputs[i]) != l[1] {")
+	g.p(`      return fmt.Errorf("input %%d word count mismatch", i)`)
+	g.p("    }")
+	g.p("    copy(s.t[l[0]:l[0]+l[1]], snap.Inputs[i])")
+	g.p("  }")
+	g.p("  for i, l := range regLayout {")
+	g.p("    if len(snap.Regs[i]) != l[1] {")
+	g.p(`      return fmt.Errorf("register %%d word count mismatch", i)`)
+	g.p("    }")
+	g.p("    copy(s.t[l[0]:l[0]+l[1]], snap.Regs[i])")
+	g.p("    s.t[l[0]+l[1]-1] &= regTopMask[i]")
+	g.p("  }")
+	g.p("  for i := range s.mems {")
+	g.p("    if len(snap.Mems[i]) != len(s.mems[i]) {")
+	g.p(`      return fmt.Errorf("memory %%d word count mismatch", i)`)
+	g.p("    }")
+	g.p("    copy(s.mems[i], snap.Mems[i])")
+	g.p("  }")
+	if len(pr.MemWrites) > 0 {
+		g.p("  for i := range s.pendValid { s.pendValid[i] = false }")
+	}
+	g.p("  s.cycle = snap.Cycle")
+	g.p("  for i := range s.stats { s.stats[i] = 0 }")
+	g.p("  for i := 0; i < len(snap.Stats) && i < len(s.stats); i++ {")
+	g.p("    s.stats[i] = snap.Stats[i]")
+	g.p("  }")
+	if g.opts.Mode == ModeCCSS {
+		g.p("  for i := range s.flags { s.flags[i] = true }")
+		g.p("  for i := range s.pd { s.pd[i] = false }")
+		g.p("  for i := range s.prevIn { s.prevIn[i] = ^uint64(0) }")
+		g.p("  s.poked = true")
+	}
+	g.p("  s.stopErr = nil")
+	g.p("  s.evalErr = nil")
+	g.p("  return nil")
+	g.p("}")
+	g.p("")
+}
+
+// artifactMain is the whole generated main.go: the Sim implements
+// pipeproto.Child, so the artifact process is one Serve call over
+// stdin/stdout. Exit code 3 marks a protocol/transport failure (crash
+// diagnostics go to stderr, which the supervisor captures).
+const artifactMain = `// Code generated by essentgen. DO NOT EDIT.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"essent/pkg/pipeproto"
+)
+
+func main() {
+	if err := pipeproto.Serve(os.Stdin, os.Stdout, New(), pipeproto.ServeOptions{}); err != nil {
+		fmt.Fprintln(os.Stderr, "artifact:", err)
+		os.Exit(3)
+	}
+}
+`
+
+// GenerateArtifact emits the two source files of a servable simulator
+// module: sim.go (the generated simulator with the Serve surface,
+// package main) and main.go (the pipeproto Serve entry point). The
+// caller writes them into a module directory alongside a go.mod that
+// `replace`s essent to the repository root, then builds.
+func GenerateArtifact(d *netlist.Design, opts Options) (simSrc, mainSrc []byte, err error) {
+	opts.Serve = true
+	opts.Package = "main"
+	simSrc, err = Generate(d, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codegen: artifact: %w", err)
+	}
+	return simSrc, []byte(artifactMain), nil
+}

@@ -56,6 +56,14 @@ type RunInfo struct {
 	WorkerPanics uint64
 }
 
+// Watchdog sentinels: errors.Is(err, ErrWallClock) etc. classify a
+// *RunError without poking at its Reason string.
+var (
+	ErrWallClock  = errors.New("wall-clock watchdog")
+	ErrNoProgress = errors.New("no-progress watchdog")
+	ErrCycleLimit = errors.New("cycle-limit watchdog")
+)
+
 // RunError is the structured watchdog abort: the run did not complete,
 // but the last checkpoint (if any) is intact and named for resumption.
 type RunError struct {
@@ -76,6 +84,19 @@ func (e *RunError) Error() string {
 		msg += fmt.Sprintf("; resume from %s", e.LastCheckpoint)
 	}
 	return msg
+}
+
+// Unwrap maps the Reason onto its sentinel so errors.Is works.
+func (e *RunError) Unwrap() error {
+	switch e.Reason {
+	case "wall-clock":
+		return ErrWallClock
+	case "no-progress":
+		return ErrNoProgress
+	case "cycle-limit":
+		return ErrCycleLimit
+	}
+	return nil
 }
 
 // countingWriter counts printf bytes for the progress watchdog.

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"essent/internal/ckpt"
+	"essent/internal/netlist"
 	"essent/internal/sim"
 )
 
@@ -223,19 +225,39 @@ func TestCheckpointResumeAcrossEngines(t *testing.T) {
 	}
 }
 
-// Crash-resume: the checkpointed (parallel) run is killed with SIGKILL
-// in a child process, then a sequential runner resumes from whatever
-// snapshot survived and must reach the uninterrupted result.
-const crashHelperEnv = "ESSENT_CRASH_HELPER_DIR"
+// Crash-resume matrix: a checkpointed run on each whole-design engine
+// (parallel, word-packed batch, instance-vectorized) is killed with
+// SIGKILL in a child process, then a sequential runner resumes from
+// whatever snapshot survived and must reach the uninterrupted result.
+// (The compiled-subprocess backend has its own kill matrix in
+// internal/serve.)
+const (
+	crashHelperEnv       = "ESSENT_CRASH_HELPER_DIR"
+	crashHelperEngineEnv = "ESSENT_CRASH_HELPER_ENGINE"
+)
+
+func crashProg(t *testing.T) []uint32 { return countdownProg(t, 300_000, 55) }
 
 func TestCrashResumeHelper(t *testing.T) {
 	dir := os.Getenv(crashHelperEnv)
 	if dir == "" {
 		t.Skip("helper process for TestCrashResume")
 	}
-	r := buildSim(t, tinyConfig(), sim.Options{
-		Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 2})
-	if err := r.Load(countdownProg(t, 300_000, 55)); err != nil {
+	prog := crashProg(t)
+	var opts sim.Options
+	switch engine := os.Getenv(crashHelperEngineEnv); engine {
+	case "packed":
+		crashHelperPacked(t, dir, prog)
+		return
+	case "vec":
+		// MinVecLanes 2 so the tiny SoC's 4-lane cluster actually
+		// exercises the vectorized path.
+		opts = sim.Options{Engine: sim.EngineCCSSVec, Cp: 8, MinVecLanes: 2}
+	default:
+		opts = sim.Options{Engine: sim.EngineCCSSParallel, Cp: 8, Workers: 2}
+	}
+	r := buildSim(t, tinyConfig(), opts)
+	if err := r.Load(prog); err != nil {
 		t.Fatal(err)
 	}
 	// Runs for millions of cycles; the parent SIGKILLs us mid-flight.
@@ -245,52 +267,51 @@ func TestCrashResumeHelper(t *testing.T) {
 	t.Logf("helper finished without being killed: %v", err)
 }
 
+// crashHelperPacked drives the word-packed batch engine (which has no
+// supervised loop) and checkpoints lane 0 by hand each segment, so the
+// parent can SIGKILL it mid-write and resume the lane under the scalar
+// engine.
+func crashHelperPacked(t *testing.T, dir string, prog []uint32) {
+	circ, err := Build(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.NewBatchCCSS(d, sim.BatchOptions{Lanes: 4, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	r, err := NewBatchRunner(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	mg := &ckpt.Manager{Dir: dir}
+	for !b.Done() && b.Cycle() < 50_000_000 {
+		if err := b.Step(2000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.Save(b.CaptureLaneState(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Log("packed helper finished without being killed")
+}
+
 func TestCrashResume(t *testing.T) {
 	if os.Getenv(crashHelperEnv) != "" {
 		t.Skip("already inside the helper")
 	}
-	prog := countdownProg(t, 300_000, 55)
-	dir := t.TempDir()
+	prog := crashProg(t)
 
-	cmd := exec.Command(os.Args[0], "-test.run=TestCrashResumeHelper$")
-	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Wait for at least two snapshots, then kill without warning.
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		snaps, _ := filepath.Glob(filepath.Join(dir, "*.essnap"))
-		if len(snaps) >= 2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			cmd.Process.Kill()
-			cmd.Wait()
-			t.Fatal("helper produced no checkpoints within the deadline")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	cmd.Process.Kill()
-	cmd.Wait()
-
-	// Resume under the sequential engine.
-	seq := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
-	if err := seq.Load(prog); err != nil {
-		t.Fatal(err)
-	}
-	st, _, err := seq.RestoreLatest(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("resuming from cycle %d", st.Cycle)
-	info, err := seq.RunSupervised(RunConfig{MaxCycles: 50_000_000})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Uninterrupted reference.
+	// Uninterrupted reference under the sequential engine, shared by
+	// every matrix cell.
 	ref := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
 	if err := ref.Load(prog); err != nil {
 		t.Fatal(err)
@@ -299,12 +320,59 @@ func TestCrashResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Result.Tohost != want.Tohost || info.Result.Instret != want.Instret {
-		t.Fatalf("crash-resumed result %+v, want tohost=%d instret=%d",
-			info.Result, want.Tohost, want.Instret)
-	}
-	if got := seq.Sim.Stats().Cycles; got != ref.Sim.Stats().Cycles {
-		t.Fatalf("crash-resumed run ended at cycle %d, want %d",
-			got, ref.Sim.Stats().Cycles)
+	wantCycles := ref.Sim.Stats().Cycles
+
+	for _, engine := range []string{"parallel", "packed", "vec"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=TestCrashResumeHelper$")
+			cmd.Env = append(os.Environ(),
+				crashHelperEnv+"="+dir, crashHelperEngineEnv+"="+engine)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Wait for at least two snapshots, then kill without warning.
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				snaps, _ := filepath.Glob(filepath.Join(dir, "*.essnap"))
+				if len(snaps) >= 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatal("helper produced no checkpoints within the deadline")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			cmd.Process.Kill()
+			cmd.Wait()
+
+			// Resume under the sequential engine.
+			seq := buildSim(t, tinyConfig(), sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+			if err := seq.Load(prog); err != nil {
+				t.Fatal(err)
+			}
+			st, _, err := seq.RestoreLatest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("resuming from cycle %d", st.Cycle)
+			info, err := seq.RunSupervised(RunConfig{MaxCycles: 50_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Result.Tohost != want.Tohost || info.Result.Instret != want.Instret {
+				t.Fatalf("crash-resumed result %+v, want tohost=%d instret=%d",
+					info.Result, want.Tohost, want.Instret)
+			}
+			if got := seq.Sim.Stats().Cycles; got != wantCycles {
+				t.Fatalf("crash-resumed run ended at cycle %d, want %d",
+					got, wantCycles)
+			}
+		})
 	}
 }

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base, capped
+// at Max, with ±Jitter fractional randomization so a fleet of sessions
+// retrying a shared resource (the build cache, the Go toolchain) does
+// not stampede in lockstep.
+type Backoff struct {
+	// Base is the first delay (0 = 50ms).
+	Base time.Duration
+	// Max caps the delay growth (0 = 5s).
+	Max time.Duration
+	// Jitter is the fractional randomization, 0..1 (negative = none;
+	// 0 = the default 0.25).
+	Jitter float64
+	// Rand supplies randomness (nil = the shared global source).
+	Rand *rand.Rand
+}
+
+// Delay returns the wait before retry attempt (attempt 0 is the first
+// retry).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	j := b.Jitter
+	if j == 0 {
+		j = 0.25
+	}
+	if j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		f := rand.Float64
+		if b.Rand != nil {
+			f = b.Rand.Float64
+		}
+		// Uniform in [1-j, 1+j).
+		d = time.Duration(float64(d) * (1 - j + 2*j*f()))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Sleep waits the attempt's delay.
+func (b *Backoff) Sleep(attempt int) { time.Sleep(b.Delay(attempt)) }

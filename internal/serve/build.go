@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"essent/internal/codegen"
+	"essent/internal/netlist"
+)
+
+// moduleRoot locates the essent repository root (the directory holding
+// go.mod) so the artifact module can `replace essent` to it. Config.
+// RepoRoot overrides for callers running outside the module tree.
+func (c *Config) moduleRoot() (string, error) {
+	if c.RepoRoot != "" {
+		return c.RepoRoot, nil
+	}
+	out, err := exec.Command(c.goTool(), "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("locating module root: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module (go env GOMOD empty)")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func (c *Config) goTool() string {
+	if c.GoTool != "" {
+		return c.GoTool
+	}
+	return "go"
+}
+
+func (c *Config) buildTimeout() time.Duration {
+	if c.BuildTimeout > 0 {
+		return c.BuildTimeout
+	}
+	return 5 * time.Minute
+}
+
+func (c *Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 2
+}
+
+// EnsureArtifact returns a runnable artifact binary for the design +
+// generation options, building (with retry + backoff) on cache miss and
+// transparently evicting + rebuilding corrupt entries. The fast path —
+// a validated cache hit — does no codegen and no toolchain work.
+func EnsureArtifact(d *netlist.Design, gen codegen.Options, cfg Config) (string, error) {
+	key := cacheKey(d, gen)
+	if bin := cfg.lookup(key); bin != "" {
+		return bin, nil
+	}
+	var lastErr error
+	var lastOut string
+	attempts := 0
+	for attempt := 0; attempt <= cfg.maxRetries(); attempt++ {
+		if attempt > 0 {
+			cfg.Backoff.Sleep(attempt - 1)
+		}
+		attempts++
+		out, err := cfg.buildOnce(key, d, gen)
+		if err == nil {
+			return filepath.Join(cfg.cacheDir(key), binName), nil
+		}
+		lastErr, lastOut = err, out
+	}
+	return "", &BuildError{Design: d.Name, Attempts: attempts,
+		Output: lastOut, Err: lastErr}
+}
+
+// buildOnce emits the artifact sources, writes the module, and compiles
+// it into the cache slot. Returns the compiler output on failure.
+func (c *Config) buildOnce(key string, d *netlist.Design, gen codegen.Options) (string, error) {
+	simSrc, mainSrc, err := codegen.GenerateArtifact(d, gen)
+	if err != nil {
+		return "", err
+	}
+	root, err := c.moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	dir := c.cacheDir(key)
+	src := filepath.Join(dir, srcDir)
+	if err := os.MkdirAll(src, 0o777); err != nil {
+		return "", err
+	}
+	gomod := fmt.Sprintf(
+		"module essent-artifact\n\ngo 1.22\n\nrequire essent v0.0.0\n\nreplace essent => %s\n",
+		root)
+	files := map[string][]byte{
+		"go.mod":  []byte(gomod),
+		"sim.go":  simSrc,
+		"main.go": mainSrc,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(src, name), content, 0o644); err != nil {
+			return "", err
+		}
+	}
+
+	bin := filepath.Join(dir, binName)
+	cmd := exec.Command(c.goTool(), "build", "-o", bin, ".")
+	cmd.Dir = src
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &outBuf
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return outBuf.String(), fmt.Errorf("go build: %w", err)
+		}
+	case <-time.After(c.buildTimeout()):
+		cmd.Process.Kill()
+		<-done
+		return outBuf.String(), fmt.Errorf("go build timed out after %v", c.buildTimeout())
+	}
+	if err := c.seal(key, d, gen); err != nil {
+		return "", fmt.Errorf("sealing cache entry: %w", err)
+	}
+	return "", nil
+}

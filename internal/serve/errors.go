@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"essent/internal/ckpt"
+)
+
+// Sentinel categories. Every structured error in this package unwraps
+// to exactly one of these, so callers classify failures with errors.Is
+// without depending on concrete types.
+var (
+	// ErrBuild marks artifact emission or compilation failure.
+	ErrBuild = errors.New("serve: artifact build failed")
+	// ErrSpawn marks subprocess start failure.
+	ErrSpawn = errors.New("serve: artifact spawn failed")
+	// ErrCrash marks a subprocess that died mid-session.
+	ErrCrash = errors.New("serve: artifact crashed")
+	// ErrTimeout marks a request that exceeded its deadline or a child
+	// that stopped heartbeating.
+	ErrTimeout = errors.New("serve: request timed out")
+	// ErrProtocol marks a framing or protocol-state violation.
+	ErrProtocol = errors.New("serve: protocol violation")
+	// ErrDiverged marks a compiled-vs-interpreter state mismatch caught
+	// by the tripwire.
+	ErrDiverged = errors.New("serve: backend divergence")
+)
+
+// BuildError reports a failed artifact build with the compiler output
+// of the final attempt.
+type BuildError struct {
+	Design   string
+	Attempts int
+	Output   string
+	Err      error
+}
+
+func (e *BuildError) Error() string {
+	msg := fmt.Sprintf("serve: building artifact for %q failed after %d attempt(s): %v",
+		e.Design, e.Attempts, e.Err)
+	if e.Output != "" {
+		msg += "\n" + e.Output
+	}
+	return msg
+}
+
+func (e *BuildError) Unwrap() error { return ErrBuild }
+
+// SpawnError reports a subprocess that failed to start or to complete
+// the protocol handshake.
+type SpawnError struct {
+	Design string
+	Err    error
+}
+
+func (e *SpawnError) Error() string {
+	return fmt.Sprintf("serve: spawning artifact for %q: %v", e.Design, e.Err)
+}
+
+func (e *SpawnError) Unwrap() error { return ErrSpawn }
+
+// CrashError reports a subprocess that exited or broke the transport
+// mid-session, with its captured stderr tail.
+type CrashError struct {
+	Design string
+	Cycle  uint64
+	Stderr string
+	Err    error
+}
+
+func (e *CrashError) Error() string {
+	msg := fmt.Sprintf("serve: artifact for %q crashed near cycle %d: %v",
+		e.Design, e.Cycle, e.Err)
+	if e.Stderr != "" {
+		msg += "\nstderr: " + e.Stderr
+	}
+	return msg
+}
+
+func (e *CrashError) Unwrap() error { return ErrCrash }
+
+// TimeoutError reports a request that hit its deadline, distinguishing
+// a silent child (no frames at all) from a slow one (heartbeats kept
+// arriving but the terminal response never did).
+type TimeoutError struct {
+	Design    string
+	Op        string
+	Elapsed   time.Duration
+	Heartbeat bool // true when progress frames were still arriving
+}
+
+func (e *TimeoutError) Error() string {
+	kind := "no heartbeat"
+	if e.Heartbeat {
+		kind = "deadline exceeded"
+	}
+	return fmt.Sprintf("serve: %s to %q timed out after %v (%s)",
+		e.Op, e.Design, e.Elapsed.Round(time.Millisecond), kind)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// ProtocolError reports an unexpected or malformed frame.
+type ProtocolError struct {
+	Design string
+	Detail string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("serve: protocol violation from %q: %s", e.Design, e.Detail)
+}
+
+func (e *ProtocolError) Unwrap() error { return ErrProtocol }
+
+// DivergenceError reports a tripwire hit: the compiled subprocess and
+// the shadow interpreter disagree on architectural state. Report, when
+// non-nil, localizes the first divergent cycle and signal.
+type DivergenceError struct {
+	Design string
+	Cycle  uint64
+	Report *ckpt.DivergenceReport
+}
+
+func (e *DivergenceError) Error() string {
+	msg := fmt.Sprintf("serve: compiled backend diverged from interpreter by cycle %d on %q",
+		e.Cycle, e.Design)
+	if e.Report != nil {
+		msg += ": " + e.Report.String()
+	}
+	return msg
+}
+
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }

@@ -1,0 +1,580 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"essent/internal/ckpt"
+	"essent/internal/codegen"
+	"essent/internal/designs"
+	"essent/internal/firrtl"
+	"essent/internal/netlist"
+	"essent/internal/opt"
+	"essent/internal/sim"
+	"essent/pkg/pipeproto"
+)
+
+// testCache is shared across tests so each design's artifact builds
+// exactly once per `go test` run.
+var testCache string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "essent-serve-test-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	testCache = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// smallSoC compiles + optimizes a small SoC netlist (fast to build as
+// an artifact, still exercises memories, printf, and stop).
+func smallSoC(t *testing.T) *netlist.Design {
+	t.Helper()
+	cfg := designs.Config{
+		Name: "servetest", ImemWords: 256, DmemWords: 512,
+		CacheLines: 8, MissPenalty: 3,
+		Peripherals: 2, Clusters: 1, ClusterLanes: 2, ClusterStages: 2,
+	}
+	circ, err := designs.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compileOpt(t, circ)
+}
+
+func compileOpt(t *testing.T, circ *firrtl.Circuit) *netlist.Design {
+	t.Helper()
+	d, err := netlist.Compile(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, _, err := opt.Optimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return od
+}
+
+func testConfig() Config {
+	return Config{
+		Gen:      codegen.Options{Mode: codegen.ModeCCSS, Cp: 8},
+		CacheDir: testCache,
+		Backoff:  Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond},
+	}
+}
+
+func newSession(t *testing.T, d *netlist.Design, cfg Config) *Session {
+	t.Helper()
+	s, err := New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func newInterp(t *testing.T, d *netlist.Design) sim.Simulator {
+	t.Helper()
+	ip, err := sim.New(d, sim.Options{Engine: sim.EngineCCSS, Cp: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+// driveBoth applies the same poke/step schedule to both simulators.
+func driveBoth(t *testing.T, a, b sim.Simulator, d *netlist.Design, cycles int) {
+	t.Helper()
+	var ins []netlist.SignalID
+	for _, id := range d.Inputs {
+		if d.Signals[id].Name != "" {
+			ins = append(ins, id)
+		}
+	}
+	rng := uint64(12345)
+	xorshift := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for c := 0; c < cycles; c += 16 {
+		if len(ins) > 0 && c%48 == 0 {
+			id := ins[int(xorshift())%len(ins)]
+			v := xorshift()
+			a.Poke(id, v)
+			b.Poke(id, v)
+		}
+		errA := a.Step(16)
+		errB := b.Step(16)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("cycle %d: step errors differ: compiled=%v interp=%v", c, errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+	}
+}
+
+// stateHashOf captures a simulator's engine-neutral state hash.
+func stateHashOf(t *testing.T, s sim.Simulator) uint64 {
+	t.Helper()
+	st, err := sim.Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt.StateHash(st)
+}
+
+// normStats zeroes the counters that legitimately differ between the
+// generated (unfused) schedule and the interpreter's fused one.
+func normStats(st *sim.Stats) sim.Stats {
+	n := *st
+	n.OpsEvaluated = 0
+	n.FusedPairs = 0
+	return n
+}
+
+// TestCompiledMatchesInterpreter drives the compiled subprocess and the
+// in-process interpreter through the same schedule and demands
+// bit-exact state plus matching activity counters.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	s := newSession(t, d, testConfig())
+	if s.Degraded() {
+		t.Fatalf("session degraded at start: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+	driveBoth(t, s, ip, d, 3000)
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("state hash mismatch: compiled %#x interp %#x", got, want)
+	}
+	gotStats := normStats(s.Stats())
+	wantStats := normStats(ip.Stats())
+	if gotStats != wantStats {
+		t.Fatalf("stats mismatch:\ncompiled: %+v\ninterp:   %+v", gotStats, wantStats)
+	}
+	if s.Degraded() {
+		t.Fatalf("unexpected degradation: %+v", s.Degradation())
+	}
+}
+
+// TestWarmCacheHit checks the second session start is a pure cache hit:
+// no rebuild, and startup well under the cold-build time.
+func TestWarmCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	// First ensure populates the cache (may reuse an earlier test's
+	// entry — fine either way).
+	if _, err := EnsureArtifact(d, cfg.Gen, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !Probe(d, cfg.Gen, cfg) {
+		t.Fatal("Probe miss after successful build")
+	}
+	start := time.Now()
+	s := newSession(t, d, cfg)
+	warm := time.Since(start)
+	if s.Degraded() {
+		t.Fatalf("degraded on warm start: %+v", s.Degradation())
+	}
+	if err := s.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar is 100ms for cache-hit startup; allow slack
+	// for loaded CI machines while still catching accidental rebuilds
+	// (a cold build takes seconds).
+	if warm > 2*time.Second {
+		t.Fatalf("warm start took %v — looks like a rebuild", warm)
+	}
+}
+
+// TestCorruptCacheEvicted flips bits in a cached binary and checks the
+// lookup rejects + evicts it and a rebuild restores service.
+func TestCorruptCacheEvicted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	bin, err := EnsureArtifact(d, cfg.Gen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i += 1024 {
+		buf[i] ^= 0xff
+	}
+	if err := os.WriteFile(bin, buf, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if Probe(d, cfg.Gen, cfg) {
+		t.Fatal("Probe served a corrupt binary")
+	}
+	if _, err := os.Stat(filepath.Dir(bin)); !os.IsNotExist(err) {
+		t.Fatal("corrupt cache entry was not evicted")
+	}
+	bin2, err := EnsureArtifact(d, cfg.Gen, cfg)
+	if err != nil {
+		t.Fatalf("rebuild after eviction failed: %v", err)
+	}
+	if !Probe(d, cfg.Gen, cfg) {
+		t.Fatal("rebuild did not reseal the cache")
+	}
+	if bin2 != bin {
+		t.Fatalf("rebuilt binary landed elsewhere: %s vs %s", bin2, bin)
+	}
+}
+
+// TestBuildFailureDegrades forces the toolchain to fail and checks the
+// session comes up on the interpreter with a structured record — no
+// user-visible error.
+func TestBuildFailureDegrades(t *testing.T) {
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.CacheDir = t.TempDir() // never hits the shared warm cache
+	cfg.GoTool = filepath.Join(t.TempDir(), "no-such-go")
+	cfg.RepoRoot = repoRoot(t)
+	cfg.MaxRetries = 1
+	s := newSession(t, d, cfg)
+	if !s.Degraded() {
+		t.Fatal("expected degraded session")
+	}
+	rec := s.Degradation()
+	if rec == nil || rec.Cause != "build" {
+		t.Fatalf("degradation record = %+v, want cause \"build\"", rec)
+	}
+	if rec.Detail == "" {
+		t.Fatal("degradation record missing detail")
+	}
+	// The degraded session still simulates correctly.
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+	driveBoth(t, s, ip, d, 500)
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("degraded state hash mismatch: %#x vs %#x", got, want)
+	}
+}
+
+// TestKillMidRunResumes SIGKILLs the child between steps and checks the
+// supervisor respawns, resumes from checkpoint + replay, and finishes
+// bit-exact against the interpreter without degrading.
+func TestKillMidRunResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.CaptureEvery = 64 // small segments: replay log exercised
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+
+	var ins []netlist.SignalID
+	for _, id := range d.Inputs {
+		if d.Signals[id].Name != "" {
+			ins = append(ins, id)
+		}
+	}
+	rng := uint64(99)
+	xorshift := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for c := 0; c < 2000; c += 50 {
+		if len(ins) > 0 {
+			id := ins[int(xorshift())%len(ins)]
+			v := xorshift()
+			s.Poke(id, v)
+			ip.Poke(id, v)
+		}
+		if c == 500 || c == 1200 {
+			// Murder the child; the next request must recover.
+			s.cl.cmd.Process.Kill()
+		}
+		errA := s.Step(50)
+		errB := ip.Step(50)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("cycle %d: step errors differ: compiled=%v interp=%v", c, errA, errB)
+		}
+	}
+	if s.Degraded() {
+		t.Fatalf("kill should be survivable, but session degraded: %+v", s.Degradation())
+	}
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("post-kill state hash mismatch: %#x vs %#x", got, want)
+	}
+	// Stats after a crash-resume are not bit-exact: restore wakes every
+	// partition once (conservative scheduling state), inflating the
+	// activity counters slightly. Cycles must still agree exactly.
+	if got, want := s.Stats().Cycles, ip.Stats().Cycles; got != want {
+		t.Fatalf("post-kill cycle count mismatch: %d vs %d", got, want)
+	}
+}
+
+// TestCrashLoopDegrades points the respawn path at a binary that dies
+// instantly and checks the supervisor gives up into the interpreter
+// with a crash-loop record, while the run still completes.
+func TestCrashLoopDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.MaxRetries = 1
+	cfg.CaptureEvery = 64
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+	if err := s.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the cached binary with one that exits immediately, then
+	// kill the child: every respawn now crash-loops.
+	bin := s.bin
+	os.Remove(bin) // unlink first: the old inode is still executing
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\nexit 7\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.cl.cmd.Process.Kill()
+	if err := s.Step(100); err != nil {
+		t.Fatalf("run must complete via fallback, got %v", err)
+	}
+	if err := ip.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("expected crash-loop degradation")
+	}
+	rec := s.Degradation()
+	if rec.Cause != "crash-loop" || rec.Detail == "" {
+		t.Fatalf("degradation record = %+v, want cause \"crash-loop\" with detail", rec)
+	}
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("fallback state hash mismatch: %#x vs %#x", got, want)
+	}
+	// Repair the cache for later tests.
+	Evict(d, cfg.Gen, cfg)
+}
+
+// TestDivergenceTripwire tampers with the child's architectural state
+// behind the supervisor's back; the next verified segment must trip,
+// bisect, and degrade to the interpreter — which, resuming from the
+// last good checkpoint, keeps the run's state correct.
+func TestDivergenceTripwire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.CaptureEvery = 128
+	cfg.VerifyEvery = 1
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+	if err := s.Step(128); err != nil { // one clean verified segment
+		t.Fatal(err)
+	}
+	if err := ip.Step(128); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatalf("clean segment tripped the wire: %+v", s.Degradation())
+	}
+
+	// Corrupt a register in the child directly — the session's replay
+	// log knows nothing of it.
+	var reg string
+	for _, r := range d.Regs {
+		if n := d.Signals[r.Out].Name; n != "" {
+			reg = n
+			break
+		}
+	}
+	if reg == "" {
+		t.Skip("design has no named registers")
+	}
+	p := pipeproto.AppendStr(nil, reg)
+	p = pipeproto.AppendWords(p, []uint64{0xdeadbeef})
+	if _, err := s.cl.expect("tamper", pipeproto.TPoke, p, pipeproto.ROK); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Step(128); err != nil {
+		t.Fatalf("run must complete via fallback, got %v", err)
+	}
+	if err := ip.Step(128); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("tripwire did not fire")
+	}
+	rec := s.Degradation()
+	if rec.Cause != "divergence" {
+		t.Fatalf("degradation cause = %q, want \"divergence\"", rec.Cause)
+	}
+	// The fallback resumed from the pre-tamper checkpoint, so state
+	// still matches the interpreter.
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("post-divergence state hash mismatch: %#x vs %#x", got, want)
+	}
+}
+
+// TestCheckpointRoundTrip captures through the session and restores
+// into a fresh interpreter (and vice versa).
+func TestCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	s := newSession(t, d, testConfig())
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	s.Reset()
+	if err := s.Step(300); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CaptureState()
+	if st == nil {
+		t.Fatal("CaptureState returned nil")
+	}
+	ip := newInterp(t, d)
+	if err := sim.Restore(ip, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("restored interp diverged: %#x vs %#x", got, want)
+	}
+
+	// And back: restore the interpreter's state into the session.
+	st2, err := sim.Capture(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newSession(t, d, testConfig())
+	if err := s2.RestoreState(st2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stateHashOf(t, s2), stateHashOf(t, ip); got != want {
+		t.Fatalf("restored session diverged: %#x vs %#x", got, want)
+	}
+}
+
+// TestBackoffDelay sanity-checks growth, cap, and jitter bounds.
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	j := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		got := j.Delay(2)
+		if got < 20*time.Millisecond || got > 60*time.Millisecond {
+			t.Fatalf("jittered Delay(2) = %v outside [20ms, 60ms]", got)
+		}
+	}
+}
+
+// TestOutputRouting checks printf output crosses the pipe and follows
+// SetOutput, including after degradation.
+func TestOutputRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	circ, err := firrtl.Parse(`
+circuit P :
+  module P :
+    input clock : Clock
+    output o : UInt<8>
+    reg cnt : UInt<8>, clock
+    cnt <= tail(add(cnt, UInt<8>(1)), 1)
+    o <= cnt
+    printf(clock, UInt<1>(1), "cnt=%d\n", cnt)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := compileOpt(t, circ)
+	s := newSession(t, d, testConfig())
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	var buf bytes.Buffer
+	s.SetOutput(&buf)
+	s.Reset()
+	if err := s.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	ip := newInterp(t, d)
+	var want bytes.Buffer
+	ip.SetOutput(&want)
+	ip.Reset()
+	if err := ip.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("printf output mismatch:\ncompiled: %q\ninterp:   %q", buf.String(), want.String())
+	}
+}

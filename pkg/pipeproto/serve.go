@@ -1,0 +1,254 @@
+package pipeproto
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Child is the surface a generated simulator artifact exposes to the
+// Serve loop. The codegen Serve mode emits every method on the
+// generated Sim type, so the artifact's main is one Serve call.
+type Child interface {
+	// DesignName and Fingerprint identify the compiled design; the host
+	// validates the fingerprint against its own netlist before trusting
+	// the artifact.
+	DesignName() string
+	Fingerprint() uint64
+	// Reset restores initial state.
+	Reset()
+	// Cycles is the simulated cycle count.
+	Cycles() uint64
+	// Poke/PokeWords set a named signal (false = unknown name).
+	Poke(name string, v uint64) bool
+	PokeWords(name string, words []uint64) bool
+	// Peek/PeekWords read a named signal.
+	Peek(name string) uint64
+	PeekWords(name string) ([]uint64, bool)
+	// PokeMem/PeekMem access memory words by memory name.
+	PokeMem(name string, addr int, v uint64) bool
+	PeekMem(name string, addr int) uint64
+	// Step simulates n cycles; stop() and assertion failures come back
+	// as errors implementing StopInfo/AssertInfo.
+	Step(n int) error
+	// Capture serializes the architectural state (ESNTCKP1 bytes);
+	// Restore loads one, clearing stop state.
+	Capture() []byte
+	Restore(snapshot []byte) error
+	// StateHash digests the architectural state (stats excluded) — the
+	// divergence-tripwire comparison key.
+	StateHash() uint64
+	// StatsWords returns the flat stats counters (sim.Stats order).
+	StatsWords() []uint64
+	// SetOutput redirects printf output.
+	SetOutput(w io.Writer)
+}
+
+// StopInfo is implemented by generated stop errors; AssertInfo by
+// generated assertion errors. Serve classifies Step errors through
+// these rather than concrete types, since the generated package is not
+// importable here.
+type StopInfo interface {
+	StopInfo() (code int, cycle uint64)
+}
+
+// AssertInfo identifies assertion-failure errors.
+type AssertInfo interface {
+	AssertInfo() (msg string, cycle uint64)
+}
+
+// ServeOptions tunes the child-side loop.
+type ServeOptions struct {
+	// Chunk bounds cycles per uninterrupted Step slice; an RProgress
+	// frame (the heartbeat) goes out between slices (0 = 4096).
+	Chunk int
+}
+
+// outputWriter turns printf bytes into ROutput frames. All writes
+// happen on the single Serve goroutine (printf fires inside Step), so
+// frames never interleave.
+type outputWriter struct {
+	w *bufio.Writer
+}
+
+func (o outputWriter) Write(p []byte) (int, error) {
+	if err := WriteFrame(o.w, ROutput, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Serve runs the child side of the protocol until the reader closes,
+// TShutdown arrives, or a transport error occurs. It answers every
+// command with a terminal response frame and streams progress frames
+// during long steps so the host's no-heartbeat watchdog has something
+// to watch.
+func Serve(r io.Reader, w io.Writer, c Child, opts ServeOptions) error {
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	c.SetOutput(outputWriter{bw})
+
+	reply := func(typ byte, payload []byte) error {
+		if err := WriteFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	replyErr := func(msg string) error {
+		return reply(RErr, AppendStr(nil, msg))
+	}
+
+	// Unprompted hello: the host validates the fingerprint before
+	// sending its first command.
+	hello := AppendU64(nil, c.Fingerprint())
+	hello = AppendStr(hello, c.DesignName())
+	if err := reply(RHello, hello); err != nil {
+		return err
+	}
+
+	for {
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // host went away; exit quietly
+			}
+			return err
+		}
+		d := &Dec{B: payload}
+		switch typ {
+		case THello:
+			h := AppendU64(nil, c.Fingerprint())
+			h = AppendStr(h, c.DesignName())
+			err = reply(RHello, h)
+		case TPoke:
+			name := d.Str()
+			words := d.Words()
+			if d.Err != nil {
+				err = replyErr(d.Err.Error())
+				break
+			}
+			ok := false
+			if len(words) == 1 {
+				ok = c.Poke(name, words[0])
+			} else {
+				ok = c.PokeWords(name, words)
+			}
+			if !ok {
+				err = replyErr("unknown signal " + name)
+				break
+			}
+			err = reply(ROK, nil)
+		case TPeek:
+			name := d.Str()
+			ws, ok := c.PeekWords(name)
+			if !ok {
+				err = replyErr("unknown signal " + name)
+				break
+			}
+			err = reply(RValue, AppendWords(nil, ws))
+		case TPokeMem:
+			name := d.Str()
+			addr := d.U64()
+			v := d.U64()
+			if d.Err != nil {
+				err = replyErr(d.Err.Error())
+				break
+			}
+			if !c.PokeMem(name, int(addr), v) {
+				err = replyErr("bad memory write " + name)
+				break
+			}
+			err = reply(ROK, nil)
+		case TPeekMem:
+			name := d.Str()
+			addr := d.U64()
+			err = reply(RValue, AppendWords(nil, []uint64{c.PeekMem(name, int(addr))}))
+		case TStep:
+			err = serveStep(c, d, chunk, bw)
+		case TReset:
+			c.Reset()
+			err = reply(ROK, nil)
+		case TCapture:
+			err = reply(RState, AppendBytes(nil, c.Capture()))
+		case TRestore:
+			snap := d.Block()
+			if d.Err != nil {
+				err = replyErr(d.Err.Error())
+				break
+			}
+			if rerr := c.Restore(snap); rerr != nil {
+				err = replyErr(rerr.Error())
+				break
+			}
+			err = reply(ROK, nil)
+		case THash:
+			err = reply(RValue, AppendWords(nil, []uint64{c.StateHash()}))
+		case TStats:
+			err = reply(RValue, AppendWords(nil, c.StatsWords()))
+		case TShutdown:
+			return reply(ROK, nil)
+		default:
+			err = replyErr("unknown command")
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// serveStep runs one TStep command: chunked stepping with progress
+// heartbeats, terminated by an RStepDone carrying the stop/assert
+// classification.
+func serveStep(c Child, d *Dec, chunk int, bw *bufio.Writer) error {
+	n := d.U64()
+	if d.Err != nil {
+		if err := WriteFrame(bw, RErr, AppendStr(nil, d.Err.Error())); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	done := func(status byte, code int64, msg string) error {
+		p := AppendU64(nil, c.Cycles())
+		p = append(p, status)
+		p = AppendU64(p, uint64(code))
+		p = AppendStr(p, msg)
+		if err := WriteFrame(bw, RStepDone, p); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	for rem := n; rem > 0; {
+		k := uint64(chunk)
+		if rem < k {
+			k = rem
+		}
+		err := c.Step(int(k))
+		rem -= k
+		if err != nil {
+			var si StopInfo
+			if errors.As(err, &si) {
+				code, _ := si.StopInfo()
+				return done(StepStopped, int64(code), "")
+			}
+			var ai AssertInfo
+			if errors.As(err, &ai) {
+				msg, _ := ai.AssertInfo()
+				return done(StepAssert, 0, msg)
+			}
+			return done(StepError, 0, err.Error())
+		}
+		if rem > 0 {
+			if err := WriteFrame(bw, RProgress, AppendU64(nil, c.Cycles())); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return done(StepOK, 0, "")
+}
