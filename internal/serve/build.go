@@ -80,7 +80,11 @@ func EnsureArtifact(d *netlist.Design, gen codegen.Options, cfg Config) (string,
 }
 
 // buildOnce emits the artifact sources, writes the module, and compiles
-// it into the cache slot. Returns the compiler output on failure.
+// it in a private temp directory, then atomically renames the complete
+// entry into the keyed cache slot. Concurrent builders of the same key
+// never interleave writes — each builds in isolation, whichever commits
+// first wins, and lookup can only ever observe a whole entry. Returns
+// the compiler output on failure.
 func (c *Config) buildOnce(key string, d *netlist.Design, gen codegen.Options) (string, error) {
 	simSrc, mainSrc, err := codegen.GenerateArtifact(d, gen)
 	if err != nil {
@@ -90,7 +94,15 @@ func (c *Config) buildOnce(key string, d *netlist.Design, gen codegen.Options) (
 	if err != nil {
 		return "", err
 	}
-	dir := c.cacheDir(key)
+	finalDir := c.cacheDir(key)
+	if err := os.MkdirAll(filepath.Dir(finalDir), 0o777); err != nil {
+		return "", err
+	}
+	dir, err := os.MkdirTemp(filepath.Dir(finalDir), "."+key+".build-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir) // no-op once the rename claims it
 	src := filepath.Join(dir, srcDir)
 	if err := os.MkdirAll(src, 0o777); err != nil {
 		return "", err
@@ -131,8 +143,20 @@ func (c *Config) buildOnce(key string, d *netlist.Design, gen codegen.Options) (
 		<-done
 		return outBuf.String(), fmt.Errorf("go build timed out after %v", c.buildTimeout())
 	}
-	if err := c.seal(key, d, gen); err != nil {
+	if err := c.seal(dir, d, gen); err != nil {
 		return "", fmt.Errorf("sealing cache entry: %w", err)
+	}
+	// Commit: publish the sealed entry with one atomic rename. If the
+	// slot is already occupied by a validated entry, a concurrent builder
+	// won the race and its artifact is just as good — keep it.
+	if err := os.Rename(dir, finalDir); err != nil {
+		if c.lookup(key) != "" {
+			return "", nil
+		}
+		os.RemoveAll(finalDir) // stale or corrupt occupant
+		if err := os.Rename(dir, finalDir); err != nil {
+			return "", fmt.Errorf("committing cache entry: %w", err)
+		}
 	}
 	return "", nil
 }

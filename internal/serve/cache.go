@@ -120,10 +120,10 @@ func (c *Config) lookup(key string) string {
 	return bin
 }
 
-// seal records a freshly built binary's checksum. The metadata write is
-// the commit point: lookup never serves an entry without it.
-func (c *Config) seal(key string, d *netlist.Design, gen codegen.Options) error {
-	dir := c.cacheDir(key)
+// seal records a freshly built binary's checksum in dir (the build's
+// private temp directory — buildOnce renames the sealed entry into the
+// keyed slot afterwards, so lookup never observes a partial build).
+func (c *Config) seal(dir string, d *netlist.Design, gen codegen.Options) error {
 	sum, err := fileSHA256(filepath.Join(dir, binName))
 	if err != nil {
 		return err

@@ -257,10 +257,19 @@ func (cl *client) shutdown() {
 	cl.kill()
 }
 
-// kill forcefully terminates and reaps the child.
+// kill forcefully terminates and reaps the child. It also drains the
+// frame channel: a child streaming output when the watchdog fires can
+// have the reader goroutine blocked on a full buffer, and without a
+// consumer that goroutine (and its frames) would leak for the process
+// lifetime. Once the kill closes the pipe the reader sees a read error,
+// closes the channel, and the drain exits.
 func (cl *client) kill() {
 	if cl.cmd.Process != nil {
 		cl.cmd.Process.Kill()
 	}
 	go cl.wait()
+	go func() {
+		for range cl.frames {
+		}
+	}()
 }

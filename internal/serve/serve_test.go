@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -347,6 +348,55 @@ func TestKillMidRunResumes(t *testing.T) {
 	}
 }
 
+// TestCaptureFailureRecoveryKeepsCycles kills the child in the window
+// between a segment's steps completing and the checkpoint capture. The
+// supervisor must re-step the whole segment on the respawned child —
+// regression: the segment's cycles were dropped from the resume state
+// while Step() still counted them as run, silently desyncing the run.
+func TestCaptureFailureRecoveryKeepsCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.CaptureEvery = 64
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	s.Reset()
+	ip.Reset()
+	killed := false
+	s.hookAfterStep = func() {
+		if killed {
+			return
+		}
+		killed = true
+		s.cl.cmd.Process.Kill()
+		s.cl.wait() // child fully gone: the capture deterministically fails
+	}
+	if err := s.Step(200); err != nil {
+		t.Fatal(err)
+	}
+	s.hookAfterStep = nil
+	if !killed {
+		t.Fatal("kill hook never fired — capture-failure path not exercised")
+	}
+	if err := ip.Step(200); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatalf("capture failure should be survivable, but session degraded: %+v", s.Degradation())
+	}
+	if got, want := s.Stats().Cycles, ip.Stats().Cycles; got != want {
+		t.Fatalf("cycle count mismatch after capture-failure recovery: %d vs %d", got, want)
+	}
+	if got, want := stateHashOf(t, s), stateHashOf(t, ip); got != want {
+		t.Fatalf("state hash mismatch after capture-failure recovery: %#x vs %#x", got, want)
+	}
+}
+
 // TestCrashLoopDegrades points the respawn path at a binary that dies
 // instantly and checks the supervisor gives up into the interpreter
 // with a crash-loop record, while the run still completes.
@@ -537,12 +587,9 @@ func TestBackoffDelay(t *testing.T) {
 	}
 }
 
-// TestOutputRouting checks printf output crosses the pipe and follows
-// SetOutput, including after degradation.
-func TestOutputRouting(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds a compiled artifact")
-	}
+// printfDesign compiles a counter that printfs every cycle.
+func printfDesign(t *testing.T) *netlist.Design {
+	t.Helper()
 	circ, err := firrtl.Parse(`
 circuit P :
   module P :
@@ -556,7 +603,16 @@ circuit P :
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := compileOpt(t, circ)
+	return compileOpt(t, circ)
+}
+
+// TestOutputRouting checks printf output crosses the pipe and follows
+// SetOutput, including after degradation.
+func TestOutputRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := printfDesign(t)
 	s := newSession(t, d, testConfig())
 	if s.Degraded() {
 		t.Fatalf("degraded at start: %+v", s.Degradation())
@@ -576,5 +632,139 @@ circuit P :
 	}
 	if buf.String() != want.String() {
 		t.Fatalf("printf output mismatch:\ncompiled: %q\ninterp:   %q", buf.String(), want.String())
+	}
+}
+
+// TestNoDuplicateOutputOnRecovery kills the child between steps and
+// checks the crash recovery's replay does not re-emit printf lines the
+// user already saw (regression: replayOnto streamed replayed cycles'
+// output a second time).
+func TestNoDuplicateOutputOnRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := printfDesign(t)
+	cfg := testConfig()
+	cfg.CaptureEvery = 8 // cycles 17-20 live in the replay log below
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	var buf bytes.Buffer
+	s.SetOutput(&buf)
+	s.Reset()
+	if err := s.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	s.cl.cmd.Process.Kill()
+	s.cl.wait()
+	if err := s.Step(20); err != nil { // recover: restore + replay + resume
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatalf("kill should be survivable, but session degraded: %+v", s.Degradation())
+	}
+	ip := newInterp(t, d)
+	var want bytes.Buffer
+	ip.SetOutput(&want)
+	ip.Reset()
+	if err := ip.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("printf output after recovery mismatch (duplicated replay lines?):\ncompiled: %q\ninterp:   %q",
+			buf.String(), want.String())
+	}
+}
+
+// TestKillDrainsReader wedges the reader goroutine on a full frame
+// buffer (a child streaming printf output with no request in flight)
+// and checks kill() unblocks it so it can observe the closed pipe and
+// exit — regression: each killed client leaked the reader forever.
+func TestKillDrainsReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a compiled artifact")
+	}
+	d := printfDesign(t)
+	s := newSession(t, d, testConfig())
+	if s.Degraded() {
+		t.Fatalf("degraded at start: %+v", s.Degradation())
+	}
+	cl := s.cl
+	// Issue a long step without awaiting: the child streams hundreds of
+	// ROutput frames, overflowing the 16-slot buffer, so the reader
+	// blocks on the channel send.
+	if err := pipeproto.WriteFrame(cl.stdin, pipeproto.TStep,
+		pipeproto.AppendU64(nil, 500)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	cl.kill()
+	// The reader must now drain, hit the dead pipe, and close frames.
+	done := make(chan struct{})
+	go func() {
+		for range cl.frames {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader goroutine still blocked after kill — frames never drained")
+	}
+	s.cl = nil // client deliberately destroyed; skip Close's shutdown
+}
+
+// TestConcurrentBuildsSameKey races several builders of one cache key;
+// each must build in isolation and commit atomically, so every caller
+// gets a validated, runnable binary — regression: interleaved writes
+// into the shared slot could seal a self-consistent but corrupt entry.
+func TestConcurrentBuildsSameKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds compiled artifacts")
+	}
+	d := smallSoC(t)
+	cfg := testConfig()
+	cfg.CacheDir = t.TempDir() // cold slot, private to this test
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	bins := make([]string, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bins[i], errs[i] = EnsureArtifact(d, cfg.Gen, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		if bins[i] != bins[0] {
+			t.Fatalf("builders disagree on binary path: %q vs %q", bins[i], bins[0])
+		}
+	}
+	if !Probe(d, cfg.Gen, cfg) {
+		t.Fatal("no validated entry after concurrent builds")
+	}
+	// The committed binary actually runs.
+	s := newSession(t, d, cfg)
+	if s.Degraded() {
+		t.Fatalf("degraded on committed entry: %+v", s.Degradation())
+	}
+	s.Reset()
+	if err := s.Step(50); err != nil {
+		t.Fatal(err)
+	}
+	// No half-built temp dirs left behind in the cache.
+	ents, err := os.ReadDir(cfg.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != cacheKey(d, cfg.Gen) {
+			t.Fatalf("stray cache entry %q after concurrent builds", e.Name())
+		}
 	}
 }

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -143,6 +144,16 @@ func (o *outProxy) set(w io.Writer) {
 	o.mu.Unlock()
 }
 
+// silence discards output until the returned restore func runs — used
+// while replaying cycles whose printf output the user already saw.
+func (o *outProxy) silence() (restore func()) {
+	o.mu.Lock()
+	old := o.w
+	o.w = io.Discard
+	o.mu.Unlock()
+	return func() { o.set(old) }
+}
+
 // Session drives one design through the compiled subprocess backend,
 // falling back to the in-process interpreter when supervision gives up.
 type Session struct {
@@ -166,6 +177,11 @@ type Session struct {
 
 	interp sim.Simulator
 	degr   *Degradation
+
+	// hookAfterStep, when non-nil, runs after a segment's steps complete
+	// and before the checkpoint capture — a test seam for injecting a
+	// child death into the capture-failure recovery path.
+	hookAfterStep func()
 }
 
 // New opens a session: artifact built or fetched from cache, child
@@ -272,12 +288,14 @@ func (s *Session) degrade(cause string, reason error) error {
 		}
 		cycle = st.Cycle
 	}
-	ip.SetOutput(s.out)
+	// Attach the live sink only after replay: the replayed cycles already
+	// emitted their printf output during the original execution.
 	for _, op := range s.replay {
 		if err := applyRop(ip, s.d, op); err != nil {
 			return fmt.Errorf("serve: fallback replay: %w", err)
 		}
 	}
+	ip.SetOutput(s.out)
 	s.interp = ip
 	detail := ""
 	if reason != nil {
@@ -310,10 +328,31 @@ func applyRop(ip sim.Simulator, d *netlist.Design, op rop) error {
 		ip.PokeMem(mi, int(op.addr), op.v)
 	case ropStep:
 		if err := ip.Step(op.n); err != nil {
+			// A stop/assert during a replayed segment is a faithful
+			// reproduction of the original run, not a replay failure: the
+			// stopping cycle's state is committed like any other.
+			if _, ok := isDesignStop(err); ok {
+				return nil
+			}
 			return fmt.Errorf("replay: step: %w", err)
 		}
 	}
 	return nil
+}
+
+// isDesignStop reports whether err is a design-level outcome (stop or
+// failed assertion) rather than an engine/transport failure, and the
+// cycle it fired on.
+func isDesignStop(err error) (uint64, bool) {
+	var se *sim.StopError
+	var ae *sim.AssertError
+	switch {
+	case errors.As(err, &se):
+		return se.Cycle, true
+	case errors.As(err, &ae):
+		return ae.Cycle, true
+	}
+	return 0, false
 }
 
 func memIndex(d *netlist.Design, name string) int {
@@ -358,6 +397,10 @@ func (s *Session) recover(cause error) error {
 		}
 		return nil
 	}
+	// Every attempt failed. Restore the snapshots: a failed attempt may
+	// have left start()'s reset-state capture in lastGood, and degrade()
+	// resumes from lastGood + replay — it must see the real resume point.
+	s.lastGood, s.replay, s.sinceGood = lastGood, replay, sinceGood
 	return err
 }
 
@@ -368,8 +411,12 @@ func (s *Session) restoreBytes(snap []byte) error {
 	return err
 }
 
-// replayOnto re-applies the replay log to the (restored) child.
+// replayOnto re-applies the replay log to the (restored) child. Printf
+// output is suppressed for the duration: these cycles already ran (and
+// streamed their output) once before the crash.
 func (s *Session) replayOnto() error {
+	restore := s.out.silence()
+	defer restore()
 	for _, op := range s.replay {
 		var err error
 		switch op.kind {
@@ -484,7 +531,13 @@ func (s *Session) verifySegment(prev []byte, k int) error {
 		return err
 	}
 	if err := s.shadow.Step(k); err != nil {
-		return nil // segment ended in stop under shadow; skip
+		// The child completed all k cycles with no stop, so the shadow
+		// hitting a stop/assert is itself a state divergence — the two
+		// backends disagree on whether the condition fired.
+		if cyc, ok := isDesignStop(err); ok {
+			return &DivergenceError{Design: s.d.Name, Cycle: cyc}
+		}
+		return err
 	}
 	shState, err := sim.Capture(s.shadow)
 	if err != nil {
@@ -750,39 +803,62 @@ func (s *Session) stepSegmentSupervised(k int) (error, error) {
 	for attempt := 0; ; attempt++ {
 		stopErr, err := s.stepChild(k)
 		if err == nil {
-			s.sinceGood += k
+			if s.hookAfterStep != nil {
+				s.hookAfterStep()
+			}
 			if stopErr != nil {
 				// Stopped state is still valid state; checkpoint it so a
-				// later Reset/restore continues coherently.
+				// later Reset/restore continues coherently. Log the segment
+				// first: captureGood clears the log on success, and if it
+				// fails the log must reproduce the stop segment.
+				s.sinceGood += k
+				s.replay = append(s.replay, rop{kind: ropStep, n: k})
 				s.captureGood()
 				return stopErr, nil
 			}
-			if s.sinceGood >= s.cfg.captureEvery() {
-				if cerr := s.captureGood(); cerr != nil {
-					if rerr := s.recover(cerr); rerr != nil {
+			if s.sinceGood+k < s.cfg.captureEvery() {
+				s.sinceGood += k
+				s.replay = append(s.replay, rop{kind: ropStep, n: k})
+				return nil, nil
+			}
+			// Segment boundary: checkpoint before counting the cycles. On
+			// capture failure, recover() restores the segment-start state
+			// (lastGood + replay, which deliberately exclude this segment)
+			// and the retry loop re-steps the whole segment — the cycles
+			// are re-run, never silently lost while the caller counts
+			// them as run.
+			if cerr := s.captureGood(); cerr != nil {
+				if attempt >= s.cfg.maxRetries() {
+					return nil, cerr
+				}
+				if rerr := s.recover(cerr); rerr != nil {
+					return nil, rerr
+				}
+				continue
+			}
+			if s.cfg.VerifyEvery > 0 && !prevReplay &&
+				s.goodSegs%s.cfg.VerifyEvery == 0 {
+				if verr := s.verifySegment(prev, k); verr != nil {
+					if _, ok := verr.(*DivergenceError); ok {
+						// The just-captured checkpoint is the diverged
+						// state; rewind to the verified segment start so
+						// the fallback resumes from trusted state.
+						s.lastGood = append(s.lastGood[:0], prev...)
+						s.replay = s.replay[:0]
+						s.sinceGood = 0
+						return nil, verr
+					}
+					// Transport failure during verification: recover; if
+					// respawn is exhausted, rewind to the segment start so
+					// the fallback re-runs the segment the caller has not
+					// counted yet (lastGood is already past it).
+					if rerr := s.recover(verr); rerr != nil {
+						s.lastGood = append(s.lastGood[:0], prev...)
+						s.replay = s.replay[:0]
+						s.sinceGood = 0
 						return nil, rerr
 					}
-					// Checkpoint retaken by recover's replay; fall through.
-				} else if s.cfg.VerifyEvery > 0 && !prevReplay &&
-					s.goodSegs%s.cfg.VerifyEvery == 0 {
-					if verr := s.verifySegment(prev, k); verr != nil {
-						if _, ok := verr.(*DivergenceError); ok {
-							// The just-captured checkpoint is the diverged
-							// state; rewind to the verified segment start so
-							// the fallback resumes from trusted state.
-							s.lastGood = append(s.lastGood[:0], prev...)
-							s.replay = s.replay[:0]
-							s.sinceGood = 0
-							return nil, verr
-						}
-						// Transport failure during verification: recover.
-						if rerr := s.recover(verr); rerr != nil {
-							return nil, rerr
-						}
-					}
 				}
-			} else {
-				s.replay = append(s.replay, rop{kind: ropStep, n: k})
 			}
 			return nil, nil
 		}
